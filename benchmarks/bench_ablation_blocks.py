@@ -1,0 +1,97 @@
+"""Ablation — block-construction knobs (DESIGN.md §4).
+
+Two design choices from Section 3.2 are exercised:
+
+* the **adjacency threshold** for density-seeking growth ("we stop ...
+  if all candidate border nodes have a number of adjacency with kernel
+  nodes below a specified threshold") — higher thresholds give more,
+  smaller, denser blocks, while the final clique set must not change;
+* the **containment-filter index** (Lemma 1 implementation) — the
+  per-node posting-list filter versus the naive quadratic scan.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import ratio_to_m
+from repro.analysis.report import format_table
+from repro.core.driver import find_max_cliques
+from repro.core.filtering import filter_contained
+
+THRESHOLDS = (1, 2, 3, 5)
+DATASET = "google+"
+
+
+def test_ablation_min_adjacency(benchmark, sweep, emit):
+    graph = sweep.graph(DATASET)
+    m = ratio_to_m(graph, 0.5)
+
+    def measure():
+        rows = []
+        for threshold in THRESHOLDS:
+            result = find_max_cliques(graph, m, min_adjacency=threshold)
+            rows.append(
+                [
+                    threshold,
+                    sum(level.num_blocks for level in result.levels),
+                    result.total_analysis_seconds(),
+                    result.num_cliques,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "ablation_min_adjacency",
+        format_table(
+            ["min adjacency", "#blocks", "analysis (s)", "#cliques"],
+            rows,
+            title=f"Block growth threshold ablation on {DATASET} (m = {m})",
+        ),
+    )
+    counts = {row[3] for row in rows}
+    assert len(counts) == 1, "output must be invariant to the threshold"
+    blocks = [row[1] for row in rows]
+    assert blocks == sorted(blocks), "higher threshold -> more blocks"
+
+
+def _naive_filter(candidates, reference):
+    return [
+        c for c in candidates if not any(c <= ref for ref in reference)
+    ]
+
+
+def test_ablation_filter_index(benchmark, sweep, emit):
+    result = sweep.result(DATASET, 0.1)
+    reference = result.feasible_cliques()
+    candidates = result.hub_cliques() * 3  # amplify the workload
+
+    def measure():
+        start = time.perf_counter()
+        indexed = filter_contained(candidates, reference)
+        indexed_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        naive = _naive_filter(candidates, reference)
+        naive_seconds = time.perf_counter() - start
+        return indexed, naive, indexed_seconds, naive_seconds
+
+    indexed, naive, indexed_seconds, naive_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    emit(
+        "ablation_filter_index",
+        format_table(
+            ["implementation", "seconds", "kept"],
+            [
+                ["posting-list index", indexed_seconds, len(indexed)],
+                ["quadratic scan", naive_seconds, len(naive)],
+            ],
+            title=(
+                f"Lemma 1 filter ablation ({len(candidates)} candidates "
+                f"vs {len(reference)} reference cliques)"
+            ),
+        ),
+    )
+    assert indexed == naive, "both implementations must agree"
+    assert indexed_seconds < naive_seconds * 2, "index must be competitive"

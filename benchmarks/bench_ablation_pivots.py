@@ -1,0 +1,75 @@
+"""Ablation — what the pivot rules buy (DESIGN.md §4, portfolio choice).
+
+The portfolio exists because pivot choices prune differently.  This
+ablation counts the recursion-tree size (one pivot evaluation per
+internal node) of plain Bron–Kerbosch vs the three pivot rules on a
+dense and a sparse graph, demonstrating why the pivotless variant is
+excluded from the portfolio and how Tomita's rule earns its worst-case
+optimality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.graph.generators import erdos_renyi, social_network
+from repro.mce.instrumentation import profile_rule
+from repro.mce.recursion import (
+    max_degree_pivot,
+    no_pivot,
+    tomita_pivot,
+    x_pivot,
+)
+
+RULES = {
+    "none (plain BK)": no_pivot,
+    "BKPivot (max degree)": max_degree_pivot,
+    "Tomita (max |N∩P|)": tomita_pivot,
+    "XPivot (from X)": x_pivot,
+}
+
+GRAPHS = {
+    "dense er(40, 0.5)": lambda: erdos_renyi(40, 0.5, seed=3),
+    "sparse social(300)": lambda: social_network(
+        300, attachment=3, planted_cliques=(9,), seed=3
+    ),
+}
+
+
+def _count_recursion_nodes(graph, rule) -> tuple[int, int]:
+    """Return (internal recursion nodes, cliques) for one rule."""
+    profile = profile_rule(graph, rule, backend="bitsets")
+    return profile.internal_nodes, profile.cliques
+
+
+@pytest.mark.parametrize("graph_name", GRAPHS)
+def test_pivot_rules_prune_recursion(benchmark, emit, graph_name):
+    graph = GRAPHS[graph_name]()
+
+    def measure():
+        rows = []
+        for rule_name, rule in RULES.items():
+            calls, cliques = _count_recursion_nodes(graph, rule)
+            rows.append([rule_name, calls, cliques])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        f"ablation_pivots_{graph_name.split()[0]}",
+        format_table(
+            ["pivot rule", "recursion nodes", "#cliques"],
+            rows,
+            title=f"Pivot-rule ablation on {graph_name}",
+        ),
+    )
+    by_rule = {row[0]: row for row in rows}
+    clique_counts = {row[2] for row in rows}
+    assert len(clique_counts) == 1, "all rules must agree on the output"
+    plain = by_rule["none (plain BK)"][1]
+    for rule_name in RULES:
+        if rule_name != "none (plain BK)":
+            assert by_rule[rule_name][1] <= plain, rule_name
+    # On the dense graph the pruning is dramatic.
+    if "dense" in graph_name:
+        assert by_rule["Tomita (max |N∩P|)"][1] * 2 < plain

@@ -1,0 +1,78 @@
+"""Ablation — memory footprints of the three backends.
+
+Section 2: "m is bounded by the dimension of the memory".  The
+data-structure choice decides how large a block a worker can hold:
+this bench measures the three backends' adjacency footprints on real
+block-sized graphs and reports the largest block each backend fits in
+the paper's 8 GB machines (and in a 1/100 budget, the regime the paper
+recommends operating in).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.graph.generators import erdos_renyi
+from repro.mce.backends import BACKEND_NAMES
+from repro.mce.memory import backend_memory_table, max_block_nodes_for_memory
+
+PAPER_MACHINE_BYTES = 8 * 1024**3
+
+
+def test_backend_footprints(benchmark, emit):
+    def measure():
+        rows = []
+        for n, p in ((100, 0.3), (400, 0.05), (800, 0.01)):
+            graph = erdos_renyi(n, p, seed=7)
+            for name, modelled, measured in backend_memory_table(graph):
+                rows.append([f"er({n}, {p})", name, modelled, measured])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "backend_memory",
+        format_table(
+            ["graph", "backend", "modelled bytes", "measured bytes"],
+            rows,
+            title="Backend adjacency footprints (model vs sys.getsizeof)",
+        ),
+    )
+    # Dense small block: the packed bitset is the smallest footprint.
+    dense = {
+        row[1]: row[3] for row in rows if row[0] == "er(100, 0.3)"
+    }
+    assert dense["bitsets"] < dense["matrix"]
+    assert dense["bitsets"] < dense["lists"]
+
+
+def test_max_block_per_memory_budget(benchmark, emit):
+    def measure():
+        rows = []
+        for label, budget in (
+            ("8 GB (paper machine)", PAPER_MACHINE_BYTES),
+            ("1/100 of memory", PAPER_MACHINE_BYTES // 100),
+            ("1/1000 of memory", PAPER_MACHINE_BYTES // 1000),
+        ):
+            row: list[object] = [label]
+            for backend in BACKEND_NAMES:
+                row.append(max_block_nodes_for_memory(budget, backend))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "backend_memory_budget",
+        format_table(
+            ["budget"] + list(BACKEND_NAMES),
+            rows,
+            title=(
+                "Largest dense block per memory budget (Section 1: "
+                "reducing m to 1/100 or 1/1000 of memory is faster anyway)"
+            ),
+        ),
+    )
+    for row in rows:
+        # Even at 1/1000 of machine memory and the dense worst case,
+        # every backend fits blocks in the hundreds of nodes — far
+        # above the degeneracy of real social networks, so Theorem 1's
+        # m > degeneracy requirement is easily met at every budget.
+        assert all(int(value) > 300 for value in row[1:])

@@ -1,0 +1,66 @@
+"""Figure 10 — clique counts and sizes on facebook and google+.
+
+Same measurement as Figure 9 (see ``bench_fig9_twitter_cliques``) on
+the remaining two data sets, with maximum clique sizes 21 (facebook)
+and 18 (google+).
+"""
+
+from __future__ import annotations
+
+from conftest import RATIOS
+from repro.analysis.cliques import provenance_split
+from repro.analysis.report import format_table
+from repro.graph.datasets import DATASETS
+
+NETWORKS = ("facebook", "google+")
+
+
+def test_fig10_counts_and_sizes(benchmark, sweep, emit):
+    def run_sweep():
+        rows = []
+        for name in NETWORKS:
+            for ratio in RATIOS:
+                split = provenance_split(sweep.result(name, ratio))
+                rows.append(
+                    [
+                        name,
+                        ratio,
+                        split.feasible_count,
+                        split.hub_count,
+                        split.feasible_avg_size,
+                        split.hub_avg_size,
+                        split.max_clique_size,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "fig10_fb_gplus_cliques",
+        format_table(
+            [
+                "Network",
+                "m/d",
+                "#feasible cliques",
+                "#hub-only cliques",
+                "avg size (feasible)",
+                "avg size (hub)",
+                "max clique",
+            ],
+            rows,
+            title=(
+                "Figure 10 — maximal cliques on facebook and google+, "
+                "split by provenance"
+            ),
+        ),
+    )
+    by_dataset: dict[str, dict[float, list]] = {}
+    for row in rows:
+        by_dataset.setdefault(row[0], {})[row[1]] = row
+    for name, ratios in by_dataset.items():
+        assert ratios[0.1][3] > 0, name
+        assert ratios[0.1][3] > ratios[0.9][3], name
+        assert ratios[0.1][5] >= 0.5 * ratios[0.1][4], name
+        assert ratios[0.5][6] == DATASETS[name].paper_max_clique, name
+        totals = {r[2] + r[3] for r in ratios.values()}
+        assert len(totals) == 1, name

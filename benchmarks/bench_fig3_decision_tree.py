@@ -1,0 +1,53 @@
+"""Figure 3 — the best-fit decision tree.
+
+Trains a fresh tree on the 80% split of the corpus (the paper used
+rpart; we use our CART-style learner) and prints it next to the paper's
+published tree, which ships verbatim in
+:mod:`repro.decision.paper_tree`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decision.paper_tree import paper_tree
+from repro.decision.training import build_corpus, label_corpus, train
+
+
+@pytest.fixture(scope="module")
+def labelled():
+    corpus = build_corpus(count=50, seed=7, size_range=(40, 160))
+    return label_corpus(corpus)
+
+
+def test_fig3_train_decision_tree(benchmark, labelled, emit):
+    result = benchmark.pedantic(
+        lambda: train(labelled, train_fraction=0.8, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n".join(
+        [
+            "Figure 3 — decision tree for selecting the MCE combination",
+            "",
+            "Published tree (paper, Figure 3):",
+            paper_tree().render(indent=2),
+            "",
+            f"Locally learned tree (trained on {len(result.training)} "
+            f"graphs, test accuracy {result.test_accuracy:.0%}):",
+            result.tree.render(indent=2),
+        ]
+    )
+    emit("fig3_decision_tree", text)
+    assert result.tree.depth() >= 0
+    assert 0.0 <= result.test_accuracy <= 1.0
+
+
+def test_fig3_paper_tree_prediction_speed(benchmark):
+    from repro.decision.features import BlockFeatures
+
+    tree = paper_tree()
+    features = BlockFeatures(
+        num_nodes=500, num_edges=2000, density=0.02, degeneracy=30, d_star=40
+    )
+    benchmark(lambda: tree.predict(features))

@@ -1,0 +1,68 @@
+"""Figure 4 — total time with the decision tree vs fixed combinations.
+
+The paper's bar chart: processing the testing split with the decision
+tree's per-graph choice is faster than any of the five best fixed
+combinations.  We regenerate the bars from measured per-graph timings.
+The *shape* claim asserted here is the weaker, robust form: the tree is
+never worse than the worst fixed combo and is close to the per-graph
+oracle (timing noise makes strict dominance over the single best fixed
+combo flaky on a small corpus).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.decision.training import build_corpus, label_corpus, train
+
+
+@pytest.fixture(scope="module")
+def trained():
+    corpus = build_corpus(count=50, seed=7, size_range=(40, 160))
+    labelled = label_corpus(corpus)
+    return train(labelled, train_fraction=0.8, seed=13)
+
+
+def test_fig4_tree_vs_fixed_combos(benchmark, trained, emit):
+    def build_rows():
+        combo_totals = {
+            name: trained.total_test_time(name)
+            for name in trained.testing[0].timings
+        }
+        five_best = sorted(combo_totals, key=combo_totals.get)[:5]
+        rows = [["Decision Tree", trained.total_test_time()]]
+        rows.extend([name, combo_totals[name]] for name in five_best)
+        oracle = sum(min(e.timings.values()) for e in trained.testing)
+        worst = sum(max(e.timings.values()) for e in trained.testing)
+        rows.append(["(per-graph oracle)", oracle])
+        rows.append(["(worst fixed combo)", worst])
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    from repro.analysis.charts import bar_chart
+
+    emit(
+        "fig4_tree_vs_fixed",
+        format_table(
+            ["Strategy", "total time (s)"],
+            rows,
+            title=(
+                "Figure 4 — time to compute cliques on the testing split "
+                "with and without the decision tree"
+            ),
+        )
+        + "\n\n"
+        + bar_chart(
+            [str(row[0]) for row in rows],
+            [float(row[1]) for row in rows],
+            unit="s",
+        ),
+    )
+    totals = {row[0]: row[1] for row in rows}
+    tree_time = totals["Decision Tree"]
+    assert tree_time <= totals["(worst fixed combo)"] + 1e-9
+    assert tree_time >= totals["(per-graph oracle)"] - 1e-9
+    # The tree should sit in the better half of the strategy spread.
+    midpoint = (totals["(per-graph oracle)"] + totals["(worst fixed combo)"]) / 2
+    assert tree_time <= midpoint

@@ -1,0 +1,70 @@
+"""Table 1 — wins per (algorithm × data structure) combination.
+
+The paper times all twelve combinations on a 50-graph heterogeneous
+corpus and reports how often each was the fastest.  The headline claim
+the table supports: *no combination dominates*, so a per-block selector
+can beat any fixed choice.  We regenerate the table on the synthetic
+corpus (same three random families plus the social stand-in family) and
+assert the no-dominator claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.decision.training import build_corpus, label_corpus, win_counts
+from repro.mce.registry import ALL_COMBOS, Combo, run_combo
+
+CORPUS_SIZE = 50
+
+
+@pytest.fixture(scope="module")
+def labelled():
+    corpus = build_corpus(count=CORPUS_SIZE, seed=7, size_range=(40, 160))
+    return label_corpus(corpus)
+
+
+def test_table1_win_counts(benchmark, labelled, emit):
+    counts = benchmark.pedantic(
+        lambda: win_counts(labelled), rounds=1, iterations=1
+    )
+    algorithms = ["bkpivot", "tomita", "eppstein", "xpivot"]
+    backends = ["matrix", "lists", "bitsets"]
+    rows = []
+    for algorithm in algorithms:
+        row: list[object] = [algorithm]
+        for backend in backends:
+            row.append(counts.get(Combo(algorithm, backend).name, 0))
+        rows.append(row)
+    emit(
+        "table1_combo_wins",
+        format_table(
+            ["Algorithm", "Matrix", "Lists", "BitSets"],
+            rows,
+            title=(
+                f"Table 1 — times each combination was fastest over "
+                f"{CORPUS_SIZE} graphs (paper: BKPivot 7/0/2, "
+                "Tomita 5/3/12, Eppstein 0/2/0, XPivot 7/12/0)"
+            ),
+        ),
+    )
+    assert sum(counts.values()) == CORPUS_SIZE
+    # The paper's point: no single combination wins everywhere.
+    assert max(counts.values()) < CORPUS_SIZE
+
+
+def test_table1_no_dominating_combo(benchmark, labelled):
+    def distinct_winners() -> int:
+        return len(win_counts(labelled))
+
+    winners = benchmark.pedantic(distinct_winners, rounds=1, iterations=1)
+    assert winners >= 2
+
+
+def test_representative_combo_timing(benchmark, labelled):
+    # A pytest-benchmark timing of the paper's strongest combination on a
+    # mid-sized corpus graph, for regression tracking.
+    graph = labelled[len(labelled) // 2].graph
+    combo = Combo("tomita", "bitsets")
+    benchmark(lambda: run_combo(graph, combo))

@@ -1,0 +1,91 @@
+"""Theorem 1 — convergence of the first-level recursion.
+
+Two claims from Section 5, regenerated:
+
+1. On the pathological graph ``H_n`` the recursion needs Ω(n) rounds
+   (statement 2 of the theorem — each round peels a single node).
+2. On real(istic) social networks the recursion needs only a handful of
+   rounds (Section 6.2 observed at most three), because their degree
+   distribution collapses quickly under peeling.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.analysis.report import format_table
+from repro.core.driver import find_max_cliques
+from repro.graph.cores import degeneracy
+from repro.graph.generators import h_n
+
+H_N_M = 4
+SIZES = (20, 40, 60, 80)
+
+
+def test_theorem1_pathological_graph_is_linear(benchmark, emit):
+    def run_hn_sweep():
+        rows = []
+        for n in SIZES:
+            graph = h_n(n, H_N_M)
+            # m = H_N_M + 1 exceeds the degeneracy (so Theorem 1 applies)
+            # yet each round peels a single node — the worst case.
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = find_max_cliques(graph, H_N_M + 1)
+            rows.append(
+                [n, degeneracy(graph), result.recursion_depth, result.num_cliques]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_hn_sweep, rounds=1, iterations=1)
+    emit(
+        "theorem1_h_n",
+        format_table(
+            ["n", "degeneracy", "recursion rounds", "#cliques"],
+            rows,
+            title=(
+                f"Theorem 1 — H_n with m = {H_N_M}: rounds grow linearly "
+                "with n (statement 2)"
+            ),
+        ),
+    )
+    depths = [row[2] for row in rows]
+    # Linear growth: each extra node adds one extra peeling round.
+    for (n1, _, d1, _), (n2, _, d2, _) in zip(rows, rows[1:]):
+        assert d2 - d1 == n2 - n1
+    assert depths[-1] >= SIZES[-1] - H_N_M - 2
+
+
+def test_theorem1_real_networks_converge_fast(benchmark, sweep, emit, dataset_names):
+    def depths():
+        return [
+            [name, sweep.result(name, 0.5).recursion_depth] for name in dataset_names
+        ]
+
+    rows = benchmark.pedantic(depths, rounds=1, iterations=1)
+    emit(
+        "theorem1_real_networks",
+        format_table(
+            ["Network", "recursion rounds at m/d = 0.5"],
+            rows,
+            title=(
+                "Theorem 1 / Section 6.2 — realistic networks need only "
+                "a few first-level iterations (paper: at most 3)"
+            ),
+        ),
+    )
+    for name, depth in rows:
+        assert depth <= 4, name
+
+
+def test_theorem1_m_above_degeneracy_guarantee(benchmark, sweep):
+    # Completeness precondition: m > degeneracy converges without fallback.
+    graph = sweep.graph("google+")
+
+    def run():
+        return find_max_cliques(
+            graph, degeneracy(graph) + 1, fallback="raise"
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.fallback_used

@@ -1,0 +1,96 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one bench module
+(see DESIGN.md §5).  The expensive shared computation — running
+FIND-MAX-CLIQUES on all five data-set stand-ins at all five m/d ratios —
+is cached at session scope, and every bench module writes its rendered
+table both to stdout and to ``benchmarks/results/<name>.txt`` so the
+artefacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.driver import find_max_cliques
+from repro.core.result import CliqueResult
+from repro.graph.adjacency import Graph
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+
+# The m/d ratios swept in Figures 7-11.
+RATIOS: tuple[float, ...] = (0.9, 0.7, 0.5, 0.3, 0.1)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def ratio_to_m(graph: Graph, ratio: float) -> int:
+    """Translate an m/d ratio to a block size for ``graph``."""
+    return max(2, int(ratio * graph.max_degree()))
+
+
+class SweepCache:
+    """Lazily computed (dataset × ratio) clique results, shared per session."""
+
+    def __init__(self) -> None:
+        self._graphs: dict[str, Graph] = {}
+        self._results: dict[tuple[str, float], CliqueResult] = {}
+
+    def graph(self, dataset: str) -> Graph:
+        if dataset not in self._graphs:
+            self._graphs[dataset] = load_dataset(dataset)
+        return self._graphs[dataset]
+
+    def result(self, dataset: str, ratio: float) -> CliqueResult:
+        key = (dataset, ratio)
+        if key not in self._results:
+            graph = self.graph(dataset)
+            self._results[key] = find_max_cliques(
+                graph, ratio_to_m(graph, ratio)
+            )
+        return self._results[key]
+
+
+@pytest.fixture(scope="session")
+def sweep() -> SweepCache:
+    """The session-wide sweep cache."""
+    return SweepCache()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered report to stdout and benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def dataset_names() -> tuple[str, ...]:
+    """The five evaluation data sets, in Table 3 order."""
+    return DATASET_NAMES
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Concatenate all emitted tables into results/INDEX.txt.
+
+    One file holding every regenerated table/figure, in name order —
+    the single artefact to diff between benchmark runs.
+    """
+    if not RESULTS_DIR.is_dir():
+        return
+    parts: list[str] = []
+    for path in sorted(RESULTS_DIR.glob("*.txt")):
+        if path.name == "INDEX.txt":
+            continue
+        parts.append(f"===== {path.stem} =====")
+        parts.append(path.read_text().rstrip())
+        parts.append("")
+    if parts:
+        (RESULTS_DIR / "INDEX.txt").write_text("\n".join(parts) + "\n")

@@ -1,0 +1,72 @@
+"""File pipeline — the paper's Section 6.2 data flow, end to end.
+
+The deployed system reads ⟨n1, e, n2⟩ triple files with hashed labels,
+decomposes, analyses blocks on the cluster, and writes the cliques out.
+This example runs that full pipeline locally: generate a network, write
+it in the triple format, reload it, hash the labels, run the
+distributed driver on the simulated cluster, and persist the cliques.
+
+Run with::
+
+    python examples/file_pipeline.py [workdir]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.distributed import run_distributed
+from repro.graph import social_network
+from repro.graph.io import hash_labels, read_cliques, read_triples, write_cliques, write_triples
+from repro.graph.views import map_cliques
+
+
+def main(workdir: str | None = None) -> None:
+    base = Path(workdir) if workdir else Path(tempfile.mkdtemp(prefix="repro-"))
+    base.mkdir(parents=True, exist_ok=True)
+
+    # 1. A network with human-readable labels, as a data provider would
+    #    export it.
+    raw = social_network(400, attachment=3, planted_cliques=(10,), seed=21)
+    named = raw.copy()
+    # Give nodes "user<k>" labels to make the hashing step meaningful.
+    from repro.graph.views import relabel
+
+    named = relabel(named, {node: f"user{node}" for node in named.nodes()})
+
+    triples_path = base / "network.triples"
+    records = write_triples(named, triples_path)
+    print(f"wrote {records} triple records to {triples_path}")
+
+    # 2. Reload and hash labels (Section 6.2: "we encoded node and edge
+    #    labels with hashes").
+    loaded = read_triples(triples_path)
+    assert loaded == named
+    hashed, inverse = hash_labels(loaded)
+    print(f"hashed {hashed.num_nodes} node labels")
+
+    # 3. Distributed enumeration on the simulated 10-machine cluster.
+    m = max(2, hashed.max_degree() // 4)
+    result = run_distributed(hashed, m)
+    print(
+        f"found {result.num_cliques} maximal cliques with m = {m} "
+        f"(simulated makespan {result.simulated_makespan():.3f}s, "
+        f"speed-up {result.simulated_speedup():.1f}x)"
+    )
+
+    # 4. Translate cliques back to the original labels and persist.
+    readable = map_cliques(result.cliques, inverse)
+    cliques_path = base / "cliques.jsonl"
+    write_cliques(readable, cliques_path)
+    reloaded = read_cliques(cliques_path)
+    assert set(reloaded) == set(readable)
+    print(f"wrote {len(readable)} cliques to {cliques_path}")
+
+    largest = max(reloaded, key=len)
+    print(f"largest community ({len(largest)} members): {sorted(largest)[:6]}...")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -1,0 +1,80 @@
+"""Hub analysis — what goes wrong without the two-level decomposition.
+
+Reproduces the paper's motivating failure: run an EmMCE-style
+fixed-block decomposition (no hub handling) next to the complete
+two-level decomposition at a small block size, and show the cliques the
+naive strategy misses and the non-maximal cliques it fabricates.
+
+Run with::
+
+    python examples/hub_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import find_max_cliques
+from repro.analysis import format_table
+from repro.baselines import naive_block_mce
+from repro.graph import load_dataset
+
+
+def main() -> None:
+    graph = load_dataset("google+")
+    m = max(2, graph.max_degree() // 10)  # m/d = 0.1, the efficient regime
+    print(
+        f"google+ stand-in: {graph.num_nodes} nodes, "
+        f"{graph.num_edges} edges, block size m = {m}"
+    )
+
+    complete = find_max_cliques(graph, m)
+    reference = set(complete.cliques)
+    naive = naive_block_mce(graph, m)
+    missed = naive.missed(reference)
+    spurious = naive.spurious(graph)
+
+    print()
+    print(
+        format_table(
+            ["strategy", "#cliques reported", "missed", "non-maximal"],
+            [
+                ["two-level (this paper)", complete.num_cliques, 0, 0],
+                ["naive fixed blocks", naive.num_cliques, len(missed), len(spurious)],
+            ],
+            title="Completeness at small block size",
+        )
+    )
+
+    # How significant is what was lost?  Check the largest communities.
+    top = complete.largest(200)
+    top_missed = [clique for clique in top if clique in missed]
+    print(
+        f"\nof the 200 largest communities, the naive strategy loses "
+        f"{len(top_missed)} ({len(top_missed) / len(top):.0%})"
+    )
+    if top_missed:
+        biggest = max(top_missed, key=len)
+        print(
+            f"largest lost community has {len(biggest)} members, e.g. "
+            f"{sorted(biggest)[:8]}..."
+        )
+
+    # And a sample of the fabricated output: a reported "community" that
+    # is actually embedded in a larger one the naive strategy never saw.
+    if spurious:
+        sample = max(spurious, key=len)
+        containing = max(
+            (c for c in reference if sample < c), key=len, default=None
+        )
+        print(
+            f"\nexample fabricated community: {sorted(sample)} is reported "
+            "as maximal by the naive strategy"
+        )
+        if containing is not None:
+            print(
+                f"but it is contained in the real community of size "
+                f"{len(containing)} around the hub nodes"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+``pip install -e .`` works normally where the ``wheel`` package is
+available; on fully offline interpreters that lack it, this shim lets
+``python setup.py develop`` provide the same editable install.
+"""
+
+from setuptools import setup
+
+setup()

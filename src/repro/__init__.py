@@ -1,0 +1,57 @@
+"""repro — hub-aware distributed maximal clique enumeration.
+
+A faithful reimplementation of *Finding All Maximal Cliques in Very
+Large Social Networks* (Conte, De Virgilio, Maccioni, Patrignani,
+Torlone — EDBT 2016).  The headline entry point is
+:func:`find_max_cliques`, the paper's two-level decomposition driver;
+the subpackages expose every layer it is built from:
+
+* :mod:`repro.graph` — graph container, generators, cores, serialisation;
+* :mod:`repro.mce` — the four-algorithm × three-structure MCE portfolio;
+* :mod:`repro.decision` — the best-fit decision tree (Figure 3) and its
+  training pipeline;
+* :mod:`repro.core` — CUT / BLOCKS / BLOCK-ANALYSIS / filtering;
+* :mod:`repro.distributed` — the simulated cluster and executors;
+* :mod:`repro.baselines` — exact, networkx and naive-block comparators;
+* :mod:`repro.analysis` — measurement and report helpers.
+
+Quickstart::
+
+    from repro import Graph, find_max_cliques
+    from repro.graph import social_network
+
+    graph = social_network(500, attachment=3, seed=7)
+    result = find_max_cliques(graph, m=32)
+    print(result.num_cliques, result.max_clique_size())
+"""
+
+from repro.core.driver import decompose_only, find_max_cliques
+from repro.core.planner import BlockSizePlan, recommend_block_size
+from repro.core.result import CliqueResult, LevelStats
+from repro.errors import (
+    ConvergenceError,
+    DecompositionError,
+    FormatError,
+    GraphError,
+    ReproError,
+)
+from repro.graph.adjacency import Graph, Node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "decompose_only",
+    "find_max_cliques",
+    "BlockSizePlan",
+    "recommend_block_size",
+    "CliqueResult",
+    "LevelStats",
+    "ConvergenceError",
+    "DecompositionError",
+    "FormatError",
+    "GraphError",
+    "ReproError",
+    "Graph",
+    "Node",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Measurement and reporting helpers for the evaluation harness."""
+
+from repro.analysis.cliques import (
+    ProvenanceSplit,
+    largest_cliques_split,
+    overlap_stats,
+    provenance_split,
+    size_histogram,
+)
+from repro.analysis.charts import bar_chart, grouped_bar_chart, log_bar_chart
+from repro.analysis.degrees import DegreeProfile, degree_profile, hub_shares
+from repro.analysis.dot import block_to_dot, decomposition_to_dot, graph_to_dot
+from repro.analysis.modularity import CoverQuality, modularity, overlapping_quality
+from repro.analysis.timing import TimingSample, measure
+from repro.analysis.report import format_csv, format_series, format_table
+from repro.analysis.triangles import (
+    average_clustering,
+    transitivity,
+    triangle_counts,
+    triangle_total,
+)
+
+__all__ = [
+    "ProvenanceSplit",
+    "largest_cliques_split",
+    "overlap_stats",
+    "provenance_split",
+    "size_histogram",
+    "DegreeProfile",
+    "degree_profile",
+    "hub_shares",
+    "format_csv",
+    "format_series",
+    "format_table",
+    "average_clustering",
+    "transitivity",
+    "triangle_counts",
+    "triangle_total",
+    "bar_chart",
+    "grouped_bar_chart",
+    "log_bar_chart",
+    "TimingSample",
+    "measure",
+    "block_to_dot",
+    "decomposition_to_dot",
+    "graph_to_dot",
+    "CoverQuality",
+    "modularity",
+    "overlapping_quality",
+]

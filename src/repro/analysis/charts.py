@@ -1,0 +1,122 @@
+"""ASCII chart rendering for benchmark output.
+
+The paper communicates most results as bar charts and series plots;
+the benchmark harness prints text tables plus these ASCII renderings so
+the *shape* of each figure — who is bigger, where the crossover sits —
+is visible directly in the terminal and in the recorded
+``benchmarks/results/*.txt`` artefacts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render one horizontal bar per (label, value).
+
+    Values must be non-negative; bars scale to the maximum value.
+
+    Raises
+    ------
+    ValueError
+        On mismatched lengths or negative values.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if any(value < 0 for value in values):
+        raise ValueError("bar values must be non-negative")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not labels:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(label) for label in labels)
+    top = max(values) or 1.0
+    for label, value in zip(labels, values):
+        filled = value / top * width
+        whole = int(filled)
+        bar = _BAR * whole + (_HALF if filled - whole >= 0.5 else "")
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render grouped bars: one block per group, one bar per series.
+
+    This is the shape of the paper's Figures 9–11 (white/gray bars per
+    m/d ratio).
+
+    Raises
+    ------
+    ValueError
+        If any series length differs from the number of groups.
+    """
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(groups)} groups"
+            )
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top = max(
+        (value for values in series.values() for value in values), default=1.0
+    ) or 1.0
+    name_width = max((len(name) for name in series), default=0)
+    for index, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = _BAR * int(value / top * width)
+            lines.append(f"  {name.ljust(name_width)}  {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def log_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str | None = None,
+) -> str:
+    """Like :func:`bar_chart` but on a log10 scale (Figures 9a/10a).
+
+    Zero values render as empty bars.
+
+    Raises
+    ------
+    ValueError
+        On mismatched lengths or negative values.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if any(value < 0 for value in values):
+        raise ValueError("bar values must be non-negative")
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not labels:
+        return "\n".join(lines + ["(no data)"])
+    logs = [math.log10(value) if value >= 1 else 0.0 for value in values]
+    top = max(logs) or 1.0
+    label_width = max(len(label) for label in labels)
+    for label, value, logged in zip(labels, values, logs):
+        bar = _BAR * int(logged / top * width)
+        lines.append(f"{label.ljust(label_width)}  {bar} {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Clique-set statistics behind Figures 9, 10 and 11.
+
+Every measurement the paper plots about clique outputs is computed here:
+counts and average sizes split by provenance (feasible-touching vs
+hub-only), size histograms, and the hub share of the *k* largest cliques.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.result import CliqueResult
+from repro.graph.adjacency import Node
+
+
+@dataclass(frozen=True)
+class ProvenanceSplit:
+    """Counts and sizes of one run's output, split as in Figures 9/10."""
+
+    feasible_count: int
+    hub_count: int
+    feasible_avg_size: float
+    hub_avg_size: float
+    max_clique_size: int
+
+    @property
+    def total(self) -> int:
+        """Total number of maximal cliques."""
+        return self.feasible_count + self.hub_count
+
+    @property
+    def hub_fraction(self) -> float:
+        """Share of cliques that are hub-only (0.0 when no cliques)."""
+        if self.total == 0:
+            return 0.0
+        return self.hub_count / self.total
+
+
+def provenance_split(result: CliqueResult) -> ProvenanceSplit:
+    """Summarise a run's output by provenance (Figures 9a/9b, 10a/10b)."""
+    feasible = result.feasible_cliques()
+    hubs = result.hub_cliques()
+    return ProvenanceSplit(
+        feasible_count=len(feasible),
+        hub_count=len(hubs),
+        feasible_avg_size=mean(len(c) for c in feasible) if feasible else 0.0,
+        hub_avg_size=mean(len(c) for c in hubs) if hubs else 0.0,
+        max_clique_size=result.max_clique_size(),
+    )
+
+
+def size_histogram(cliques: list[frozenset[Node]]) -> dict[int, int]:
+    """Return ``{clique size: count}`` over ``cliques``."""
+    return dict(Counter(len(clique) for clique in cliques))
+
+
+def largest_cliques_split(result: CliqueResult, k: int = 200) -> tuple[float, float]:
+    """Provenance shares of the ``k`` largest cliques (Figure 11).
+
+    Returns ``(feasible_share, hub_share)``; the two sum to 1.0 whenever
+    the graph has at least one clique, and are both 0.0 otherwise.
+    """
+    top = result.largest(k)
+    if not top:
+        return (0.0, 0.0)
+    hub = sum(1 for clique in top if result.provenance[clique] >= 1)
+    return ((len(top) - hub) / len(top), hub / len(top))
+
+
+def overlap_stats(
+    reference: set[frozenset[Node]], candidate: set[frozenset[Node]]
+) -> dict[str, int]:
+    """Set-level agreement between two clique outputs.
+
+    Returns a dict with ``common``, ``missed`` (in reference only) and
+    ``extra`` (in candidate only) counts; used when comparing the naive
+    baseline against the complete decomposition.
+    """
+    return {
+        "common": len(reference & candidate),
+        "missed": len(reference - candidate),
+        "extra": len(candidate - reference),
+    }

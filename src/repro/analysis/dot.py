@@ -1,0 +1,89 @@
+"""Graphviz DOT export for inspection and debugging.
+
+The paper's Figures 1 and 2 are exactly these pictures: the network
+with hubs highlighted, and the block decomposition with kernel /
+border / visited roles.  These exporters emit plain DOT text (no
+Graphviz dependency; render with ``dot -Tpng`` wherever available).
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import Block
+from repro.graph.adjacency import Graph, Node
+
+_ROLE_COLORS = {
+    "kernel": "white",
+    "border": "palegreen",
+    "visited": "lightblue",
+    "hub": "salmon",
+}
+
+
+def _quote(label: Node) -> str:
+    """Render a node id as a quoted DOT identifier."""
+    return '"' + str(label).replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def graph_to_dot(
+    graph: Graph,
+    hubs: set[Node] | frozenset[Node] = frozenset(),
+    name: str = "network",
+) -> str:
+    """Render ``graph`` as DOT, colouring ``hubs`` like Figure 1.
+
+    Hub nodes are filled salmon (the paper's red), the rest white.
+    """
+    lines = [f"graph {_quote(name)} {{", "  node [style=filled];"]
+    for node in graph.nodes():
+        color = _ROLE_COLORS["hub"] if node in hubs else "white"
+        lines.append(f"  {_quote(node)} [fillcolor={color}];")
+    for u, v in graph.edges():
+        lines.append(f"  {_quote(u)} -- {_quote(v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def block_to_dot(block: Block, name: str = "block") -> str:
+    """Render one block as DOT with Figure 2's role colouring.
+
+    Kernel nodes are white, border nodes green, visited nodes blue
+    (double-marked in the paper's figure).
+    """
+    lines = [f"graph {_quote(name)} {{", "  node [style=filled];"]
+    for node in block.graph.nodes():
+        role = block.node_kind(node)
+        shape = ' shape=doublecircle' if role == "visited" else ""
+        lines.append(
+            f"  {_quote(node)} [fillcolor={_ROLE_COLORS[role]}{shape}];"
+        )
+    for u, v in block.graph.edges():
+        lines.append(f"  {_quote(u)} -- {_quote(v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def decomposition_to_dot(blocks: list[Block], name: str = "decomposition") -> str:
+    """Render a whole decomposition as DOT clusters, one per block.
+
+    Nodes appearing in several blocks are emitted once per cluster with
+    a block-qualified id (DOT clusters cannot share nodes), mirroring
+    how the decomposition physically replicates border nodes.
+    """
+    lines = [f"graph {_quote(name)} {{", "  node [style=filled];"]
+    for index, block in enumerate(blocks):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="B{index + 1}";')
+        for node in block.graph.nodes():
+            role = block.node_kind(node)
+            qualified = f"b{index}:{node}"
+            lines.append(
+                f"    {_quote(qualified)} "
+                f'[label={_quote(node)} fillcolor={_ROLE_COLORS[role]}];'
+            )
+        for u, v in block.graph.edges():
+            lines.append(
+                f"    {_quote(f'b{index}:{u}')} -- {_quote(f'b{index}:{v}')};"
+            )
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Newman modularity for evaluating detected communities.
+
+The community-detection methods the paper surveys (Section 7:
+WalkTrap, SCD, link clustering) are conventionally scored by
+modularity — the excess of intra-community edges over a random-graph
+expectation.  The percolation extension produces *overlapping*
+communities, so two scorers are provided: strict modularity for a
+partition, and a coverage/conductance-style summary for overlapping
+covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graph.adjacency import Graph, Node
+
+
+def modularity(graph: Graph, communities: Sequence[frozenset[Node]]) -> float:
+    """Return the Newman modularity of a node partition.
+
+    ``Q = Σ_c [ e_c / m  -  (d_c / 2m)² ]`` where ``e_c`` is the number
+    of intra-community edges and ``d_c`` the total degree of community
+    ``c``.  Range is ``[-1/2, 1)``; larger is better.
+
+    Raises
+    ------
+    ValueError
+        If the communities are not a partition of the node set (use
+        :func:`overlapping_quality` for overlapping covers) or the
+        graph has no edges.
+    """
+    if graph.num_edges == 0:
+        raise ValueError("modularity is undefined on an edgeless graph")
+    seen: set[Node] = set()
+    for community in communities:
+        overlap = community & seen
+        if overlap:
+            raise ValueError(
+                f"communities overlap on {len(overlap)} nodes; "
+                "use overlapping_quality for covers"
+            )
+        seen |= community
+    if seen != set(graph.nodes()):
+        raise ValueError("communities do not cover every node")
+    m = graph.num_edges
+    score = 0.0
+    for community in communities:
+        internal = 0
+        degree_sum = 0
+        for node in community:
+            degree_sum += graph.degree(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor in community:
+                    internal += 1
+        internal //= 2
+        score += internal / m - (degree_sum / (2 * m)) ** 2
+    return score
+
+
+@dataclass(frozen=True)
+class CoverQuality:
+    """Quality summary of an (overlapping) community cover."""
+
+    coverage: float  # fraction of nodes in >= 1 community
+    intra_edge_fraction: float  # edges with both ends sharing a community
+    mean_conductance: float  # lower is better; 0.0 for isolated communities
+
+
+def overlapping_quality(
+    graph: Graph, communities: Sequence[frozenset[Node]]
+) -> CoverQuality:
+    """Score an overlapping community cover.
+
+    * *coverage* — fraction of nodes belonging to at least one community;
+    * *intra-edge fraction* — fraction of edges whose endpoints share at
+      least one community (1.0 means every tie is explained);
+    * *mean conductance* — average over communities of
+      ``cut(c) / min(vol(c), vol(V − c))`` (0.0 when communities have
+      no outgoing edges).
+
+    Returns zeros for an empty cover or an edgeless graph.
+    """
+    if not communities or graph.num_edges == 0:
+        return CoverQuality(
+            coverage=0.0, intra_edge_fraction=0.0, mean_conductance=0.0
+        )
+    covered: set[Node] = set()
+    for community in communities:
+        covered |= community
+    coverage = len(covered) / graph.num_nodes if graph.num_nodes else 0.0
+
+    membership: dict[Node, set[int]] = {}
+    for index, community in enumerate(communities):
+        for node in community:
+            membership.setdefault(node, set()).add(index)
+    intra = sum(
+        1
+        for u, v in graph.edges()
+        if membership.get(u, set()) & membership.get(v, set())
+    )
+    intra_fraction = intra / graph.num_edges
+
+    total_volume = 2 * graph.num_edges
+    conductances: list[float] = []
+    for community in communities:
+        cut = 0
+        volume = 0
+        for node in community:
+            volume += graph.degree(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in community:
+                    cut += 1
+        denominator = min(volume, total_volume - volume)
+        conductances.append(cut / denominator if denominator else 0.0)
+    return CoverQuality(
+        coverage=coverage,
+        intra_edge_fraction=intra_fraction,
+        mean_conductance=sum(conductances) / len(conductances),
+    )

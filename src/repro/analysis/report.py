@@ -1,0 +1,68 @@
+"""Fixed-width table and CSV emitters used by the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that formatting in one place so every bench
+target reads alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are shown with 4 significant digits; everything else via
+    ``str``.  Columns are sized to their widest cell.
+    """
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row with {len(row)} cells does not match {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as minimal CSV (no quoting — callers pass plain cells)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(_cell(value) for value in row))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, points: Iterable[tuple[object, object]]
+) -> str:
+    """Render an ``x -> y`` series as one labelled line per point."""
+    lines = [label]
+    for x, y in points:
+        lines.append(f"  {_cell(x)} -> {_cell(y)}")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    """Format one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

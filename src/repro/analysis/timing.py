@@ -1,0 +1,65 @@
+"""Repeated-measurement timing, the paper's Section 6 protocol.
+
+"On each data set we ran Algorithm FIND-MAX-CLIQUES three times on each
+machine and measured the average time."  This helper runs a callable a
+configurable number of times and reports mean / best / worst / standard
+deviation, so benchmarks can follow the same protocol and report noise
+alongside the point estimate.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """Aggregates of repeated wall-clock measurements of one callable."""
+
+    runs: int
+    mean_seconds: float
+    best_seconds: float
+    worst_seconds: float
+    stdev_seconds: float
+
+    @property
+    def relative_spread(self) -> float:
+        """``(worst - best) / mean``; a quick noise indicator."""
+        if self.mean_seconds == 0.0:
+            return 0.0
+        return (self.worst_seconds - self.best_seconds) / self.mean_seconds
+
+
+def measure(
+    action: Callable[[], T], repeats: int = 3
+) -> tuple[T, TimingSample]:
+    """Run ``action`` ``repeats`` times; return its last result + timing.
+
+    The callable must be idempotent (it is executed every repetition).
+
+    Raises
+    ------
+    ValueError
+        If ``repeats < 1``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    durations: list[float] = []
+    result: T | None = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = action()
+        durations.append(time.perf_counter() - start)
+    sample = TimingSample(
+        runs=repeats,
+        mean_seconds=statistics.fmean(durations),
+        best_seconds=min(durations),
+        worst_seconds=max(durations),
+        stdev_seconds=statistics.stdev(durations) if repeats > 1 else 0.0,
+    )
+    return result, sample  # type: ignore[return-value]

@@ -1,0 +1,19 @@
+"""Comparator strategies: exact, networkx, and hub-oblivious blocks."""
+
+from repro.baselines.degree_split import DegreeSplitResult, degree_split_mce
+from repro.baselines.exact import ExactResult, exact_mce
+from repro.baselines.naive_blocks import NaiveBlock, NaiveResult, naive_block_mce
+from repro.baselines.networkx_mce import from_networkx, networkx_cliques, to_networkx
+
+__all__ = [
+    "DegreeSplitResult",
+    "degree_split_mce",
+    "ExactResult",
+    "exact_mce",
+    "NaiveBlock",
+    "NaiveResult",
+    "naive_block_mce",
+    "from_networkx",
+    "networkx_cliques",
+    "to_networkx",
+]

@@ -1,0 +1,166 @@
+"""Naive fixed-size block decomposition — the incompleteness baseline.
+
+State-of-the-art decompositions before the paper (ExtMCE/EmMCE,
+references [8, 10]) assume "that the neighborhood of each node fits
+within a block".  When a hub's neighbourhood exceeds the block size,
+"a portion of the neighborhood of n will be necessarily omitted and,
+consequently, some maximal cliques involving n may remain undetected and
+some non-maximal cliques could be erroneously found" (Section 1).
+
+This module implements exactly that flawed strategy: every node —
+including hubs — becomes a kernel node of some block, and a block that
+would overflow the size limit simply **truncates** the neighbourhood.
+The completeness benchmarks run it next to
+:func:`repro.core.driver.find_max_cliques` to quantify the cliques a
+hub-oblivious decomposition loses and the non-maximal cliques it
+fabricates (the paper's motivating claim, Figures 9–11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.adjacency import Graph, Node
+from repro.graph.views import induced_subgraph
+from repro.mce.anchored import enumerate_anchored_native
+from repro.mce.backends import build_backend
+from repro.mce.recursion import tomita_pivot
+from repro.mce.verify import is_maximal_clique
+
+
+@dataclass(frozen=True)
+class NaiveBlock:
+    """A fixed-size block whose kernel neighbourhoods may be truncated."""
+
+    kernel: tuple[Node, ...]
+    border: frozenset[Node]
+    visited: frozenset[Node]
+    graph: Graph
+    truncated: bool  # True when some kernel neighbourhood was cut off
+
+
+@dataclass
+class NaiveResult:
+    """Output of the hub-oblivious baseline."""
+
+    cliques: list[frozenset[Node]]
+    blocks: list[NaiveBlock]
+    truncated_blocks: int
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of distinct cliques reported (maximal or not!)."""
+        return len(self.cliques)
+
+    def missed(self, reference: set[frozenset[Node]]) -> set[frozenset[Node]]:
+        """Maximal cliques of the reference output this baseline lost."""
+        return reference - set(self.cliques)
+
+    def spurious(self, graph: Graph) -> set[frozenset[Node]]:
+        """Reported sets that are not maximal cliques of ``graph``."""
+        return {
+            clique
+            for clique in self.cliques
+            if not is_maximal_clique(graph, clique)
+        }
+
+
+def naive_block_mce(graph: Graph, m: int) -> NaiveResult:
+    """Run the hub-oblivious fixed-block MCE strategy.
+
+    Every node is assigned as kernel to exactly one block of at most
+    ``m`` nodes; neighbours are added in deterministic order until the
+    block is full, and whatever does not fit is silently dropped — the
+    defect the paper's two-level decomposition exists to fix.
+
+    Raises
+    ------
+    ValueError
+        If ``m < 2`` (a block must fit a node and at least one
+        neighbour).
+    """
+    if m < 2:
+        raise ValueError("block size m must be at least 2")
+    blocks = _build_naive_blocks(graph, m)
+    seen: set[frozenset[Node]] = set()
+    cliques: list[frozenset[Node]] = []
+    for block in blocks:
+        for clique in _analyze_naive_block(block):
+            if clique not in seen:
+                seen.add(clique)
+                cliques.append(clique)
+    return NaiveResult(
+        cliques=cliques,
+        blocks=blocks,
+        truncated_blocks=sum(1 for block in blocks if block.truncated),
+    )
+
+
+def _build_naive_blocks(graph: Graph, m: int) -> list[NaiveBlock]:
+    """Greedy fixed-size block construction over *all* nodes."""
+    unassigned: dict[Node, None] = dict.fromkeys(graph.nodes())
+    used_kernels: set[Node] = set()
+    blocks: list[NaiveBlock] = []
+    while unassigned:
+        seed = next(iter(unassigned))
+        kernel: list[Node] = []
+        members: set[Node] = set()
+        truncated = False
+        queue: list[Node] = [seed]
+        while queue and len(members) < m:
+            node = queue.pop(0)
+            if node in unassigned:
+                del unassigned[node]
+                kernel.append(node)
+                members.add(node)
+                added_all = True
+                for neighbor in sorted(graph.neighbors(node), key=str):
+                    if neighbor in members:
+                        continue
+                    if len(members) >= m:
+                        added_all = False
+                        break
+                    members.add(neighbor)
+                    if neighbor in unassigned:
+                        queue.append(neighbor)
+                if not added_all:
+                    truncated = True
+        kernel_set = set(kernel)
+        visited = frozenset((members - kernel_set) & used_kernels)
+        border = frozenset(members - kernel_set - visited)
+        used_kernels |= kernel_set
+        ordered = list(kernel)
+        ordered.extend(sorted(border, key=str))
+        ordered.extend(sorted(visited, key=str))
+        blocks.append(
+            NaiveBlock(
+                kernel=tuple(kernel),
+                border=border,
+                visited=visited,
+                graph=induced_subgraph(graph, ordered),
+                truncated=truncated,
+            )
+        )
+    return blocks
+
+
+def _analyze_naive_block(block: NaiveBlock) -> list[frozenset[Node]]:
+    """Anchored enumeration per kernel, exactly like BLOCK-ANALYSIS.
+
+    The enumeration itself is sound; the *blocks* are what is broken —
+    they do not contain the full neighbourhood of hub kernels, so
+    "maximal in the block" no longer implies "maximal in the graph".
+    """
+    backend = build_backend(block.graph, "lists")
+    candidates = backend.make_from_labels(list(block.kernel) + list(block.border))
+    excluded = backend.make_from_labels(block.visited)
+    cliques: list[frozenset[Node]] = []
+    for kernel_node in block.kernel:
+        anchor = backend.index_of(kernel_node)
+        for clique in enumerate_anchored_native(
+            backend, anchor, candidates, excluded, tomita_pivot
+        ):
+            cliques.append(frozenset(backend.label(i) for i in clique))
+        candidates = backend.remove(candidates, anchor)
+        excluded = backend.add(excluded, anchor)
+    return cliques

@@ -1,0 +1,51 @@
+"""networkx ``find_cliques`` wrapper — the independent reference.
+
+networkx implements Bron–Kerbosch with the Tomita pivot; it is an
+implementation this library shares no code with, which makes it the
+cross-validation oracle of the test suite.  The wrapper is import-lazy so
+the core library keeps zero dependency on networkx.
+"""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph, Node
+
+
+def networkx_cliques(graph: Graph) -> set[frozenset[Node]]:
+    """Return the maximal cliques of ``graph`` per networkx.
+
+    Raises
+    ------
+    ImportError
+        If networkx is not installed (it is an optional test dependency).
+    """
+    import networkx as nx
+
+    mirror = nx.Graph()
+    mirror.add_nodes_from(graph.nodes())
+    mirror.add_edges_from(graph.edges())
+    return {frozenset(clique) for clique in nx.find_cliques(mirror)}
+
+
+def to_networkx(graph: Graph):
+    """Convert a :class:`repro.graph.Graph` to a ``networkx.Graph``."""
+    import networkx as nx
+
+    mirror = nx.Graph()
+    mirror.add_nodes_from(graph.nodes())
+    mirror.add_edges_from(graph.edges())
+    return mirror
+
+
+def from_networkx(mirror) -> Graph:
+    """Convert a ``networkx.Graph`` to a :class:`repro.graph.Graph`.
+
+    Self-loops are rejected (simple graphs only), matching the library's
+    graph semantics.
+    """
+    graph = Graph()
+    for node in mirror.nodes():
+        graph.add_node(node)
+    for u, v in mirror.edges():
+        graph.add_edge(u, v)
+    return graph

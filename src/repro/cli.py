@@ -1,0 +1,373 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the deployment loop of the paper's system:
+
+* ``generate`` — build a synthetic network (ER / BA / WS / social, or a
+  named data-set stand-in) and write it in the triple format;
+* ``stats`` — report the block-classification parameters and degree
+  profile of a triple file;
+* ``enumerate`` — run the two-level decomposition and write the maximal
+  cliques as JSON lines;
+* ``compare`` — run the hub-oblivious fixed-block baseline next to the
+  complete decomposition and report what the baseline loses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.analysis.degrees import degree_profile
+from repro.analysis.report import format_table
+from repro.baselines.naive_blocks import naive_block_mce
+from repro.core.driver import find_max_cliques
+from repro.decision.persistence import load_tree
+from repro.errors import ReproError
+from repro.graph.adjacency import Graph
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    social_network,
+    watts_strogatz,
+)
+from repro.graph.io import read_triples, write_cliques, write_triples
+from repro.graph.properties import GraphSummary
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hub-aware distributed maximal clique enumeration (EDBT 2016).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic network as a triple file"
+    )
+    generate.add_argument(
+        "--model",
+        choices=["er", "ba", "ws", "social", "dataset"],
+        required=True,
+        help="random-graph family (or 'dataset' for a named stand-in)",
+    )
+    generate.add_argument("--nodes", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--p", type=float, default=0.01, help="edge probability (er)"
+    )
+    generate.add_argument(
+        "--attachment", type=int, default=3, help="edges per node (ba/social)"
+    )
+    generate.add_argument(
+        "--k", type=int, default=4, help="ring degree (ws)"
+    )
+    generate.add_argument(
+        "--beta", type=float, default=0.2, help="rewiring probability (ws)"
+    )
+    generate.add_argument(
+        "--closure", type=float, default=0.5, help="triadic closure (social)"
+    )
+    generate.add_argument(
+        "--plant",
+        type=int,
+        nargs="*",
+        default=[],
+        help="planted clique sizes (social)",
+    )
+    generate.add_argument(
+        "--name",
+        choices=list(DATASET_NAMES),
+        help="stand-in name when --model dataset",
+    )
+    generate.add_argument("--out", required=True, help="output triple file")
+
+    stats = commands.add_parser("stats", help="report graph statistics")
+    stats.add_argument("--input", required=True, help="input triple file")
+
+    enumerate_ = commands.add_parser(
+        "enumerate", help="enumerate all maximal cliques"
+    )
+    enumerate_.add_argument("--input", required=True, help="input triple file")
+    group = enumerate_.add_mutually_exclusive_group(required=True)
+    group.add_argument("--m", type=int, help="block size")
+    group.add_argument(
+        "--ratio", type=float, help="block size as a fraction of max degree"
+    )
+    enumerate_.add_argument(
+        "--output", help="write cliques as JSON lines to this path"
+    )
+    enumerate_.add_argument(
+        "--tree", help="JSON decision tree (default: the paper's Figure 3 tree)"
+    )
+    enumerate_.add_argument(
+        "--fallback",
+        choices=["exact", "raise"],
+        default="exact",
+        help="behaviour when m does not exceed the degeneracy",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="two-level decomposition vs the hub-oblivious baseline"
+    )
+    compare.add_argument("--input", required=True, help="input triple file")
+    compare.add_argument("--m", type=int, required=True, help="block size")
+
+    communities = commands.add_parser(
+        "communities", help="k-clique communities from the MCE output"
+    )
+    communities.add_argument("--input", required=True, help="input triple file")
+    communities.add_argument("--m", type=int, required=True, help="block size")
+    communities.add_argument(
+        "--k", type=int, default=4, help="percolation parameter (default 4)"
+    )
+    communities.add_argument(
+        "--top", type=int, default=10, help="communities to print (default 10)"
+    )
+
+    maximum = commands.add_parser(
+        "maximum", help="find one maximum clique (branch and bound)"
+    )
+    maximum.add_argument("--input", required=True, help="input triple file")
+
+    plan = commands.add_parser(
+        "plan", help="recommend a block size m for a network"
+    )
+    plan.add_argument("--input", required=True, help="input triple file")
+    plan.add_argument(
+        "--backend",
+        choices=["lists", "bitsets", "matrix"],
+        default="bitsets",
+        help="representation whose memory footprint bounds the block",
+    )
+    plan.add_argument(
+        "--ratio",
+        type=float,
+        default=0.5,
+        help="efficiency target as a fraction of max degree (default 0.5)",
+    )
+
+    audit = commands.add_parser(
+        "audit", help="re-verify a run from first principles"
+    )
+    audit.add_argument("--input", required=True, help="input triple file")
+    audit.add_argument("--m", type=int, required=True, help="block size")
+    audit.add_argument(
+        "--skip-completeness",
+        action="store_true",
+        help="skip the (expensive) independent re-enumeration",
+    )
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "stats":
+            return _cmd_stats(args)
+        if args.command == "enumerate":
+            return _cmd_enumerate(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "communities":
+            return _cmd_communities(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "maximum":
+            return _cmd_maximum(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
+    except (ReproError, OSError, ValueError) as exc:
+        # ValueError covers generator parameter validation (e.g. an odd
+        # Watts-Strogatz ring degree) so misuse prints a message rather
+        # than a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable: argparse enforces a known command")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    graph = _generate_graph(args)
+    records = write_triples(graph, args.out)
+    print(
+        f"wrote {graph.num_nodes} nodes / {records} edges "
+        f"({args.model}) to {args.out}"
+    )
+    return 0
+
+
+def _generate_graph(args: argparse.Namespace) -> Graph:
+    if args.model == "er":
+        return erdos_renyi(args.nodes, args.p, seed=args.seed)
+    if args.model == "ba":
+        return barabasi_albert(args.nodes, args.attachment, seed=args.seed)
+    if args.model == "ws":
+        return watts_strogatz(args.nodes, args.k, args.beta, seed=args.seed)
+    if args.model == "social":
+        return social_network(
+            args.nodes,
+            attachment=args.attachment,
+            closure_probability=args.closure,
+            planted_cliques=tuple(args.plant),
+            seed=args.seed,
+        )
+    if args.name is None:
+        raise ReproError("--model dataset requires --name")
+    return load_dataset(args.name, seed=args.seed if args.seed else None)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = read_triples(args.input)
+    summary = GraphSummary.of(graph)
+    profile = degree_profile(args.input, graph)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["nodes", summary.num_nodes],
+                ["edges", summary.num_edges],
+                ["density", summary.density],
+                ["degeneracy", summary.degeneracy],
+                ["d*", summary.d_star],
+                ["max degree", profile.max_degree],
+                ["degree<=20 fraction", profile.low_degree_fraction],
+                ["power-law alpha", profile.power_law_alpha],
+            ],
+            title=f"statistics of {args.input}",
+        )
+    )
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    graph = read_triples(args.input)
+    if args.m is not None:
+        m = args.m
+    else:
+        if not 0.0 < args.ratio <= 1.0:
+            raise ReproError("--ratio must be in (0, 1]")
+        m = max(2, int(args.ratio * graph.max_degree()))
+    tree = load_tree(args.tree) if args.tree else None
+    start = time.perf_counter()
+    result = find_max_cliques(graph, m, tree=tree, fallback=args.fallback)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{result.num_cliques} maximal cliques in {elapsed:.2f}s "
+        f"(m={m}, {result.recursion_depth} recursion rounds, "
+        f"max clique {result.max_clique_size()}, "
+        f"{len(result.hub_cliques())} hub-only)"
+    )
+    if result.fallback_used:
+        print("note: fell back to exact enumeration on the residual core")
+    if args.output:
+        written = write_cliques(result.cliques, args.output)
+        print(f"wrote {written} cliques to {args.output}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    graph = read_triples(args.input)
+    complete = find_max_cliques(graph, args.m)
+    reference = set(complete.cliques)
+    naive = naive_block_mce(graph, args.m)
+    missed = naive.missed(reference)
+    spurious = naive.spurious(graph)
+    print(
+        format_table(
+            ["strategy", "#reported", "missed", "non-maximal"],
+            [
+                ["two-level (complete)", complete.num_cliques, 0, 0],
+                ["naive fixed blocks", naive.num_cliques, len(missed), len(spurious)],
+            ],
+            title=f"completeness comparison at m={args.m}",
+        )
+    )
+    return 0 if not missed and not spurious else 2
+
+
+def _cmd_communities(args: argparse.Namespace) -> int:
+    from repro.relaxed.percolation import community_membership, k_clique_communities
+
+    graph = read_triples(args.input)
+    result = find_max_cliques(graph, args.m)
+    communities = k_clique_communities(result.cliques, args.k)
+    membership = community_membership(communities)
+    overlapping = sum(1 for indices in membership.values() if len(indices) > 1)
+    print(
+        f"{len(communities)} {args.k}-clique communities covering "
+        f"{len(membership)}/{graph.num_nodes} nodes "
+        f"({overlapping} nodes in several communities)"
+    )
+    for index, community in enumerate(communities[: args.top]):
+        members = sorted(map(str, community))
+        preview = ", ".join(members[:10])
+        suffix = ", ..." if len(members) > 10 else ""
+        print(f"  #{index}: {len(community)} members [{preview}{suffix}]")
+    return 0
+
+
+def _cmd_maximum(args: argparse.Namespace) -> int:
+    from repro.mce.maximum import maximum_clique
+
+    graph = read_triples(args.input)
+    start = time.perf_counter()
+    best = maximum_clique(graph)
+    elapsed = time.perf_counter() - start
+    members = ", ".join(sorted(map(str, best)))
+    print(f"omega(G) = {len(best)} in {elapsed:.3f}s")
+    print(f"one maximum clique: {{{members}}}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import recommend_block_size
+
+    graph = read_triples(args.input)
+    plan = recommend_block_size(graph, backend=args.backend, ratio=args.ratio)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["recommended m", plan.m],
+                ["m / max degree", plan.ratio],
+                ["completeness lower bound", plan.completeness_lower_bound],
+                ["memory upper bound", plan.memory_upper_bound],
+                ["max degree", plan.max_degree],
+            ],
+            title=f"block-size plan for {args.input}",
+        )
+    )
+    print(f"rationale: {plan.rationale}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.audit import audit_result
+
+    graph = read_triples(args.input)
+    result = find_max_cliques(graph, args.m)
+    report = audit_result(
+        graph, result, check_completeness=not args.skip_completeness
+    )
+    print(
+        f"audited {report.checked_cliques} cliques "
+        f"(completeness {'checked' if report.completeness_checked else 'skipped'})"
+    )
+    if report.ok:
+        print("audit clean")
+        return 0
+    for problem in report.problems:
+        print(f"problem: {problem}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: hub-aware two-level decomposition MCE."""
+
+from repro.core.audit import AuditReport, audit_result
+from repro.core.block_analysis import BlockReport, analyze_block, analyze_blocks
+from repro.core.blocks import (
+    SEED_ORDERS,
+    Block,
+    build_blocks,
+    decomposition_overlap,
+    validate_blocks,
+)
+from repro.core.driver import decompose_only, find_max_cliques
+from repro.core.feasibility import cut, is_feasible, is_feasible_node
+from repro.core.filtering import filter_contained, merge_level
+from repro.core.planner import BlockSizePlan, recommend_block_size
+from repro.core.result import CliqueResult, LevelStats
+from repro.core.uniform_blocks import (
+    block_size_spread,
+    build_uniform_blocks,
+    mean_block_density,
+)
+
+__all__ = [
+    "AuditReport",
+    "audit_result",
+    "BlockReport",
+    "analyze_block",
+    "analyze_blocks",
+    "SEED_ORDERS",
+    "Block",
+    "build_blocks",
+    "decomposition_overlap",
+    "validate_blocks",
+    "decompose_only",
+    "find_max_cliques",
+    "cut",
+    "is_feasible",
+    "is_feasible_node",
+    "filter_contained",
+    "merge_level",
+    "BlockSizePlan",
+    "recommend_block_size",
+    "CliqueResult",
+    "LevelStats",
+    "block_size_spread",
+    "build_uniform_blocks",
+    "mean_block_density",
+]

@@ -1,0 +1,121 @@
+"""Full result audit — trust, but verify.
+
+:func:`audit_result` checks a :class:`CliqueResult` against its input
+graph from first principles: every reported set is a maximal clique, no
+duplicates, the per-clique provenance tags are consistent with the
+level-0 feasible/hub split, and (optionally, expensive) the output is
+*complete* — every maximal clique of the graph is present, established
+with an independent in-library enumeration.
+
+This is the function a downstream user runs once on their own data to
+convince themselves of the installation, and the deep end of the test
+suite's cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.feasibility import cut
+from repro.core.result import CliqueResult
+from repro.graph.adjacency import Graph
+from repro.mce.tomita import tomita
+from repro.mce.verify import find_extension
+
+
+@dataclass
+class AuditReport:
+    """Outcome of :func:`audit_result`; empty ``problems`` means clean."""
+
+    problems: list[str] = field(default_factory=list)
+    checked_cliques: int = 0
+    completeness_checked: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether every executed check passed."""
+        return not self.problems
+
+
+def audit_result(
+    graph: Graph, result: CliqueResult, check_completeness: bool = True
+) -> AuditReport:
+    """Verify ``result`` against ``graph``; return the audit report.
+
+    Parameters
+    ----------
+    graph:
+        The graph the result was computed from (unmodified).
+    result:
+        The driver output under audit.
+    check_completeness:
+        Also re-enumerate the graph independently and compare as sets.
+        Skippable because it costs a full exact MCE run.
+    """
+    report = AuditReport()
+    seen: set[frozenset] = set()
+    for clique in result.cliques:
+        report.checked_cliques += 1
+        if clique in seen:
+            report.problems.append(f"duplicate clique {_show(clique)}")
+            continue
+        seen.add(clique)
+        if not clique:
+            report.problems.append("empty clique reported")
+            continue
+        if not graph.is_clique(clique):
+            report.problems.append(f"not a clique: {_show(clique)}")
+            continue
+        witness = find_extension(graph, clique)
+        if witness is not None:
+            report.problems.append(
+                f"not maximal: {_show(clique)} extendable by {witness!r}"
+            )
+
+    _check_provenance(graph, result, report)
+
+    if check_completeness:
+        report.completeness_checked = True
+        expected = set(tomita(graph))
+        missing = expected - seen
+        extra = seen - expected
+        if missing:
+            report.problems.append(
+                f"{len(missing)} maximal cliques missing, e.g. "
+                f"{_show(next(iter(missing)))}"
+            )
+        if extra:
+            report.problems.append(
+                f"{len(extra)} unexpected sets reported, e.g. "
+                f"{_show(next(iter(extra)))}"
+            )
+    return report
+
+
+def _check_provenance(
+    graph: Graph, result: CliqueResult, report: AuditReport
+) -> None:
+    """Provenance tags must match the level-0 feasible/hub split."""
+    if set(result.provenance) != set(result.cliques):
+        report.problems.append("provenance keys do not match the clique list")
+        return
+    feasible, _hubs = cut(graph, result.m)
+    feasible_set = set(feasible)
+    for clique, level in result.provenance.items():
+        if level == 0:
+            if feasible_set and not (clique & feasible_set):
+                report.problems.append(
+                    f"level-0 clique without feasible node: {_show(clique)}"
+                )
+        elif clique & feasible_set:
+            report.problems.append(
+                f"level-{level} clique contains a feasible node: {_show(clique)}"
+            )
+
+
+def _show(clique: frozenset) -> str:
+    """Short deterministic rendering of a clique for messages."""
+    members = sorted(map(str, clique))
+    if len(members) > 8:
+        return "{" + ", ".join(members[:8]) + f", ... ({len(members)} nodes)}}"
+    return "{" + ", ".join(members) + "}"

@@ -1,0 +1,279 @@
+"""``FIND-MAX-CLIQUES`` (Alg. 1): the recursive two-level decomposition.
+
+Each round (one "first-level decomposition" iteration):
+
+1. ``CUT`` splits the current graph into feasible nodes and hubs;
+2. ``BLOCKS`` partitions the feasible nodes into blocks;
+3. ``BLOCK-ANALYSIS`` enumerates, per block, the maximal cliques touching
+   that block's kernel — together these are exactly the maximal cliques
+   of the current graph containing at least one feasible node;
+4. the next round recurses on the subgraph induced by the hubs, whose
+   degrees are strongly reduced.
+
+When the recursion bottoms out, levels are merged bottom-up with the
+Lemma 1 filter: a deeper (hub-only) clique survives unless some
+shallower clique contains it.  Theorem 1 guarantees the recursion
+terminates whenever ``m`` exceeds the degeneracy of the input; the
+driver enforces this with a convergence guard whose behaviour is chosen
+by the ``fallback`` argument.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import Counter
+
+from repro.core.block_analysis import analyze_blocks
+from repro.core.blocks import build_blocks
+from repro.core.feasibility import cut
+from repro.core.filtering import filter_contained
+from repro.core.result import CliqueResult, LevelStats
+from repro.decision.features import BlockFeatures
+from repro.decision.paper_tree import paper_tree, select_combo
+from repro.decision.tree import DecisionTree
+from repro.errors import ConvergenceError
+from repro.graph.adjacency import Graph, Node
+from repro.graph.views import induced_subgraph
+from repro.mce.registry import Combo
+
+FALLBACK_MODES: tuple[str, ...] = ("exact", "raise")
+
+
+def find_max_cliques(
+    graph: Graph,
+    m: int,
+    tree: DecisionTree | None = None,
+    combo: Combo | None = None,
+    fallback: str = "exact",
+    min_adjacency: int = 1,
+    collect_reports: bool = False,
+) -> CliqueResult:
+    """Enumerate every maximal clique of ``graph`` with block size ``m``.
+
+    Parameters
+    ----------
+    graph:
+        The network; it is not modified.
+    m:
+        Maximum number of nodes per block.  Completeness requires
+        ``m > degeneracy(graph)`` (Theorem 1); smaller values trigger the
+        ``fallback`` behaviour on the irreducible core.
+    tree:
+        Decision tree selecting the per-block (algorithm × structure)
+        combination; defaults to the paper's published tree.
+    combo:
+        Force a fixed combination for every block instead of the tree.
+    fallback:
+        ``"exact"`` (default) — if some recursion level has no feasible
+        node at all, run the best-fit exact MCE on the residual core and
+        warn; ``"raise"`` — raise :class:`ConvergenceError` instead.
+    min_adjacency:
+        Density threshold for block growth (see
+        :func:`repro.core.blocks.build_blocks`).
+    collect_reports:
+        When true, keep every per-block :class:`BlockReport` (grouped by
+        recursion level) on the result; the distributed simulator replays
+        those measured costs.
+
+    Returns
+    -------
+    CliqueResult
+        All maximal cliques with per-clique provenance (the recursion
+        level that produced each) and per-level statistics.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive ``m`` or unknown ``fallback`` mode.
+    ConvergenceError
+        With ``fallback="raise"`` when ``m`` is at most the degeneracy of
+        the residual graph at some level.
+    """
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    if fallback not in FALLBACK_MODES:
+        raise ValueError(
+            f"unknown fallback mode {fallback!r}; known: {', '.join(FALLBACK_MODES)}"
+        )
+    selection_tree = tree if tree is not None else paper_tree()
+
+    level_cliques: list[list[frozenset[Node]]] = []
+    level_stats: list[LevelStats] = []
+    level_reports: list[list] = []
+    combo_counter: Counter[str] = Counter()
+    fallback_used = False
+
+    current = graph
+    level = 0
+    while current.num_nodes > 0:
+        decomposition_start = time.perf_counter()
+        feasible, hubs = cut(current, m)
+        if not feasible:
+            if fallback == "raise":
+                raise ConvergenceError(
+                    f"no feasible node at recursion level {level}: block size "
+                    f"{m} does not exceed the degeneracy of the residual "
+                    f"graph ({current.num_nodes} nodes remain)",
+                    core_size=current.num_nodes,
+                )
+            warnings.warn(
+                f"FIND-MAX-CLIQUES did not converge at level {level} "
+                f"(m={m} <= degeneracy of the residual core of "
+                f"{current.num_nodes} nodes); falling back to exact "
+                "enumeration on the core",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            decomposition_seconds = time.perf_counter() - decomposition_start
+            cliques, analysis_seconds, used = _exact_core(
+                current, selection_tree, combo
+            )
+            combo_counter[used.name] += 1
+            level_cliques.append(cliques)
+            level_stats.append(
+                LevelStats(
+                    level=level,
+                    num_nodes=current.num_nodes,
+                    num_edges=current.num_edges,
+                    num_feasible=0,
+                    num_hubs=current.num_nodes,
+                    num_blocks=0,
+                    decomposition_seconds=decomposition_seconds,
+                    analysis_seconds=analysis_seconds,
+                    cliques_found=len(cliques),
+                    fallback_used=True,
+                )
+            )
+            fallback_used = True
+            break
+
+        blocks = build_blocks(current, feasible, m, min_adjacency=min_adjacency)
+        decomposition_seconds = time.perf_counter() - decomposition_start
+
+        analysis_start = time.perf_counter()
+        cliques, reports = analyze_blocks(blocks, tree=selection_tree, combo=combo)
+        analysis_seconds = time.perf_counter() - analysis_start
+        for report in reports:
+            combo_counter[report.combo.name] += 1
+        if collect_reports:
+            level_reports.append(reports)
+
+        level_cliques.append(cliques)
+        level_stats.append(
+            LevelStats(
+                level=level,
+                num_nodes=current.num_nodes,
+                num_edges=current.num_edges,
+                num_feasible=len(feasible),
+                num_hubs=len(hubs),
+                num_blocks=len(blocks),
+                decomposition_seconds=decomposition_seconds,
+                analysis_seconds=analysis_seconds,
+                cliques_found=len(cliques),
+            )
+        )
+        if not hubs:
+            break
+        current = induced_subgraph(current, hubs)
+        level += 1
+
+    merged, provenance = _merge_levels(level_cliques)
+    return CliqueResult(
+        cliques=merged,
+        provenance=provenance,
+        levels=level_stats,
+        m=m,
+        fallback_used=fallback_used,
+        block_combos=dict(combo_counter),
+        block_reports=level_reports,
+    )
+
+
+def decompose_only(
+    graph: Graph, m: int, min_adjacency: int = 1, fallback: str = "exact"
+) -> tuple[list[LevelStats], int]:
+    """Run only the two-level decomposition, skipping clique analysis.
+
+    Used by the Figure 7 benchmark, which times decomposition in
+    isolation.  Returns the per-level statistics (analysis fields zeroed)
+    and the number of first-level iterations performed.
+
+    Raises
+    ------
+    ConvergenceError
+        With ``fallback="raise"`` on a non-convergent ``m``.
+    """
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    if fallback not in FALLBACK_MODES:
+        raise ValueError(
+            f"unknown fallback mode {fallback!r}; known: {', '.join(FALLBACK_MODES)}"
+        )
+    stats: list[LevelStats] = []
+    current = graph
+    level = 0
+    while current.num_nodes > 0:
+        start = time.perf_counter()
+        feasible, hubs = cut(current, m)
+        if not feasible:
+            if fallback == "raise":
+                raise ConvergenceError(
+                    f"no feasible node at recursion level {level}",
+                    core_size=current.num_nodes,
+                )
+            break
+        blocks = build_blocks(current, feasible, m, min_adjacency=min_adjacency)
+        seconds = time.perf_counter() - start
+        stats.append(
+            LevelStats(
+                level=level,
+                num_nodes=current.num_nodes,
+                num_edges=current.num_edges,
+                num_feasible=len(feasible),
+                num_hubs=len(hubs),
+                num_blocks=len(blocks),
+                decomposition_seconds=seconds,
+                analysis_seconds=0.0,
+                cliques_found=0,
+            )
+        )
+        if not hubs:
+            break
+        current = induced_subgraph(current, hubs)
+        level += 1
+    return stats, len(stats)
+
+
+def _exact_core(
+    graph: Graph, tree: DecisionTree, combo: Combo | None
+) -> tuple[list[frozenset[Node]], float, Combo]:
+    """Best-fit exact enumeration on a non-convergent residual core."""
+    chosen = combo if combo is not None else select_combo(
+        tree, BlockFeatures.of(graph)
+    )
+    start = time.perf_counter()
+    cliques = list(chosen.run(graph))
+    return cliques, time.perf_counter() - start, chosen
+
+
+def _merge_levels(
+    level_cliques: list[list[frozenset[Node]]],
+) -> tuple[list[frozenset[Node]], dict[frozenset[Node], int]]:
+    """Merge per-level clique sets bottom-up with the Lemma 1 filter.
+
+    Returns the final clique list and the provenance map (clique → level
+    at which it was found).  Deeper levels are filtered against shallower
+    ones, so a hub-only clique survives only when no feasible-side clique
+    contains it.
+    """
+    merged: list[frozenset[Node]] = []
+    provenance: dict[frozenset[Node], int] = {}
+    for level in range(len(level_cliques) - 1, -1, -1):
+        feasible_side = level_cliques[level]
+        for clique in feasible_side:
+            provenance[clique] = level
+        surviving = filter_contained(merged, feasible_side)
+        merged = list(feasible_side) + surviving
+    provenance = {clique: provenance[clique] for clique in merged}
+    return merged, provenance

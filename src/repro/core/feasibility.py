@@ -1,0 +1,74 @@
+"""Feasibility predicate and first-level decomposition (``CUT``, Alg. 2).
+
+A block holds at most ``m`` nodes.  A set of nodes ``S`` is *feasible*
+when ``S`` together with its whole neighbourhood fits in one block:
+``|S ∪ N(S)| ≤ m``.  For a single node this reduces to ``degree < m``,
+which is exactly the paper's split between feasible nodes and **hubs**
+(Section 2): a hub's neighbourhood cannot be captured by any single
+block, which is what makes naive block decompositions incomplete.
+
+``CUT`` partitions the node set into the feasible set ``Nf`` and the hub
+set ``Nh``; the driver recurses on the subgraph induced by ``Nh``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.adjacency import Graph, Node
+
+
+def is_feasible(nodes: Iterable[Node], graph: Graph, m: int) -> bool:
+    """Return whether ``nodes`` plus all their neighbours fit in a block.
+
+    Implements the paper's ``isfeasible`` procedure: "takes as input a set
+    of nodes, the graph G and the maximum block size m and checks whether
+    the union of the given nodes and all their neighborhoods in G has
+    [at most] m elements".
+
+    Raises
+    ------
+    ValueError
+        If ``m`` is not positive.
+    NodeNotFoundError
+        If any node is absent from ``graph``.
+    """
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    closed: set[Node] = set()
+    for node in nodes:
+        closed.add(node)
+        closed.update(graph.neighbors(node))
+        if len(closed) > m:
+            return False
+    return True
+
+
+def is_feasible_node(node: Node, graph: Graph, m: int) -> bool:
+    """Return whether the single ``node`` is feasible (``degree < m``)."""
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    return graph.degree(node) + 1 <= m
+
+
+def cut(graph: Graph, m: int) -> tuple[list[Node], list[Node]]:
+    """Split the nodes of ``graph`` into feasible and hub nodes (Alg. 2).
+
+    Returns ``(feasible, hubs)`` as lists in the graph's node insertion
+    order, so downstream block building is deterministic.
+
+    Raises
+    ------
+    ValueError
+        If ``m`` is not positive.
+    """
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    feasible: list[Node] = []
+    hubs: list[Node] = []
+    for node in graph.nodes():
+        if graph.degree(node) + 1 <= m:
+            feasible.append(node)
+        else:
+            hubs.append(node)
+    return feasible, hubs

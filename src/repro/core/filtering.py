@@ -1,0 +1,83 @@
+"""Redundant-clique filtering (Lemma 1, Alg. 1 line 7).
+
+Lemma 1: for any bipartition ``(N1, N2)`` of the nodes, the maximal
+cliques of ``G`` are ``C1 ∪ C2'``, where ``C1`` are the maximal cliques
+touching ``N1``, ``C2`` the maximal cliques of the subgraph induced by
+``N2``, and ``C2'`` is ``C2`` with every clique *contained in* some
+clique of ``C1`` filtered out.  The driver applies this at every level of
+the hub recursion: hub-only cliques that extend with a feasible node are
+exactly the ones some feasible-side clique contains.
+
+The filter is indexed rather than quadratic: cliques of ``C1`` are
+indexed by member node, and a candidate ``c`` is dropped iff the index
+sets of all its members intersect — i.e. some single ``C1`` clique
+contains every member of ``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.adjacency import Node
+
+
+def filter_contained(
+    candidates: Iterable[frozenset[Node]],
+    reference: Sequence[frozenset[Node]],
+) -> list[frozenset[Node]]:
+    """Return the candidates not contained in any reference clique.
+
+    A candidate equal to a reference clique is also dropped (it is
+    "contained" and would be a duplicate).  The empty candidate set is
+    always dropped when any reference clique exists.
+
+    Complexity: ``O(Σ|c| · avg-membership)`` — each candidate intersects
+    the per-node posting lists of its members, smallest list first.
+    """
+    membership: dict[Node, set[int]] = {}
+    for index, clique in enumerate(reference):
+        for node in clique:
+            membership.setdefault(node, set()).add(index)
+
+    kept: list[frozenset[Node]] = []
+    for candidate in candidates:
+        if _is_contained(candidate, membership, bool(reference)):
+            continue
+        kept.append(candidate)
+    return kept
+
+
+def _is_contained(
+    candidate: frozenset[Node],
+    membership: dict[Node, set[int]],
+    any_reference: bool,
+) -> bool:
+    """Return whether some indexed reference clique ⊇ ``candidate``."""
+    if not candidate:
+        return any_reference
+    posting_lists: list[set[int]] = []
+    for node in candidate:
+        postings = membership.get(node)
+        if not postings:
+            return False  # some member appears in no reference clique
+        posting_lists.append(postings)
+    posting_lists.sort(key=len)
+    common = set(posting_lists[0])
+    for postings in posting_lists[1:]:
+        common &= postings
+        if not common:
+            return False
+    return True
+
+
+def merge_level(
+    feasible_cliques: list[frozenset[Node]],
+    hub_cliques: list[frozenset[Node]],
+) -> list[frozenset[Node]]:
+    """Combine one recursion level per Algorithm 1 line 7–8.
+
+    Returns ``Cf ∪ filter(Ch, Cf)`` with the feasible cliques first (the
+    driver relies on this order to preserve provenance tagging).
+    """
+    surviving = filter_contained(hub_cliques, feasible_cliques)
+    return list(feasible_cliques) + surviving

@@ -1,0 +1,133 @@
+"""Block-size planning: choosing ``m`` before a run.
+
+The paper leaves ``m`` to the operator, bounded by two constraints and
+one preference:
+
+* **completeness** (Theorem 1): ``m`` must exceed the degeneracy of the
+  network, or some level of the recursion never terminates;
+* **memory** (Section 1: "m is bounded by the dimension of the
+  memory"): a block's backend representation must fit in a worker's
+  RAM — and operating at 1/100 or 1/1000 of memory is *faster*;
+* **efficiency** (Section 6.3): the sweet spot of the sweep sits around
+  ``m ≈ 0.5 × max degree``.
+
+:func:`recommend_block_size` folds the three into one number with an
+explicit rationale, so callers stop hand-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.cluster import ClusterSpec
+from repro.errors import ConvergenceError
+from repro.graph.adjacency import Graph
+from repro.graph.cores import degeneracy
+from repro.mce.memory import max_block_nodes_for_memory
+
+
+@dataclass(frozen=True)
+class BlockSizePlan:
+    """A recommended ``m`` with the bounds that produced it."""
+
+    m: int
+    completeness_lower_bound: int  # degeneracy + 1
+    memory_upper_bound: int  # largest block the backend fits
+    max_degree: int
+    target: int  # the efficiency preference before clamping
+    rationale: str
+
+    @property
+    def ratio(self) -> float:
+        """The recommended m as a fraction of the maximum degree."""
+        if self.max_degree == 0:
+            return 0.0
+        return self.m / self.max_degree
+
+
+def recommend_block_size(
+    graph: Graph,
+    cluster: ClusterSpec | None = None,
+    backend: str = "bitsets",
+    ratio: float = 0.5,
+    memory_fraction: float = 0.01,
+) -> BlockSizePlan:
+    """Recommend a block size ``m`` for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The network to be decomposed.
+    cluster:
+        Worker description; defaults to the paper's 8 GB machines.
+    backend:
+        The representation whose footprint bounds the block
+        (worst-case dense model, see :mod:`repro.mce.memory`).
+    ratio:
+        Efficiency preference as a fraction of the maximum degree
+        (the paper's saddle point, 0.5, by default).
+    memory_fraction:
+        Fraction of a machine's memory one block may use; the paper
+        reports 1/100 to 1/1000 of memory is the fast regime.
+
+    Returns
+    -------
+    BlockSizePlan
+        ``m`` clamped into
+        ``[degeneracy + 1, memory bound]`` with the efficiency target
+        ``ratio × max_degree`` as the starting point.
+
+    Raises
+    ------
+    ValueError
+        On an empty graph or out-of-range ``ratio``/``memory_fraction``.
+    ConvergenceError
+        When no completeness-preserving ``m`` fits the memory budget
+        (``degeneracy + 1`` exceeds the memory bound); the caller must
+        raise the budget or accept the exact-fallback driver mode.
+    """
+    if graph.num_nodes == 0:
+        raise ValueError("cannot plan a block size for an empty graph")
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError("ratio must be in (0, 1]")
+    if not 0.0 < memory_fraction <= 1.0:
+        raise ValueError("memory_fraction must be in (0, 1]")
+    spec = cluster if cluster is not None else ClusterSpec()
+    budget = max(1, int(spec.memory_bytes_per_machine * memory_fraction))
+    memory_bound = max_block_nodes_for_memory(budget, backend)
+    lower = degeneracy(graph) + 1
+    max_degree = graph.max_degree()
+    target = max(2, int(ratio * max_degree))
+
+    if lower > memory_bound:
+        raise ConvergenceError(
+            f"no completeness-preserving m fits the memory budget: "
+            f"degeneracy + 1 = {lower} but only {memory_bound}-node blocks "
+            f"fit in {budget} bytes with the {backend!r} backend",
+            core_size=lower,
+        )
+    m = min(max(target, lower), memory_bound)
+    if m == target:
+        rationale = (
+            f"efficiency target {ratio:g} x max degree ({max_degree}) "
+            "fits both bounds"
+        )
+    elif m == lower:
+        rationale = (
+            f"raised to degeneracy + 1 = {lower} for the Theorem 1 "
+            "completeness guarantee"
+        )
+    else:
+        rationale = (
+            f"capped at {memory_bound} nodes by the "
+            f"{memory_fraction:g} x memory budget ({budget} bytes, "
+            f"{backend} backend)"
+        )
+    return BlockSizePlan(
+        m=m,
+        completeness_lower_bound=lower,
+        memory_upper_bound=memory_bound,
+        max_degree=max_degree,
+        target=target,
+        rationale=rationale,
+    )

@@ -1,0 +1,167 @@
+"""Result containers for the two-level decomposition driver.
+
+The paper's evaluation splits every measurement by *provenance*: cliques
+found at recursion level 0 touch at least one feasible node (the white
+bars of Figures 9–11), while cliques found at deeper levels consist of
+level-0 hub nodes only (the gray bars).  :class:`CliqueResult` keeps that
+tag per clique, plus per-level statistics for the decomposition-time and
+convergence experiments (Figure 7, Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.graph.adjacency import Node
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Measurements of one first-level recursion round."""
+
+    level: int
+    num_nodes: int
+    num_edges: int
+    num_feasible: int
+    num_hubs: int
+    num_blocks: int
+    decomposition_seconds: float
+    analysis_seconds: float
+    cliques_found: int
+    fallback_used: bool = False
+
+
+@dataclass
+class CliqueResult:
+    """Complete output of :func:`repro.core.driver.find_max_cliques`."""
+
+    cliques: list[frozenset[Node]]
+    provenance: dict[frozenset[Node], int]
+    levels: list[LevelStats]
+    m: int
+    fallback_used: bool = False
+    block_combos: dict[str, int] = field(default_factory=dict)
+    # One list of BlockReport per recursion level, populated when the
+    # driver is called with collect_reports=True (used by the distributed
+    # simulator, which replays the measured per-block costs).
+    block_reports: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Provenance splits (Figures 9–11)
+    # ------------------------------------------------------------------
+    def feasible_cliques(self) -> list[frozenset[Node]]:
+        """Cliques found at level 0 — they contain a feasible node."""
+        return [c for c in self.cliques if self.provenance[c] == 0]
+
+    def hub_cliques(self) -> list[frozenset[Node]]:
+        """Cliques found at level ≥ 1 — composed exclusively of hubs."""
+        return [c for c in self.cliques if self.provenance[c] >= 1]
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def num_cliques(self) -> int:
+        """Total number of maximal cliques found."""
+        return len(self.cliques)
+
+    @property
+    def recursion_depth(self) -> int:
+        """Number of first-level decomposition rounds executed."""
+        return len(self.levels)
+
+    def max_clique_size(self) -> int:
+        """Size of the largest clique, or 0 when there are none."""
+        return max((len(c) for c in self.cliques), default=0)
+
+    def average_clique_size(self) -> float:
+        """Mean clique size, or 0.0 when there are none."""
+        if not self.cliques:
+            return 0.0
+        return mean(len(c) for c in self.cliques)
+
+    def average_size_by_provenance(self) -> tuple[float, float]:
+        """Return ``(avg feasible size, avg hub-only size)`` (0.0 if none)."""
+        feasible = self.feasible_cliques()
+        hubs = self.hub_cliques()
+        return (
+            mean(len(c) for c in feasible) if feasible else 0.0,
+            mean(len(c) for c in hubs) if hubs else 0.0,
+        )
+
+    def largest(self, k: int) -> list[frozenset[Node]]:
+        """Return the ``k`` largest cliques (ties broken deterministically).
+
+        This is the paper's "200 largest maximal cliques" selection for
+        Figure 11.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        ordered = sorted(
+            self.cliques, key=lambda c: (-len(c), sorted(map(str, c)))
+        )
+        return ordered[:k]
+
+    def hub_share_of_largest(self, k: int) -> float:
+        """Fraction of the ``k`` largest cliques that are hub-only.
+
+        Returns 0.0 when the graph has no cliques at all.
+        """
+        top = self.largest(k)
+        if not top:
+            return 0.0
+        hub_count = sum(1 for c in top if self.provenance[c] >= 1)
+        return hub_count / len(top)
+
+    def total_decomposition_seconds(self) -> float:
+        """Wall-clock spent in CUT + BLOCKS across all levels (Figure 7)."""
+        return sum(level.decomposition_seconds for level in self.levels)
+
+    def total_analysis_seconds(self) -> float:
+        """Wall-clock spent in BLOCK-ANALYSIS across all levels (Fig. 8)."""
+        return sum(level.analysis_seconds for level in self.levels)
+
+    def summary(self) -> dict[str, object]:
+        """Return a JSON-serialisable digest of this run.
+
+        Contains the counts, sizes, timings and per-level breakdown a
+        monitoring pipeline would record; clique bodies are excluded
+        (persist those with :func:`repro.graph.io.write_cliques`).
+        """
+        feasible_avg, hub_avg = self.average_size_by_provenance()
+        return {
+            "m": self.m,
+            "num_cliques": self.num_cliques,
+            "max_clique_size": self.max_clique_size(),
+            "average_clique_size": self.average_clique_size(),
+            "feasible_cliques": len(self.feasible_cliques()),
+            "hub_only_cliques": len(self.hub_cliques()),
+            "feasible_avg_size": feasible_avg,
+            "hub_avg_size": hub_avg,
+            "recursion_depth": self.recursion_depth,
+            "fallback_used": self.fallback_used,
+            "decomposition_seconds": self.total_decomposition_seconds(),
+            "analysis_seconds": self.total_analysis_seconds(),
+            "block_combos": dict(self.block_combos),
+            "levels": [
+                {
+                    "level": level.level,
+                    "num_nodes": level.num_nodes,
+                    "num_edges": level.num_edges,
+                    "num_feasible": level.num_feasible,
+                    "num_hubs": level.num_hubs,
+                    "num_blocks": level.num_blocks,
+                    "cliques_found": level.cliques_found,
+                    "fallback_used": level.fallback_used,
+                }
+                for level in self.levels
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CliqueResult(cliques={self.num_cliques}, m={self.m}, "
+            f"levels={self.recursion_depth}, "
+            f"max_size={self.max_clique_size()})"
+        )

@@ -1,0 +1,53 @@
+"""Best-fit MCE algorithm selection via decision trees (Section 4)."""
+
+from repro.decision.features import FEATURE_NAMES, BlockFeatures, extract_features
+from repro.decision.paper_tree import combo_for_label, paper_tree, select_combo
+from repro.decision.persistence import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.decision.training import (
+    LabelledGraph,
+    TrainingResult,
+    build_corpus,
+    label_corpus,
+    train,
+    win_counts,
+)
+from repro.decision.tree import (
+    DecisionTree,
+    Leaf,
+    Split,
+    accuracy,
+    fit_tree,
+    gini,
+    majority_label,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "BlockFeatures",
+    "extract_features",
+    "combo_for_label",
+    "paper_tree",
+    "select_combo",
+    "load_tree",
+    "save_tree",
+    "tree_from_dict",
+    "tree_to_dict",
+    "LabelledGraph",
+    "TrainingResult",
+    "build_corpus",
+    "label_corpus",
+    "train",
+    "win_counts",
+    "DecisionTree",
+    "Leaf",
+    "Split",
+    "accuracy",
+    "fit_tree",
+    "gini",
+    "majority_label",
+]

@@ -1,0 +1,71 @@
+"""Block feature extraction for best-fit algorithm selection.
+
+Section 4: "The parameters we used to classify blocks are the following:
+(a) number of nodes; (b) number of edges; (c) density; (d) degeneracy;
+and (e) the maximum value d* for which the graph has at least d* nodes
+with degree greater or equal than d*."
+
+Features are bundled as a :class:`BlockFeatures` record whose field order
+is the canonical feature-vector order used by the tree learner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.graph.adjacency import Graph
+from repro.graph.cores import degeneracy as graph_degeneracy
+from repro.graph.properties import d_star as graph_d_star
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "num_nodes",
+    "num_edges",
+    "density",
+    "degeneracy",
+    "d_star",
+)
+
+
+@dataclass(frozen=True)
+class BlockFeatures:
+    """The five easy-to-compute block parameters of Section 4."""
+
+    num_nodes: int
+    num_edges: int
+    density: float
+    degeneracy: int
+    d_star: int
+
+    @classmethod
+    def of(cls, graph: Graph) -> "BlockFeatures":
+        """Extract the features of ``graph`` (linear time except density)."""
+        return cls(
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            density=graph.density(),
+            degeneracy=graph_degeneracy(graph),
+            d_star=graph_d_star(graph),
+        )
+
+    def vector(self) -> tuple[float, ...]:
+        """Return the features as floats in :data:`FEATURE_NAMES` order."""
+        return tuple(float(getattr(self, f.name)) for f in fields(self))
+
+    def value(self, name: str) -> float:
+        """Return a single feature by name.
+
+        Raises
+        ------
+        KeyError
+            If ``name`` is not one of :data:`FEATURE_NAMES`.
+        """
+        if name not in FEATURE_NAMES:
+            raise KeyError(
+                f"unknown feature {name!r}; known: {', '.join(FEATURE_NAMES)}"
+            )
+        return float(getattr(self, name))
+
+
+def extract_features(graph: Graph) -> BlockFeatures:
+    """Return :class:`BlockFeatures.of(graph)`; a readable free function."""
+    return BlockFeatures.of(graph)

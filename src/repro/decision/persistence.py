@@ -1,0 +1,81 @@
+"""Decision-tree (de)serialisation.
+
+A trained selector is an asset: the paper trains once on a 50-graph
+corpus and then reuses the tree for every block of every data set.
+This module round-trips trees through a plain JSON document so a
+training run can be saved next to the deployment that uses it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.decision.tree import DecisionTree, Leaf, Split
+from repro.errors import FormatError, TrainingError
+
+
+def tree_to_dict(tree: DecisionTree) -> dict:
+    """Encode a tree as nested plain dictionaries."""
+    if isinstance(tree, Leaf):
+        return {"kind": "leaf", "label": tree.label}
+    return {
+        "kind": "split",
+        "feature": tree.feature,
+        "threshold": tree.threshold,
+        "if_true": tree_to_dict(tree.if_true),
+        "if_false": tree_to_dict(tree.if_false),
+    }
+
+
+def tree_from_dict(payload: dict) -> DecisionTree:
+    """Decode a tree encoded by :func:`tree_to_dict`.
+
+    Raises
+    ------
+    FormatError
+        On malformed payloads (unknown kind, missing fields, or an
+        unknown feature name — the latter surfaces the underlying
+        :class:`TrainingError` message).
+    """
+    if not isinstance(payload, dict):
+        raise FormatError(f"expected an object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind == "leaf":
+        label = payload.get("label")
+        if not isinstance(label, str):
+            raise FormatError("leaf without a string label")
+        return Leaf(label)
+    if kind == "split":
+        try:
+            return Split(
+                feature=payload["feature"],
+                threshold=float(payload["threshold"]),
+                if_true=tree_from_dict(payload["if_true"]),
+                if_false=tree_from_dict(payload["if_false"]),
+            )
+        except KeyError as exc:
+            raise FormatError(f"split missing field {exc}") from exc
+        except (TypeError, ValueError, TrainingError) as exc:
+            raise FormatError(f"malformed split: {exc}") from exc
+    raise FormatError(f"unknown node kind {kind!r}")
+
+
+def save_tree(tree: DecisionTree, destination: str | Path) -> None:
+    """Write ``tree`` to ``destination`` as indented JSON."""
+    Path(destination).write_text(json.dumps(tree_to_dict(tree), indent=2) + "\n")
+
+
+def load_tree(source: str | Path) -> DecisionTree:
+    """Read a tree written by :func:`save_tree`.
+
+    Raises
+    ------
+    FormatError
+        On invalid JSON or payload shape.
+    """
+    try:
+        payload = json.loads(Path(source).read_text())
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"invalid JSON in {source}: {exc}") from exc
+    return tree_from_dict(payload)

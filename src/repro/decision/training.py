@@ -1,0 +1,210 @@
+"""Training harness for the best-fit decision tree (Section 4).
+
+The paper "measured the performance of each combination of
+data-structure/algorithm on a collection of heterogeneous graphs" —
+50 graphs from the Erdős–Rényi, Barabási–Albert and Watts–Strogatz models
+plus SNAP data — then "divided the graph collection in training and
+testing set with an 80/20 ratio" and fed the training split to a
+recursive-partitioning learner.  This module rebuilds that pipeline:
+
+* :func:`build_corpus` — a heterogeneous seeded graph collection;
+* :func:`label_corpus` — time every combination on every graph and label
+  each graph with its fastest combo (Table 1's win counts fall out);
+* :func:`train` — fit a tree on the 80% split and report test accuracy
+  and total selection time versus fixed combos (Figure 4).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.decision.features import BlockFeatures
+from repro.decision.tree import DecisionTree, accuracy, fit_tree
+from repro.errors import TrainingError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    social_network,
+    watts_strogatz,
+)
+from repro.mce.registry import ALL_COMBOS, Combo, time_combo
+
+
+@dataclass(frozen=True)
+class LabelledGraph:
+    """One corpus entry: graph, features, per-combo timings, best combo."""
+
+    name: str
+    graph: Graph
+    features: BlockFeatures
+    timings: dict[str, float]
+    best: str
+
+
+@dataclass
+class TrainingResult:
+    """Output of :func:`train`: tree, splits, and evaluation numbers."""
+
+    tree: DecisionTree
+    training: list[LabelledGraph]
+    testing: list[LabelledGraph]
+    test_accuracy: float
+    win_counts: dict[str, int] = field(default_factory=dict)
+
+    def total_test_time(self, chooser: str | None = None) -> float:
+        """Sum, over the test split, of the chosen combo's measured time.
+
+        With ``chooser=None`` the tree picks per graph (the paper's
+        "Decision Tree" bar of Figure 4); otherwise ``chooser`` names a
+        fixed combination applied everywhere.
+        """
+        total = 0.0
+        for entry in self.testing:
+            label = (
+                self.tree.predict(entry.features) if chooser is None else chooser
+            )
+            total += entry.timings[label]
+        return total
+
+
+def build_corpus(
+    count: int = 50, seed: int = 7, size_range: tuple[int, int] = (40, 160)
+) -> list[tuple[str, Graph]]:
+    """Generate a heterogeneous corpus of ``count`` named graphs.
+
+    Cycles through the three synthetic families of Section 4 plus the
+    social-network stand-in family, with sizes and parameters drawn from
+    ``size_range`` so the corpus spans sparse to dense blocks (the spread
+    reported in Table 2).
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    low, high = size_range
+    if not 10 <= low <= high:
+        raise ValueError("size_range must satisfy 10 <= low <= high")
+    rng = random.Random(seed)
+    corpus: list[tuple[str, Graph]] = []
+    for index in range(count):
+        n = rng.randint(low, high)
+        family = index % 4
+        graph_seed = rng.randrange(2**31)
+        if family == 0:
+            p = rng.choice([0.05, 0.1, 0.2, 0.4, 0.6, 0.8])
+            graph = erdos_renyi(n, p, seed=graph_seed)
+            name = f"er-{index}-n{n}-p{p}"
+        elif family == 1:
+            m = rng.choice([2, 3, 5, 8])
+            graph = barabasi_albert(max(n, m + 1), m, seed=graph_seed)
+            name = f"ba-{index}-n{n}-m{m}"
+        elif family == 2:
+            k = rng.choice([4, 6, 10])
+            beta = rng.choice([0.05, 0.2, 0.5])
+            graph = watts_strogatz(max(n, k + 1), k, beta, seed=graph_seed)
+            name = f"ws-{index}-n{n}-k{k}"
+        else:
+            attachment = rng.choice([2, 3, 4])
+            clique = rng.choice([6, 9, 12])
+            graph = social_network(
+                max(n, attachment + 1),
+                attachment=attachment,
+                closure_probability=0.5,
+                planted_cliques=(clique,),
+                seed=graph_seed,
+            )
+            name = f"soc-{index}-n{n}-a{attachment}"
+        corpus.append((name, graph))
+    return corpus
+
+
+def label_corpus(
+    corpus: list[tuple[str, Graph]],
+    combos: tuple[Combo, ...] = ALL_COMBOS,
+    repeats: int = 1,
+) -> list[LabelledGraph]:
+    """Time every combo on every graph; label each graph with its winner."""
+    if not combos:
+        raise TrainingError("no combinations to compare")
+    labelled: list[LabelledGraph] = []
+    for name, graph in corpus:
+        timings = {
+            combo.name: time_combo(graph, combo, repeats=repeats)
+            for combo in combos
+        }
+        best = min(timings, key=lambda label: (timings[label], label))
+        labelled.append(
+            LabelledGraph(
+                name=name,
+                graph=graph,
+                features=BlockFeatures.of(graph),
+                timings=timings,
+                best=best,
+            )
+        )
+    return labelled
+
+
+def win_counts(labelled: list[LabelledGraph]) -> dict[str, int]:
+    """Count, per combo, on how many graphs it was the fastest (Table 1)."""
+    counts: dict[str, int] = {}
+    for entry in labelled:
+        counts[entry.best] = counts.get(entry.best, 0) + 1
+    return counts
+
+
+def train(
+    labelled: list[LabelledGraph],
+    train_fraction: float = 0.8,
+    seed: int = 13,
+    max_depth: int = 4,
+    min_samples: int = 3,
+) -> TrainingResult:
+    """Fit a tree on a shuffled train/test split of a labelled corpus.
+
+    Raises
+    ------
+    TrainingError
+        If the split would leave either side empty.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be strictly between 0 and 1")
+    entries = list(labelled)
+    random.Random(seed).shuffle(entries)
+    cut = round(len(entries) * train_fraction)
+    training, testing = entries[:cut], entries[cut:]
+    if not training or not testing:
+        raise TrainingError(
+            f"corpus of {len(entries)} graphs cannot be split "
+            f"{train_fraction:.0%}/{1 - train_fraction:.0%}"
+        )
+    tree = fit_tree(
+        [entry.features for entry in training],
+        [entry.best for entry in training],
+        max_depth=max_depth,
+        min_samples=min_samples,
+    )
+    return TrainingResult(
+        tree=tree,
+        training=training,
+        testing=testing,
+        test_accuracy=accuracy(
+            tree,
+            [entry.features for entry in testing],
+            [entry.best for entry in testing],
+        ),
+        win_counts=win_counts(entries),
+    )
+
+
+def selection_overhead(labelled: list[LabelledGraph], tree: DecisionTree) -> float:
+    """Measure the wall-clock cost of tree predictions alone (negligible).
+
+    The paper's argument requires the selector itself to be cheap relative
+    to enumeration; benchmarks report this number alongside Figure 4.
+    """
+    start = time.perf_counter()
+    for entry in labelled:
+        tree.predict(entry.features)
+    return time.perf_counter() - start

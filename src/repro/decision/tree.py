@@ -1,0 +1,231 @@
+"""A CART-style classification tree for best-fit combo selection.
+
+The paper trains its selector with "the recursive partitioning algorithm
+in [32]" (rpart).  This module implements the same family: binary
+threshold splits on the five block features, chosen greedily to minimise
+Gini impurity, with standard stopping rules (max depth, minimum node
+size, no informative split).  Trees are plain nested dataclasses so the
+paper's published tree (Figure 3, :mod:`repro.decision.paper_tree`) can
+be written literally, printed, serialised and traversed with the same
+code as learned trees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.decision.features import FEATURE_NAMES, BlockFeatures
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """A terminal node predicting a single class label."""
+
+    label: str
+
+    def predict(self, features: BlockFeatures) -> str:
+        """Return the predicted label (independent of ``features``)."""
+        return self.label
+
+    def depth(self) -> int:
+        """Return 0; leaves have no children."""
+        return 0
+
+    def render(self, indent: int = 0) -> str:
+        """Return a one-line textual rendering of the leaf."""
+        return " " * indent + f"-> {self.label}"
+
+
+@dataclass(frozen=True)
+class Split:
+    """An internal node testing ``feature > threshold``.
+
+    ``if_true`` is followed when the block's feature value is strictly
+    greater than the threshold, matching the reading of Figure 3
+    ("degeneracy > 25").  "Less-than" tests from the figure
+    ("#nodes < 8558") are expressed by swapping the branches around a
+    ``> threshold`` test with the complementary threshold.
+    """
+
+    feature: str
+    threshold: float
+    if_true: "DecisionTree"
+    if_false: "DecisionTree"
+
+    def __post_init__(self) -> None:
+        if self.feature not in FEATURE_NAMES:
+            raise TrainingError(
+                f"unknown split feature {self.feature!r}; "
+                f"known: {', '.join(FEATURE_NAMES)}"
+            )
+
+    def predict(self, features: BlockFeatures) -> str:
+        """Route ``features`` to a leaf and return its label."""
+        branch = (
+            self.if_true
+            if features.value(self.feature) > self.threshold
+            else self.if_false
+        )
+        return branch.predict(features)
+
+    def depth(self) -> int:
+        """Return the height of the subtree rooted here."""
+        return 1 + max(self.if_true.depth(), self.if_false.depth())
+
+    def render(self, indent: int = 0) -> str:
+        """Return a multi-line textual rendering of the subtree."""
+        pad = " " * indent
+        lines = [
+            pad + f"{self.feature} > {self.threshold:g}?",
+            pad + "  true:",
+            self.if_true.render(indent + 4),
+            pad + "  false:",
+            self.if_false.render(indent + 4),
+        ]
+        return "\n".join(lines)
+
+
+DecisionTree = Union[Leaf, Split]
+
+
+def gini(labels: Sequence[str]) -> float:
+    """Return the Gini impurity of a label multiset (0 when pure)."""
+    total = len(labels)
+    if total == 0:
+        return 0.0
+    counts = Counter(labels)
+    return 1.0 - sum((count / total) ** 2 for count in counts.values())
+
+
+def majority_label(labels: Sequence[str]) -> str:
+    """Return the most frequent label; ties break lexicographically."""
+    counts = Counter(labels)
+    best_count = max(counts.values())
+    return min(label for label, count in counts.items() if count == best_count)
+
+
+def fit_tree(
+    samples: Sequence[BlockFeatures],
+    labels: Sequence[str],
+    max_depth: int = 5,
+    min_samples: int = 4,
+) -> DecisionTree:
+    """Learn a classification tree from labelled block features.
+
+    Parameters
+    ----------
+    samples, labels:
+        Parallel sequences: the feature record of each training graph and
+        the name of its best-performing (algorithm × backend) combo.
+    max_depth:
+        Maximum number of split levels.
+    min_samples:
+        Nodes with fewer samples become leaves.
+
+    Raises
+    ------
+    TrainingError
+        On an empty or length-mismatched training set.
+    """
+    if len(samples) != len(labels):
+        raise TrainingError(
+            f"{len(samples)} samples but {len(labels)} labels"
+        )
+    if not samples:
+        raise TrainingError("training set is empty")
+    return _grow(list(samples), list(labels), max_depth, min_samples)
+
+
+def _grow(
+    samples: list[BlockFeatures],
+    labels: list[str],
+    depth_left: int,
+    min_samples: int,
+) -> DecisionTree:
+    """Recursive tree construction."""
+    if depth_left == 0 or len(samples) < min_samples or gini(labels) == 0.0:
+        return Leaf(majority_label(labels))
+    best = _best_split(samples, labels)
+    if best is None:
+        return Leaf(majority_label(labels))
+    feature, threshold = best
+    true_idx = [
+        i for i, s in enumerate(samples) if s.value(feature) > threshold
+    ]
+    false_idx = [
+        i for i, s in enumerate(samples) if s.value(feature) <= threshold
+    ]
+    return Split(
+        feature=feature,
+        threshold=threshold,
+        if_true=_grow(
+            [samples[i] for i in true_idx],
+            [labels[i] for i in true_idx],
+            depth_left - 1,
+            min_samples,
+        ),
+        if_false=_grow(
+            [samples[i] for i in false_idx],
+            [labels[i] for i in false_idx],
+            depth_left - 1,
+            min_samples,
+        ),
+    )
+
+
+def _best_split(
+    samples: list[BlockFeatures], labels: list[str]
+) -> tuple[str, float] | None:
+    """Return the (feature, threshold) with lowest weighted Gini, or None.
+
+    Candidate thresholds are midpoints between consecutive distinct sorted
+    feature values, the standard CART enumeration.  Returns ``None`` when
+    no split improves on the parent impurity.
+    """
+    parent = gini(labels)
+    total = len(labels)
+    best: tuple[str, float] | None = None
+    best_score = parent - 1e-12  # require strict improvement
+    for feature in FEATURE_NAMES:
+        values = sorted({s.value(feature) for s in samples})
+        for low, high in zip(values, values[1:]):
+            threshold = (low + high) / 2.0
+            true_labels = [
+                label
+                for s, label in zip(samples, labels)
+                if s.value(feature) > threshold
+            ]
+            false_labels = [
+                label
+                for s, label in zip(samples, labels)
+                if s.value(feature) <= threshold
+            ]
+            if not true_labels or not false_labels:
+                continue
+            score = (
+                len(true_labels) * gini(true_labels)
+                + len(false_labels) * gini(false_labels)
+            ) / total
+            if score < best_score:
+                best_score = score
+                best = (feature, threshold)
+    return best
+
+
+def accuracy(
+    tree: DecisionTree,
+    samples: Sequence[BlockFeatures],
+    labels: Sequence[str],
+) -> float:
+    """Return the fraction of ``samples`` the tree labels correctly."""
+    if not samples:
+        return 0.0
+    hits = sum(
+        1
+        for sample, label in zip(samples, labels)
+        if tree.predict(sample) == label
+    )
+    return hits / len(samples)

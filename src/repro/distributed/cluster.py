@@ -1,0 +1,84 @@
+"""Cluster topology description for the distributed substrate.
+
+Section 6.1 deploys the paper's system on "a 10-nodes time-shared
+cluster, where each machine is equipped with 8 GB DDR3 RAM, 4 CPUs
+2.67 GHz Intel Xeon with 4 cores and 8 threads", scheduled by TORQUE
+over a Lustre file system.  :class:`ClusterSpec` captures the parameters
+that matter to block scheduling — worker slots, per-machine memory, and
+a linear network-cost model — and :func:`paper_cluster` returns that
+testbed's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster for block distribution.
+
+    The network model is linear: shipping ``b`` bytes to a worker costs
+    ``latency_seconds + b / bandwidth_bytes_per_second``.  Memory is
+    per-machine and bounds the block size a machine accepts.
+    """
+
+    machines: int = 10
+    workers_per_machine: int = 16
+    memory_bytes_per_machine: int = 8 * 1024**3
+    bandwidth_bytes_per_second: float = 1.0e9
+    latency_seconds: float = 1.0e-4
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ValueError("machines must be at least 1")
+        if self.workers_per_machine < 1:
+            raise ValueError("workers_per_machine must be at least 1")
+        if self.memory_bytes_per_machine < 1:
+            raise ValueError("memory_bytes_per_machine must be positive")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+
+    @property
+    def total_workers(self) -> int:
+        """Total number of parallel worker slots across the cluster."""
+        return self.machines * self.workers_per_machine
+
+    def machine_of_worker(self, worker: int) -> int:
+        """Return the machine hosting worker slot ``worker``.
+
+        Raises
+        ------
+        ValueError
+            If the slot index is out of range.
+        """
+        if not 0 <= worker < self.total_workers:
+            raise ValueError(
+                f"worker {worker} out of range [0, {self.total_workers})"
+            )
+        return worker // self.workers_per_machine
+
+    def transfer_seconds(self, data_bytes: int) -> float:
+        """Cost of shipping ``data_bytes`` to one worker (linear model)."""
+        if data_bytes < 0:
+            raise ValueError("data_bytes must be non-negative")
+        return self.latency_seconds + data_bytes / self.bandwidth_bytes_per_second
+
+
+def paper_cluster() -> ClusterSpec:
+    """Return the paper's Section 6.1 testbed.
+
+    Ten machines; 4 CPUs × 4 cores each are modelled as 16 worker slots
+    per machine (the 2-way SMT threads share cores, so they are not
+    counted as independent capacity); 8 GB of RAM per machine; a gigabit
+    interconnect with sub-millisecond latency.
+    """
+    return ClusterSpec(
+        machines=10,
+        workers_per_machine=16,
+        memory_bytes_per_machine=8 * 1024**3,
+        bandwidth_bytes_per_second=1.0e9 / 8,  # 1 Gb/s expressed in bytes
+        latency_seconds=2.0e-4,
+    )

@@ -1,0 +1,100 @@
+"""Execution strategies for independent block analyses.
+
+The decomposition's blocks are self-contained, so analysing them is an
+embarrassingly parallel map.  Three executors share one interface
+(``map_blocks``):
+
+* :class:`SerialExecutor` — the deterministic reference; used by the
+  driver and by every test;
+* :class:`ProcessExecutor` — real parallelism on the local machine via
+  ``concurrent.futures``; blocks and reports are pickled across the
+  process boundary;
+* :class:`SimulatedExecutor` — serial execution plus a replayed cluster
+  schedule, reporting what the wall-clock *would be* on a cluster
+  (the local stand-in for the paper's OpenMPI deployment).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.block_analysis import BlockReport, analyze_block
+from repro.core.blocks import Block
+from repro.decision.tree import DecisionTree
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.simulation import SimulatedRun, simulate_level
+from repro.mce.registry import Combo
+
+
+class SerialExecutor:
+    """Analyse blocks one after another in the calling process."""
+
+    def map_blocks(
+        self,
+        blocks: list[Block],
+        tree: DecisionTree | None = None,
+        combo: Combo | None = None,
+    ) -> list[BlockReport]:
+        """Return one :class:`BlockReport` per block, in block order."""
+        return [analyze_block(block, tree=tree, combo=combo) for block in blocks]
+
+
+def _analyze_one(args: tuple[Block, DecisionTree | None, Combo | None]) -> BlockReport:
+    """Top-level worker function (must be picklable for process pools)."""
+    block, tree, combo = args
+    return analyze_block(block, tree=tree, combo=combo)
+
+
+@dataclass
+class ProcessExecutor:
+    """Analyse blocks in a local process pool.
+
+    ``max_workers=None`` lets the pool size default to the CPU count.
+    Results are returned in block order regardless of completion order.
+    """
+
+    max_workers: int | None = None
+
+    def map_blocks(
+        self,
+        blocks: list[Block],
+        tree: DecisionTree | None = None,
+        combo: Combo | None = None,
+    ) -> list[BlockReport]:
+        """Return one :class:`BlockReport` per block, in block order."""
+        if not blocks:
+            return []
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(
+                pool.map(_analyze_one, [(block, tree, combo) for block in blocks])
+            )
+
+
+@dataclass
+class SimulatedExecutor:
+    """Serial execution instrumented with a simulated cluster schedule.
+
+    After ``map_blocks`` the :attr:`last_run` attribute holds the
+    :class:`SimulatedRun` for the most recent batch: the makespan the
+    same work would have on :attr:`cluster` under :attr:`policy`.
+    """
+
+    cluster: ClusterSpec
+    policy: str = "lpt"
+    last_run: SimulatedRun | None = field(default=None, init=False)
+
+    def map_blocks(
+        self,
+        blocks: list[Block],
+        tree: DecisionTree | None = None,
+        combo: Combo | None = None,
+    ) -> list[BlockReport]:
+        """Return one :class:`BlockReport` per block, in block order."""
+        reports = [
+            analyze_block(block, tree=tree, combo=combo) for block in blocks
+        ]
+        self.last_run = simulate_level(
+            blocks, reports, self.cluster, policy=self.policy
+        )
+        return reports

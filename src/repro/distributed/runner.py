@@ -1,0 +1,184 @@
+"""End-to-end distributed ``FIND-MAX-CLIQUES``.
+
+:func:`run_distributed` performs the same recursion as
+:func:`repro.core.driver.find_max_cliques` but dispatches each level's
+blocks through an executor (serial, process pool, or cluster-simulating)
+and aggregates the per-level :class:`SimulatedRun` records, so the
+benchmarks can report both the exact clique output and the simulated
+cluster wall-clock for the paper's Section 6 experiments.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from collections import Counter
+
+from repro.core.blocks import build_blocks
+from repro.core.driver import _exact_core, _merge_levels
+from repro.core.feasibility import cut
+from repro.core.result import CliqueResult, LevelStats
+from repro.decision.paper_tree import paper_tree
+from repro.decision.tree import DecisionTree
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.executor import SerialExecutor, SimulatedExecutor
+from repro.distributed.simulation import SimulatedRun
+from repro.errors import ConvergenceError
+from repro.graph.adjacency import Graph, Node
+from repro.graph.views import induced_subgraph
+from repro.mce.registry import Combo
+
+
+class DistributedResult(CliqueResult):
+    """A :class:`CliqueResult` extended with per-level simulated runs."""
+
+    def __init__(self, base: CliqueResult, runs: list[SimulatedRun]) -> None:
+        super().__init__(
+            cliques=base.cliques,
+            provenance=base.provenance,
+            levels=base.levels,
+            m=base.m,
+            fallback_used=base.fallback_used,
+            block_combos=base.block_combos,
+            block_reports=base.block_reports,
+        )
+        self.runs = runs
+
+    def simulated_makespan(self) -> float:
+        """Total simulated cluster seconds across all recursion levels."""
+        return sum(run.makespan_seconds for run in self.runs)
+
+    def simulated_speedup(self) -> float:
+        """Serial seconds over simulated seconds across all levels."""
+        serial = sum(run.serial_seconds for run in self.runs)
+        makespan = self.simulated_makespan()
+        if makespan == 0.0:
+            return 1.0
+        return serial / makespan
+
+
+def run_distributed(
+    graph: Graph,
+    m: int,
+    cluster: ClusterSpec | None = None,
+    executor: SerialExecutor | SimulatedExecutor | None = None,
+    tree: DecisionTree | None = None,
+    combo: Combo | None = None,
+    fallback: str = "exact",
+    min_adjacency: int = 1,
+    policy: str = "lpt",
+) -> DistributedResult:
+    """Run the two-level decomposition with distributed block analysis.
+
+    Either pass a ``cluster`` (a :class:`SimulatedExecutor` is built for
+    it) or an explicit ``executor``.  With neither, the paper's
+    10-machine testbed is simulated.  All other arguments match
+    :func:`repro.core.driver.find_max_cliques`, and the clique output is
+    identical to the serial driver's (tested property).
+
+    Raises
+    ------
+    ConvergenceError
+        With ``fallback="raise"`` when ``m`` does not exceed the
+        degeneracy of some residual level.
+    """
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    if executor is None:
+        from repro.distributed.cluster import paper_cluster
+
+        executor = SimulatedExecutor(
+            cluster=cluster if cluster is not None else paper_cluster(),
+            policy=policy,
+        )
+    selection_tree = tree if tree is not None else paper_tree()
+
+    level_cliques: list[list[frozenset[Node]]] = []
+    level_stats: list[LevelStats] = []
+    runs: list[SimulatedRun] = []
+    combo_counter: Counter[str] = Counter()
+    fallback_used = False
+
+    current = graph
+    level = 0
+    while current.num_nodes > 0:
+        decomposition_start = time.perf_counter()
+        feasible, hubs = cut(current, m)
+        if not feasible:
+            if fallback == "raise":
+                raise ConvergenceError(
+                    f"no feasible node at recursion level {level}",
+                    core_size=current.num_nodes,
+                )
+            warnings.warn(
+                f"distributed FIND-MAX-CLIQUES fell back to exact "
+                f"enumeration on a residual core of {current.num_nodes} "
+                f"nodes at level {level} (m={m})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            decomposition_seconds = time.perf_counter() - decomposition_start
+            cliques, analysis_seconds, used = _exact_core(
+                current, selection_tree, combo
+            )
+            combo_counter[used.name] += 1
+            level_cliques.append(cliques)
+            level_stats.append(
+                LevelStats(
+                    level=level,
+                    num_nodes=current.num_nodes,
+                    num_edges=current.num_edges,
+                    num_feasible=0,
+                    num_hubs=current.num_nodes,
+                    num_blocks=0,
+                    decomposition_seconds=decomposition_seconds,
+                    analysis_seconds=analysis_seconds,
+                    cliques_found=len(cliques),
+                    fallback_used=True,
+                )
+            )
+            fallback_used = True
+            break
+
+        blocks = build_blocks(current, feasible, m, min_adjacency=min_adjacency)
+        decomposition_seconds = time.perf_counter() - decomposition_start
+
+        analysis_start = time.perf_counter()
+        reports = executor.map_blocks(blocks, tree=selection_tree, combo=combo)
+        analysis_seconds = time.perf_counter() - analysis_start
+        if isinstance(executor, SimulatedExecutor) and executor.last_run:
+            runs.append(executor.last_run)
+
+        cliques: list[frozenset[Node]] = []
+        for report in reports:
+            cliques.extend(report.cliques)
+            combo_counter[report.combo.name] += 1
+        level_cliques.append(cliques)
+        level_stats.append(
+            LevelStats(
+                level=level,
+                num_nodes=current.num_nodes,
+                num_edges=current.num_edges,
+                num_feasible=len(feasible),
+                num_hubs=len(hubs),
+                num_blocks=len(blocks),
+                decomposition_seconds=decomposition_seconds,
+                analysis_seconds=analysis_seconds,
+                cliques_found=len(cliques),
+            )
+        )
+        if not hubs:
+            break
+        current = induced_subgraph(current, hubs)
+        level += 1
+
+    merged, provenance = _merge_levels(level_cliques)
+    base = CliqueResult(
+        cliques=merged,
+        provenance=provenance,
+        levels=level_stats,
+        m=m,
+        fallback_used=fallback_used,
+        block_combos=dict(combo_counter),
+    )
+    return DistributedResult(base, runs)

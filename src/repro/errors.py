@@ -1,0 +1,84 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary while tests and
+internal code can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a graph (unknown node, self-loop, ...)."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """An operation referenced a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the args tuple
+        return f"node {self.node!r} is not in the graph"
+
+
+class SelfLoopError(GraphError):
+    """A self-loop edge was supplied where simple graphs are required.
+
+    Maximal clique enumeration is defined on simple undirected graphs; a
+    self-loop has no meaning for cliques, so the library rejects them
+    eagerly rather than silently producing wrong answers.
+    """
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"self-loop on node {node!r} is not allowed")
+        self.node = node
+
+
+class FormatError(ReproError, ValueError):
+    """A serialised graph/block/clique payload could not be parsed."""
+
+
+class ConvergenceError(ReproError):
+    """The first-level decomposition cannot terminate.
+
+    Raised when a recursion level finds no feasible node at all, i.e. the
+    block-size limit ``m`` does not exceed the degeneracy of the residual
+    graph (Theorem 1 of the paper).  The attached :attr:`core_size` reports
+    how many nodes remain in the irreducible core, which is useful when
+    choosing a larger ``m``.
+    """
+
+    def __init__(self, message: str, core_size: int) -> None:
+        super().__init__(message)
+        self.core_size = core_size
+
+
+class DecompositionError(ReproError):
+    """A block decomposition violated one of its structural invariants."""
+
+
+class AlgorithmNotFoundError(ReproError, KeyError):
+    """An unknown MCE algorithm or backend name was requested."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.known = known
+
+    def __str__(self) -> str:
+        options = ", ".join(sorted(self.known))
+        return f"unknown name {self.name!r}; known options: {options}"
+
+
+class TrainingError(ReproError):
+    """The decision-tree learner was given an unusable training set."""
+
+
+class SchedulingError(ReproError):
+    """A task could not be placed on the simulated cluster."""

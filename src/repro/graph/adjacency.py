@@ -1,0 +1,275 @@
+"""The core graph container used throughout the library.
+
+:class:`Graph` is a simple undirected graph stored as adjacency sets.  It is
+deliberately small: nodes are arbitrary hashable labels, edges are unordered
+pairs, self-loops are rejected (cliques are only defined on simple graphs)
+and parallel edges collapse.  Everything else in the library — MCE backends,
+decomposition, generators — is built on top of this container or on the
+immutable snapshots it hands out.
+
+Iteration order is insertion order (Python ``dict`` semantics), which the
+decomposition code relies on for deterministic tie-breaking; tests assert
+this property, so it is part of the class contract.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import NodeNotFoundError, SelfLoopError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class Graph:
+    """A mutable simple undirected graph backed by adjacency sets.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs inserted via :meth:`add_edge`.
+    nodes:
+        Optional iterable of isolated nodes inserted via :meth:`add_node`
+        (before the edges, so edge insertion order still dominates).
+
+    Examples
+    --------
+    >>> g = Graph(edges=[("a", "b"), ("b", "c")])
+    >>> g.num_nodes, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors("b"))
+    ['a', 'c']
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] | None = None,
+        nodes: Iterable[Node] | None = None,
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Insert ``node`` if absent; a no-op when it already exists."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Insert the undirected edge ``{u, v}``, creating endpoints.
+
+        Raises
+        ------
+        SelfLoopError
+            If ``u == v``; simple graphs carry no self-loops.
+        """
+        if u == v:
+            raise SelfLoopError(u)
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    def add_edges(self, edges: Iterable[Edge]) -> None:
+        """Insert every edge in ``edges`` via :meth:`add_edge`."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_clique(self, nodes: Iterable[Node]) -> None:
+        """Insert all pairwise edges among ``nodes`` (a planted clique)."""
+        members = list(dict.fromkeys(nodes))
+        for i, u in enumerate(members):
+            self.add_node(u)
+            for v in members[i + 1 :]:
+                self.add_edge(u, v)
+
+    def remove_node(self, node: Node) -> None:
+        """Delete ``node`` and every incident edge.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` is not present.
+        """
+        try:
+            neighbors = self._adj.pop(node)
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+        for other in neighbors:
+            self._adj[other].discard(node)
+        self._num_edges -= len(neighbors)
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Delete the edge ``{u, v}``.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If either endpoint is absent.
+        GraphError
+            Never raised for a missing edge: removal is idempotent, matching
+            the insert-idempotence of :meth:`add_edge`.
+        """
+        if u not in self._adj:
+            raise NodeNotFoundError(u)
+        if v not in self._adj:
+            raise NodeNotFoundError(v)
+        if v in self._adj[u]:
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+            self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes currently in the graph."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges currently in the graph."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once.
+
+        The first endpoint of each yielded pair is the endpoint that was
+        inserted earlier, so the sequence is deterministic.
+        """
+        seen: set[Node] = set()
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def neighbors(self, node: Node) -> frozenset[Node]:
+        """Return the neighbour set of ``node`` as an immutable snapshot.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` is not present.
+        """
+        try:
+            return frozenset(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Return the number of neighbours of ``node``."""
+        try:
+            return len(self._adj[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the undirected edge ``{u, v}`` is present."""
+        return u in self._adj and v in self._adj[u]
+
+    def adjacency(self) -> Mapping[Node, frozenset[Node]]:
+        """Return an immutable snapshot of the whole adjacency structure."""
+        return {node: frozenset(nbrs) for node, nbrs in self._adj.items()}
+
+    def closed_neighborhood(self, node: Node) -> frozenset[Node]:
+        """Return ``{node} ∪ N(node)``, the closed neighbourhood."""
+        try:
+            return frozenset(self._adj[node]) | {node}
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighborhood_of_set(self, nodes: Iterable[Node]) -> frozenset[Node]:
+        """Return ``S ∪ N(S)`` for the node set ``S = nodes``.
+
+        This is the quantity bounded by the block size in the paper's
+        ``isfeasible`` predicate (Section 3.1).
+        """
+        closed: set[Node] = set()
+        for node in nodes:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+            closed.add(node)
+            closed.update(self._adj[node])
+        return frozenset(closed)
+
+    def max_degree(self) -> int:
+        """Return the maximum degree, or 0 for an empty graph."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def density(self) -> float:
+        """Return ``2·|E| / (|N|·(|N|−1))``; 0.0 for fewer than two nodes."""
+        n = len(self._adj)
+        if n < 2:
+            return 0.0
+        return 2.0 * self._num_edges / (n * (n - 1))
+
+    def is_clique(self, nodes: Iterable[Node]) -> bool:
+        """Return whether ``nodes`` induce a complete subgraph.
+
+        The empty set and singletons count as cliques, matching the usual
+        convention in the MCE literature.
+        """
+        members = list(dict.fromkeys(nodes))
+        for node in members:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        for i, u in enumerate(members):
+            adjacency = self._adj[u]
+            for v in members[i + 1 :]:
+                if v not in adjacency:
+                    return False
+        return True
+
+    def copy(self) -> "Graph":
+        """Return an independent deep copy of the graph."""
+        clone = Graph()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Dunders
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if self._adj.keys() != other._adj.keys():
+            return False
+        return all(self._adj[node] == other._adj[node] for node in self._adj)
+
+    def __repr__(self) -> str:
+        return f"Graph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

@@ -1,0 +1,251 @@
+"""Serialisation of graphs in the paper's triple format.
+
+Section 6.2: "each data set is locally split into files whose records
+contain triples in the format ⟨n1, e, n2⟩, where n1 and n2 are the labels
+of the nodes and e is the label of the edge between them.  To speed-up the
+process we encoded node and edge labels with hashes."
+
+This module reads and writes that record format (one whitespace-separated
+triple per line, ``#`` comments allowed), provides the stable label-hash
+encoding the paper mentions, and round-trips clique sets for the
+distributed runner.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import FormatError
+from repro.graph.adjacency import Graph, Node
+
+_COMMENT = "#"
+
+
+def write_triples(graph: Graph, destination: str | Path | IO[str]) -> int:
+    """Write ``graph`` as ⟨n1, e, n2⟩ triples; return the number of records.
+
+    The edge label is a deterministic sequential identifier ``e<k>`` in edge
+    iteration order.  Isolated nodes are preserved with a dedicated
+    ``<node> isolated <node>``-style marker line starting with ``#node``,
+    so a round-trip reproduces the exact node set.
+    """
+    own_handle = isinstance(destination, (str, Path))
+    handle: IO[str] = open(destination, "w") if own_handle else destination  # type: ignore[arg-type]
+    try:
+        records = 0
+        for node in graph.nodes():
+            if graph.degree(node) == 0:
+                handle.write(f"#node {_encode(node)}\n")
+        for index, (u, v) in enumerate(graph.edges()):
+            handle.write(f"{_encode(u)} e{index} {_encode(v)}\n")
+            records += 1
+        return records
+    finally:
+        if own_handle:
+            handle.close()
+
+
+def read_triples(source: str | Path | IO[str]) -> Graph:
+    """Parse a triple file written by :func:`write_triples` into a graph.
+
+    Raises
+    ------
+    FormatError
+        On records that are not ``#``-comments, ``#node`` markers, or
+        three-field triples, and on self-loop triples.
+    """
+    own_handle = isinstance(source, (str, Path))
+    handle: IO[str] = open(source, "r") if own_handle else source  # type: ignore[arg-type]
+    try:
+        graph = Graph()
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#node "):
+                graph.add_node(_decode(line[len("#node ") :].strip()))
+                continue
+            if line.startswith(_COMMENT):
+                continue
+            fields = _split_fields(line, line_number)
+            if len(fields) != 3:
+                raise FormatError(
+                    f"line {line_number}: expected 3 fields, got {len(fields)}: {line!r}"
+                )
+            u, _edge_label, v = fields
+            if u == v:
+                raise FormatError(f"line {line_number}: self-loop on {u!r}")
+            graph.add_edge(_decode(u), _decode(v))
+        return graph
+    finally:
+        if own_handle:
+            handle.close()
+
+
+def hash_label(label: object, digest_bits: int = 64) -> int:
+    """Return a stable integer hash of ``label``.
+
+    Python's built-in ``hash`` is salted per process, so it cannot serve as
+    the paper's persistent label encoding; this uses BLAKE2b over the
+    string form instead, truncated to ``digest_bits`` bits.  Collisions are
+    possible in principle; :func:`hash_labels` detects and rejects them.
+    """
+    if digest_bits % 8 != 0 or not 8 <= digest_bits <= 512:
+        raise ValueError("digest_bits must be a multiple of 8 in [8, 512]")
+    digest = hashlib.blake2b(str(label).encode("utf-8"), digest_size=digest_bits // 8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def hash_labels(graph: Graph, digest_bits: int = 64) -> tuple[Graph, dict[int, Node]]:
+    """Return ``graph`` with hashed node labels plus the inverse mapping.
+
+    Raises
+    ------
+    FormatError
+        If two distinct labels collide under the hash (raise rather than
+        silently merging nodes).
+    """
+    inverse: dict[int, Node] = {}
+    for node in graph.nodes():
+        code = hash_label(node, digest_bits)
+        if code in inverse and inverse[code] != node:
+            raise FormatError(
+                f"hash collision between labels {inverse[code]!r} and {node!r}"
+            )
+        inverse[code] = node
+    hashed = Graph(nodes=(hash_label(n, digest_bits) for n in graph.nodes()))
+    for u, v in graph.edges():
+        hashed.add_edge(hash_label(u, digest_bits), hash_label(v, digest_bits))
+    return hashed, inverse
+
+
+def write_cliques(cliques: Iterable[frozenset[Node]], destination: str | Path) -> int:
+    """Write cliques as JSON lines (sorted members per line); return count.
+
+    Members are sorted by string form so output is deterministic regardless
+    of set iteration order.
+    """
+    path = Path(destination)
+    count = 0
+    with path.open("w") as handle:
+        for clique in cliques:
+            members = sorted(clique, key=str)
+            handle.write(json.dumps(members) + "\n")
+            count += 1
+    return count
+
+
+def read_cliques(source: str | Path) -> list[frozenset[Node]]:
+    """Read cliques written by :func:`write_cliques`.
+
+    Raises
+    ------
+    FormatError
+        On lines that are not JSON arrays.
+    """
+    path = Path(source)
+    cliques: list[frozenset[Node]] = []
+    with path.open("r") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                members = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise FormatError(f"line {line_number}: invalid JSON: {exc}") from exc
+            if not isinstance(members, list):
+                raise FormatError(f"line {line_number}: expected a JSON array")
+            cliques.append(frozenset(members))
+    return cliques
+
+
+def iter_edge_chunks(
+    graph: Graph, chunk_size: int
+) -> Iterator[list[tuple[Node, Node]]]:
+    """Yield the edge list in chunks of at most ``chunk_size`` edges.
+
+    The distributed loader streams a data set to worker machines in
+    fixed-size chunks; this is the local stand-in for that split.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    chunk: list[tuple[Node, Node]] = []
+    for edge in graph.edges():
+        chunk.append(edge)
+        if len(chunk) == chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _split_fields(line: str, line_number: int) -> list[str]:
+    """Split a triple record on whitespace, honouring JSON-quoted labels."""
+    fields: list[str] = []
+    i, n = 0, len(line)
+    while i < n:
+        while i < n and line[i].isspace():
+            i += 1
+        if i >= n:
+            break
+        if line[i] == '"':
+            j = i + 1
+            while j < n and line[j] != '"':
+                j += 2 if line[j] == "\\" else 1
+            if j >= n:
+                raise FormatError(f"line {line_number}: unterminated quoted label")
+            fields.append(line[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not line[j].isspace():
+                j += 1
+            fields.append(line[i:j])
+            i = j
+    return fields
+
+
+def _looks_numeric(text: str) -> bool:
+    """Whether a bare token would decode as an int instead of a string."""
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _encode(label: Node) -> str:
+    """Encode a node label for the whitespace-separated triple format.
+
+    Integer labels stay bare; string labels are JSON-quoted whenever a
+    bare form would be ambiguous (whitespace, leading ``#`` or ``"``, or
+    an all-digits string that would decode as an integer).
+    """
+    if isinstance(label, int) and not isinstance(label, bool):
+        return str(label)
+    text = str(label)
+    needs_quoting = (
+        not text
+        or any(ch.isspace() for ch in text)
+        or text.startswith(_COMMENT)
+        or text.startswith('"')
+        or _looks_numeric(text)
+    )
+    return json.dumps(text) if needs_quoting else text
+
+
+def _decode(token: str) -> Node:
+    """Invert :func:`_encode`; integer-looking tokens come back as ints."""
+    if token.startswith('"'):
+        try:
+            return json.loads(token)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"bad quoted label {token!r}: {exc}") from exc
+    try:
+        return int(token)
+    except ValueError:
+        return token

@@ -1,0 +1,154 @@
+"""Evolving-network streams for the incremental extension.
+
+Social networks change continuously; the incremental maintainer
+(Section 8 future work) is exercised against seeded streams of edge
+events.  The generator models the two dominant dynamics of the paper's
+domain: **growth by preferential attachment** (new friendships attach
+to well-connected users) and **churn** (existing ties dissolve).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+from repro.graph.adjacency import Graph, Node
+
+Operation = Literal["insert", "delete"]
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped edge change."""
+
+    step: int
+    operation: Operation
+    u: Node
+    v: Node
+
+
+def edge_stream(
+    graph: Graph,
+    length: int,
+    churn: float = 0.2,
+    preferential: bool = True,
+    seed: int = 0,
+) -> Iterator[EdgeEvent]:
+    """Yield ``length`` edge events applicable in order to ``graph``.
+
+    The stream is *consistent*: an ``insert`` never duplicates a live
+    edge and a ``delete`` always removes a live edge, so it can be
+    applied directly to an :class:`repro.incremental.IncrementalMCE`.
+    The input graph is not modified; the generator tracks the evolving
+    edge set internally.
+
+    Parameters
+    ----------
+    graph:
+        The starting network (copied logically, not physically).
+    length:
+        Number of events to produce.
+    churn:
+        Probability that an event is a deletion (when any edge exists).
+    preferential:
+        Insert endpoints biased by current degree (scale-free growth)
+        instead of uniformly.
+    seed:
+        Event-stream seed; identical seeds give identical streams.
+
+    Raises
+    ------
+    ValueError
+        On a negative ``length``, a ``churn`` outside ``[0, 1]`` or a
+        graph with fewer than two nodes (no edge events possible).
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError("churn must be in [0, 1]")
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise ValueError("need at least two nodes to produce edge events")
+    rng = random.Random(seed)
+    live: set[frozenset[Node]] = {frozenset(edge) for edge in graph.edges()}
+    degree: dict[Node, int] = {node: graph.degree(node) for node in nodes}
+    # Degree-proportional sampling pool (each node once per endpoint),
+    # refreshed lazily; +1 smoothing keeps isolated nodes reachable.
+    for step in range(length):
+        do_delete = live and rng.random() < churn
+        if do_delete:
+            edge = rng.choice(sorted(live, key=lambda e: sorted(map(str, e))))
+            u, v = sorted(edge, key=str)
+            live.discard(edge)
+            degree[u] -= 1
+            degree[v] -= 1
+            yield EdgeEvent(step=step, operation="delete", u=u, v=v)
+            continue
+        event = _draw_insert(nodes, live, degree, rng, preferential)
+        if event is None:
+            # The graph is complete: fall back to a deletion.
+            edge = rng.choice(sorted(live, key=lambda e: sorted(map(str, e))))
+            u, v = sorted(edge, key=str)
+            live.discard(edge)
+            degree[u] -= 1
+            degree[v] -= 1
+            yield EdgeEvent(step=step, operation="delete", u=u, v=v)
+            continue
+        u, v = event
+        live.add(frozenset((u, v)))
+        degree[u] += 1
+        degree[v] += 1
+        yield EdgeEvent(step=step, operation="insert", u=u, v=v)
+
+
+def _draw_insert(
+    nodes: list[Node],
+    live: set[frozenset[Node]],
+    degree: dict[Node, int],
+    rng: random.Random,
+    preferential: bool,
+) -> tuple[Node, Node] | None:
+    """Draw a non-live endpoint pair, or None when the graph is complete."""
+    n = len(nodes)
+    if len(live) >= n * (n - 1) // 2:
+        return None
+    for _attempt in range(200):
+        if preferential:
+            u = _degree_biased(nodes, degree, rng)
+            v = _degree_biased(nodes, degree, rng)
+        else:
+            u, v = rng.choice(nodes), rng.choice(nodes)
+        if u != v and frozenset((u, v)) not in live:
+            return (u, v)
+    # Dense graph: fall back to an exhaustive scan for determinism.
+    for u in nodes:
+        for v in nodes:
+            if u != v and frozenset((u, v)) not in live:
+                return (u, v)
+    return None
+
+
+def _degree_biased(
+    nodes: list[Node], degree: dict[Node, int], rng: random.Random
+) -> Node:
+    """Draw one node with probability proportional to ``degree + 1``."""
+    total = sum(degree[node] + 1 for node in nodes)
+    pick = rng.uniform(0.0, total)
+    acc = 0.0
+    for node in nodes:
+        acc += degree[node] + 1
+        if pick <= acc:
+            return node
+    return nodes[-1]
+
+
+def apply_stream(graph: Graph, events: Iterator[EdgeEvent]) -> Graph:
+    """Return a copy of ``graph`` with ``events`` applied in order."""
+    out = graph.copy()
+    for event in events:
+        if event.operation == "insert":
+            out.add_edge(event.u, event.v)
+        else:
+            out.remove_edge(event.u, event.v)
+    return out

@@ -1,0 +1,121 @@
+"""Subgraph extraction and node relabeling.
+
+The decomposition pipeline repeatedly takes induced subgraphs: the hub
+subgraph ``G_h`` at every recursion level (Algorithm 1, line 6) and each
+block's node set closed under neighbourhoods (Algorithm 3, line 12).  These
+helpers centralise that logic so the induced-subgraph semantics — restrict
+to the node set, keep exactly the edges with both endpoints inside — are
+implemented once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph, Node
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[Node]) -> Graph:
+    """Return the subgraph of ``graph`` induced by ``nodes``.
+
+    The result contains each node in ``nodes`` (including isolated ones) and
+    every edge of ``graph`` whose endpoints are both in ``nodes``.  Node
+    insertion order follows the order of ``nodes``, so deterministic inputs
+    give deterministic outputs.
+
+    Raises
+    ------
+    NodeNotFoundError
+        If any element of ``nodes`` is not a node of ``graph``.
+    """
+    keep = list(dict.fromkeys(nodes))
+    keep_set = set(keep)
+    sub = Graph()
+    for node in keep:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+        sub.add_node(node)
+    for node in keep:
+        for other in graph.neighbors(node):
+            if other in keep_set and not sub.has_edge(node, other):
+                sub.add_edge(node, other)
+    return sub
+
+
+def relabel(graph: Graph, mapping: Mapping[Node, Node]) -> Graph:
+    """Return a copy of ``graph`` with nodes renamed through ``mapping``.
+
+    Nodes absent from ``mapping`` keep their label.  The mapping must be
+    injective over the graph's nodes; a collision would silently merge nodes
+    and change clique structure, so it raises ``ValueError`` instead.
+    """
+    new_names: dict[Node, Node] = {}
+    used: set[Node] = set()
+    for node in graph.nodes():
+        target = mapping.get(node, node)
+        if target in used:
+            raise ValueError(f"relabeling collides on target label {target!r}")
+        used.add(target)
+        new_names[node] = target
+    out = Graph()
+    for node in graph.nodes():
+        out.add_node(new_names[node])
+    for u, v in graph.edges():
+        out.add_edge(new_names[u], new_names[v])
+    return out
+
+
+def to_integer_labels(graph: Graph) -> tuple[Graph, dict[int, Node]]:
+    """Relabel nodes to ``0..n-1`` in insertion order.
+
+    Returns the relabeled graph together with the inverse mapping (integer
+    label back to the original node), which callers use to translate cliques
+    found on the compact graph back to original labels.  Matrix and bitset
+    MCE backends require contiguous integer labels.
+    """
+    forward: dict[Node, int] = {node: i for i, node in enumerate(graph.nodes())}
+    inverse: dict[int, Node] = {i: node for node, i in forward.items()}
+    compact = Graph(nodes=range(len(forward)))
+    for u, v in graph.edges():
+        compact.add_edge(forward[u], forward[v])
+    return compact, inverse
+
+
+def map_cliques(
+    cliques: Iterable[frozenset[Node]], inverse: Mapping[Node, Node]
+) -> list[frozenset[Node]]:
+    """Translate cliques through the ``inverse`` mapping of labels."""
+    return [frozenset(inverse[v] for v in clique) for clique in cliques]
+
+
+def filter_nodes(graph: Graph, predicate: Callable[[Node], bool]) -> Graph:
+    """Return the subgraph induced by the nodes satisfying ``predicate``."""
+    return induced_subgraph(graph, (n for n in graph.nodes() if predicate(n)))
+
+
+def connected_components(graph: Graph) -> list[frozenset[Node]]:
+    """Return the connected components of ``graph`` as node sets.
+
+    Components are listed in order of their earliest-inserted node, and each
+    component set is immutable.  Used by generators (to guarantee connected
+    synthetic networks) and by the block scheduler (components are natural
+    distribution units).
+    """
+    seen: set[Node] = set()
+    components: list[frozenset[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        frontier = [start]
+        component: set[Node] = {start}
+        seen.add(start)
+        while frontier:
+            node = frontier.pop()
+            for other in graph.neighbors(node):
+                if other not in component:
+                    component.add(other)
+                    seen.add(other)
+                    frontier.append(other)
+        components.append(frozenset(component))
+    return components

@@ -1,0 +1,5 @@
+"""Incremental clique maintenance under edge updates (Section 8)."""
+
+from repro.incremental.maintainer import IncrementalMCE, replay
+
+__all__ = ["IncrementalMCE", "replay"]

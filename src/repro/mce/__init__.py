@@ -1,0 +1,61 @@
+"""Maximal clique enumeration portfolio (Section 4 of the paper)."""
+
+from repro.mce.backends import BACKEND_NAMES, Backend, build_backend
+from repro.mce.bron_kerbosch import bk_pivot, bron_kerbosch
+from repro.mce.eppstein import eppstein
+from repro.mce.maximum import maximum_clique, maximum_clique_size
+from repro.mce.instrumentation import (
+    CountingRule,
+    RecursionProfile,
+    collect_cliques_with_profile,
+    profile_rule,
+)
+from repro.mce.registry import (
+    ALGORITHM_NAMES,
+    ALL_COMBOS,
+    Combo,
+    get_algorithm,
+    get_pivot_rule,
+    run_combo,
+    time_combo,
+)
+from repro.mce.tomita import tomita
+from repro.mce.verify import (
+    check_mce_output,
+    find_extension,
+    is_clique,
+    is_maximal_clique,
+    missing_cliques,
+    spurious_cliques,
+)
+from repro.mce.xpivot import xpivot
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "build_backend",
+    "bk_pivot",
+    "bron_kerbosch",
+    "eppstein",
+    "maximum_clique",
+    "maximum_clique_size",
+    "CountingRule",
+    "RecursionProfile",
+    "collect_cliques_with_profile",
+    "profile_rule",
+    "ALGORITHM_NAMES",
+    "ALL_COMBOS",
+    "Combo",
+    "get_algorithm",
+    "get_pivot_rule",
+    "run_combo",
+    "time_combo",
+    "tomita",
+    "check_mce_output",
+    "find_extension",
+    "is_clique",
+    "is_maximal_clique",
+    "missing_cliques",
+    "spurious_cliques",
+    "xpivot",
+]

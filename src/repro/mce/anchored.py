@@ -1,0 +1,71 @@
+"""Anchored clique enumeration — the ``MCE(k, P, V)`` primitive of Alg. 4.
+
+``BLOCK-ANALYSIS`` (Algorithm 4 of the paper) does not run a whole-graph
+MCE per block: for each kernel node ``k`` it "enumerates all maximal
+cliques that contain k and no node in V̄", where the candidate set shrinks
+and the exclusion set grows as kernels are processed.  This module
+provides that anchored primitive on top of the shared recursion, for any
+(pivot rule × backend) combination chosen by the decision tree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graph.adjacency import Node
+from repro.mce.backends import Backend, NodeSet
+from repro.mce.recursion import PivotRule, expand
+
+
+def enumerate_anchored_native(
+    backend: Backend,
+    anchor: int,
+    candidates: NodeSet,
+    excluded: NodeSet,
+    pivot_rule: PivotRule,
+) -> Iterator[tuple[int, ...]]:
+    """:func:`enumerate_anchored` on backend-native candidate sets.
+
+    Avoids rebuilding native sets when the caller (``BLOCK-ANALYSIS``)
+    already maintains ``P`` and ``X`` in the backend's representation.
+    """
+    restricted_p = backend.intersect_neighbors(candidates, anchor)
+    restricted_x = backend.intersect_neighbors(excluded, anchor)
+    yield from expand(backend, [anchor], restricted_p, restricted_x, pivot_rule)
+
+
+def enumerate_anchored(
+    backend: Backend,
+    anchor: int,
+    candidates: Iterable[int],
+    excluded: Iterable[int],
+    pivot_rule: PivotRule,
+) -> Iterator[tuple[int, ...]]:
+    """Yield all maximal cliques containing ``anchor`` as index tuples.
+
+    ``candidates`` and ``excluded`` are internal indices; both are
+    intersected with ``N(anchor)`` here, so callers may pass the block-wide
+    ``P`` and ``X`` sets directly (Algorithm 4 lines 5–6 perform the same
+    restriction).  A clique is reported iff it is maximal with respect to
+    ``{anchor} ∪ candidates ∪ excluded`` and contains no excluded node.
+    """
+    restricted_p = backend.intersect_neighbors(backend.make(candidates), anchor)
+    restricted_x = backend.intersect_neighbors(backend.make(excluded), anchor)
+    yield from expand(backend, [anchor], restricted_p, restricted_x, pivot_rule)
+
+
+def enumerate_anchored_labels(
+    backend: Backend,
+    anchor: Node,
+    candidates: Iterable[Node],
+    excluded: Iterable[Node],
+    pivot_rule: PivotRule,
+) -> Iterator[frozenset[Node]]:
+    """Label-level convenience wrapper around :func:`enumerate_anchored`."""
+    anchor_index = backend.index_of(anchor)
+    candidate_indices = [backend.index_of(node) for node in candidates]
+    excluded_indices = [backend.index_of(node) for node in excluded]
+    for clique in enumerate_anchored(
+        backend, anchor_index, candidate_indices, excluded_indices, pivot_rule
+    ):
+        yield frozenset(backend.label(i) for i in clique)

@@ -1,0 +1,52 @@
+"""The Eppstein–Strash degeneracy-ordering maximal clique algorithm.
+
+Reference [17] of the paper: D. Eppstein and D. Strash, *Listing all
+maximal cliques in large sparse real-world graphs*, SEA 2011.  The outer
+loop processes nodes in a degeneracy ordering; each node ``v`` is handled
+with candidates restricted to its *later* neighbours and exclusions to
+its *earlier* neighbours, then the Tomita-pivot recursion finishes the
+neighbourhood.  On a ``d``-degenerate graph every inner subproblem has at
+most ``d`` candidates, giving the near-optimal ``O(d·n·3^(d/3))`` bound
+that makes this the portfolio's best fit for sparse blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.adjacency import Graph, Node
+from repro.graph.cores import degeneracy_ordering
+from repro.mce.backends import Backend, build_backend
+from repro.mce.recursion import expand, tomita_pivot
+
+
+def eppstein(graph: Graph, backend: str = "lists") -> Iterator[frozenset[Node]]:
+    """Yield every maximal clique of ``graph`` in degeneracy order.
+
+    Each maximal clique is reported exactly once, rooted at its earliest
+    member in the degeneracy ordering.
+    """
+    if graph.num_nodes == 0:
+        return
+    native = build_backend(graph, backend)
+    order = [native.index_of(node) for node in degeneracy_ordering(graph)]
+    yield from eppstein_native(native, order)
+
+
+def eppstein_native(native: Backend, order: list[int]) -> Iterator[frozenset[Node]]:
+    """Run Eppstein–Strash on a backend given a degeneracy ``order``.
+
+    ``order`` lists internal indices; each index must appear exactly once.
+    """
+    position = {index: rank for rank, index in enumerate(order)}
+    for index in order:
+        rank = position[index]
+        neighbors = native.intersect_neighbors(native.full(), index)
+        later = native.make(
+            i for i in native.iterate(neighbors) if position[i] > rank
+        )
+        earlier = native.make(
+            i for i in native.iterate(neighbors) if position[i] < rank
+        )
+        for clique in expand(native, [index], later, earlier, tomita_pivot):
+            yield frozenset(native.label(i) for i in clique)

@@ -1,0 +1,76 @@
+"""Instrumentation for the MCE recursion.
+
+The pivot-rule ablation needs the size of the recursion tree (how many
+internal expansion nodes a rule leaves after pruning).  Rather than
+each caller hand-rolling a counting closure, :class:`CountingRule`
+wraps any pivot rule and tallies its invocations — exactly one per
+internal recursion node, since :func:`repro.mce.recursion.expand`
+consults the rule once per non-leaf call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.adjacency import Graph, Node
+from repro.mce.backends import Backend, NodeSet, build_backend
+from repro.mce.recursion import PivotRule, enumerate_all
+
+
+@dataclass
+class CountingRule:
+    """A pivot rule that counts how often it is consulted."""
+
+    rule: PivotRule
+    calls: int = field(default=0, init=False)
+
+    def __call__(
+        self, backend: Backend, candidates: NodeSet, excluded: NodeSet
+    ):
+        self.calls += 1
+        return self.rule(backend, candidates, excluded)
+
+    def reset(self) -> None:
+        """Zero the counter (reuse across runs)."""
+        self.calls = 0
+
+
+@dataclass(frozen=True)
+class RecursionProfile:
+    """Outcome of one instrumented whole-graph enumeration."""
+
+    internal_nodes: int
+    cliques: int
+
+    @property
+    def nodes_per_clique(self) -> float:
+        """Recursion overhead per reported clique (1.0 is optimal-ish)."""
+        if self.cliques == 0:
+            return float(self.internal_nodes)
+        return self.internal_nodes / self.cliques
+
+
+def profile_rule(
+    graph: Graph, rule: PivotRule, backend: str = "bitsets"
+) -> RecursionProfile:
+    """Enumerate ``graph`` with ``rule`` and return the recursion profile."""
+    counting = CountingRule(rule)
+    native = build_backend(graph, backend)
+    cliques = sum(1 for _ in enumerate_all(native, counting))
+    return RecursionProfile(internal_nodes=counting.calls, cliques=cliques)
+
+
+def collect_cliques_with_profile(
+    graph: Graph, rule: PivotRule, backend: str = "bitsets"
+) -> tuple[list[frozenset[Node]], RecursionProfile]:
+    """Like :func:`profile_rule` but also returning the cliques found."""
+    counting = CountingRule(rule)
+    native = build_backend(graph, backend)
+    cliques = [
+        frozenset(native.label(i) for i in clique)
+        for clique in enumerate_all(native, counting)
+    ]
+    profile = RecursionProfile(
+        internal_nodes=counting.calls, cliques=len(cliques)
+    )
+    return cliques, profile

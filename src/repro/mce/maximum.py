@@ -1,0 +1,127 @@
+"""Branch-and-bound maximum clique search.
+
+The related work (Section 7) cites two classic exact maximum-clique
+solvers — Östergård's ``cliquer`` [27] and Tomita–Kameda's MCQ-style
+branch and bound [33] — as the pruning-based tradition the MCE systems
+grew out of, plus Rossi et al. [30] for large graphs.  This module
+implements the standard modern scheme from that family:
+
+* vertices are examined in a **degeneracy order** (small candidate
+  neighbourhoods first, the [30] trick for sparse graphs);
+* at every branch a **greedy colouring** of the candidate set bounds
+  the largest clique it can still contain (the Tomita–Kameda bound):
+  a candidate set colourable with ``c`` colours holds no clique larger
+  than ``c``;
+* branches whose bound cannot beat the incumbent are pruned.
+
+Finding one maximum clique this way is typically orders of magnitude
+cheaper than enumerating all maximal cliques and taking the largest,
+which the benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph, Node
+from repro.graph.cores import degeneracy_ordering
+from repro.mce.backends import BitsetBackend
+
+
+def maximum_clique(graph: Graph, lower_bound: int = 0) -> frozenset[Node]:
+    """Return one maximum clique of ``graph`` (empty for the empty graph).
+
+    Parameters
+    ----------
+    graph:
+        The network; not modified.
+    lower_bound:
+        Optional known clique size; branches that cannot exceed it are
+        pruned from the start (the incumbent itself starts empty, so a
+        wrong ``lower_bound`` larger than the true maximum yields an
+        empty result — pass only certified bounds).
+
+    Raises
+    ------
+    ValueError
+        If ``lower_bound`` is negative.
+    """
+    if lower_bound < 0:
+        raise ValueError("lower_bound must be non-negative")
+    if graph.num_nodes == 0:
+        return frozenset()
+    backend = BitsetBackend(graph)
+    order = [backend.index_of(node) for node in degeneracy_ordering(graph)]
+    position = {index: rank for rank, index in enumerate(order)}
+
+    best: list[int] = []
+    best_size = lower_bound
+
+    def expand(clique: list[int], candidates: int) -> None:
+        nonlocal best, best_size
+        while candidates:
+            if len(clique) + candidates.bit_count() <= best_size:
+                return  # even taking everything cannot beat the incumbent
+            _color_count, colored_order = _greedy_coloring(backend, candidates)
+            # Branch on the highest-coloured candidate: its colour is
+            # the tightest available bound, so pruning fires earliest.
+            v, bound = colored_order[-1]
+            if len(clique) + bound <= best_size:
+                return
+            clique.append(v)
+            rest = candidates & backend._masks[v]  # noqa: SLF001 - hot path
+            if rest:
+                expand(clique, rest)
+            elif len(clique) > best_size:
+                best = list(clique)
+                best_size = len(clique)
+            clique.pop()
+            candidates &= ~(1 << v)
+
+    # Outer loop in reverse degeneracy order: each vertex with its
+    # later neighbours only, so candidate sets start at most degeneracy
+    # big on sparse graphs.
+    for rank in range(len(order) - 1, -1, -1):
+        v = order[rank]
+        later_candidates = 0
+        for u in backend.iterate(backend._masks[v]):  # noqa: SLF001
+            if position[u] > rank:
+                later_candidates |= 1 << u
+        if 1 + later_candidates.bit_count() > best_size:
+            if later_candidates:
+                expand([v], later_candidates)
+            elif 1 > best_size:
+                best = [v]
+                best_size = 1
+    # With a caller-supplied lower_bound at or above the true clique
+    # number, every branch prunes and the result is empty, as documented.
+    return frozenset(backend.label(i) for i in best)
+
+
+def maximum_clique_size(graph: Graph) -> int:
+    """Return the clique number ω(G); 0 for the empty graph."""
+    return len(maximum_clique(graph))
+
+
+def _greedy_coloring(
+    backend: BitsetBackend, candidates: int
+) -> tuple[int, list[tuple[int, int]]]:
+    """Colour ``candidates`` greedily; return (#colors, ordered list).
+
+    The returned list holds ``(vertex, color_number)`` sorted by colour
+    (ascending), so its tail carries the largest bound.  Colour numbers
+    start at 1; a set coloured with ``c`` colours contains no clique
+    larger than ``c``.
+    """
+    color_of: list[tuple[int, int]] = []
+    remaining = candidates
+    color = 0
+    while remaining:
+        color += 1
+        available = remaining
+        while available:
+            low = available & -available
+            v = low.bit_length() - 1
+            color_of.append((v, color))
+            available &= ~backend._masks[v]  # noqa: SLF001
+            available &= ~low
+            remaining &= ~low
+    return color, color_of

@@ -1,0 +1,136 @@
+"""The shared Bron–Kerbosch recursion skeleton.
+
+All four algorithms of Section 4 (BKPivot, Tomita, Eppstein, XPivot) are
+variations of the Bron–Kerbosch scheme: maintain a current clique ``R``, a
+candidate set ``P`` (nodes adjacent to everything in ``R`` that may still
+extend it) and an exclusion set ``X`` (nodes adjacent to everything in
+``R`` whose cliques were already reported).  They differ only in how the
+*pivot* is chosen, so the recursion lives here once and each algorithm
+module contributes a pivot rule.
+
+A pivot rule receives ``(backend, P, X)`` and returns the pivot's internal
+index, or ``None`` to expand every candidate (plain Bron–Kerbosch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.mce.backends import Backend, NodeSet
+
+PivotRule = Callable[[Backend, NodeSet, NodeSet], Optional[int]]
+
+
+def expand(
+    backend: Backend,
+    clique: list[int],
+    candidates: NodeSet,
+    excluded: NodeSet,
+    pivot_rule: PivotRule,
+) -> Iterator[tuple[int, ...]]:
+    """Yield every maximal clique extending ``clique``, as index tuples.
+
+    ``candidates`` must contain exactly the common neighbours of ``clique``
+    not yet processed, and ``excluded`` the common neighbours already
+    processed; the yielded tuples include the nodes of ``clique`` itself.
+    The caller's ``clique`` list is used as a mutable stack and restored on
+    return.
+    """
+    if backend.is_empty(candidates):
+        if backend.is_empty(excluded):
+            yield tuple(clique)
+        return
+    pivot = pivot_rule(backend, candidates, excluded)
+    if pivot is None:
+        frontier = candidates
+    else:
+        frontier = backend.minus_neighbors(candidates, pivot)
+    for v in list(backend.iterate(frontier)):
+        clique.append(v)
+        yield from expand(
+            backend,
+            clique,
+            backend.intersect_neighbors(candidates, v),
+            backend.intersect_neighbors(excluded, v),
+            pivot_rule,
+        )
+        clique.pop()
+        candidates = backend.remove(candidates, v)
+        excluded = backend.add(excluded, v)
+
+
+def enumerate_all(backend: Backend, pivot_rule: PivotRule) -> Iterator[tuple[int, ...]]:
+    """Yield every maximal clique of the backend's graph as index tuples.
+
+    The empty graph yields nothing (matching the convention of networkx and
+    of the MCE literature, where the trivial empty clique is not reported).
+    """
+    if backend.n == 0:
+        return
+    yield from expand(backend, [], backend.full(), backend.empty(), pivot_rule)
+
+
+def no_pivot(_backend: Backend, _candidates: NodeSet, _excluded: NodeSet) -> None:
+    """The pivotless rule: expand every candidate (plain Bron–Kerbosch)."""
+    return None
+
+
+def max_degree_pivot(backend: Backend, candidates: NodeSet, _excluded: NodeSet) -> int:
+    """BKPivot's rule: the highest-degree node of the candidate set ``P``.
+
+    "It uses a pivot to avoid redundant recursive calls.  The node of
+    highest degree in the candidate set P is chosen as the pivot"
+    (Section 4).  Degree is taken in the whole (block) graph.  Ties break
+    toward the smallest internal index for determinism.
+    """
+    best = -1
+    best_degree = -1
+    for v in backend.iterate(candidates):
+        degree = backend.degree(v)
+        if degree > best_degree:
+            best = v
+            best_degree = degree
+    return best
+
+
+def tomita_pivot(backend: Backend, candidates: NodeSet, excluded: NodeSet) -> int:
+    """Tomita's rule: the node of ``P ∪ X`` maximising ``|N(u) ∩ P|``.
+
+    This is the pivot choice proved worst-case optimal by Tomita, Tanaka
+    and Takahashi (reference [34] of the paper).  Ties break toward the
+    smallest internal index, candidates before excluded, for determinism.
+    """
+    best = -1
+    best_common = -1
+    for v in backend.iterate(candidates):
+        common = backend.common_count(v, candidates)
+        if common > best_common:
+            best = v
+            best_common = common
+    for v in backend.iterate(excluded):
+        common = backend.common_count(v, candidates)
+        if common > best_common:
+            best = v
+            best_common = common
+    return best
+
+
+def x_pivot(backend: Backend, candidates: NodeSet, excluded: NodeSet) -> int:
+    """XPivot's rule: Tomita's score, but the pivot comes from ``X``.
+
+    "Like Tomita, it chooses the node that maximizes the size of
+    N(u) ∩ P, but the node u is chosen from the set of already visited
+    nodes" (Section 4, the paper's own variation).  When ``X`` is empty —
+    e.g. at the root of the recursion — it falls back to Tomita's rule over
+    ``P`` so a pivot always exists.
+    """
+    best = -1
+    best_common = -1
+    for v in backend.iterate(excluded):
+        common = backend.common_count(v, candidates)
+        if common > best_common:
+            best = v
+            best_common = common
+    if best >= 0:
+        return best
+    return tomita_pivot(backend, candidates, excluded)

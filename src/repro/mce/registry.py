@@ -1,0 +1,129 @@
+"""The (algorithm × data structure) portfolio registry.
+
+Section 4 evaluates four MCE algorithms on three supporting data
+structures and drives the choice per block with a decision tree.  This
+module names the algorithms and the twelve combinations, runs any of them
+by name, and exposes the pivot rules so :mod:`repro.core.block_analysis`
+can execute the chosen combination in anchored mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import AlgorithmNotFoundError
+from repro.graph.adjacency import Graph, Node
+from repro.graph.cores import degeneracy_ordering
+from repro.mce.backends import BACKEND_NAMES, Backend, build_backend
+from repro.mce.bron_kerbosch import bk_pivot
+from repro.mce.eppstein import eppstein
+from repro.mce.recursion import PivotRule, max_degree_pivot, tomita_pivot, x_pivot
+from repro.mce.tomita import tomita
+from repro.mce.xpivot import xpivot
+
+ALGORITHM_NAMES: tuple[str, ...] = ("bkpivot", "tomita", "eppstein", "xpivot")
+
+_ALGORITHMS: dict[str, Callable[[Graph, str], Iterator[frozenset[Node]]]] = {
+    "bkpivot": bk_pivot,
+    "tomita": tomita,
+    "eppstein": eppstein,
+    "xpivot": xpivot,
+}
+
+_PIVOT_RULES: dict[str, PivotRule] = {
+    "bkpivot": max_degree_pivot,
+    "tomita": tomita_pivot,
+    "xpivot": x_pivot,
+    # Eppstein's inner recursion uses Tomita's rule; its outer degeneracy
+    # ordering is handled separately where whole-graph runs are needed.
+    "eppstein": tomita_pivot,
+}
+
+
+@dataclass(frozen=True)
+class Combo:
+    """One (algorithm, backend) cell of the paper's Table 1."""
+
+    algorithm: str
+    backend: str
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in _ALGORITHMS:
+            raise AlgorithmNotFoundError(self.algorithm, ALGORITHM_NAMES)
+        if self.backend not in BACKEND_NAMES:
+            raise AlgorithmNotFoundError(self.backend, BACKEND_NAMES)
+
+    @property
+    def name(self) -> str:
+        """Display name in the paper's ``[Structure/Algorithm]`` style."""
+        structure = {"lists": "Lists", "bitsets": "BitSets", "matrix": "Matrix"}
+        algorithm = {
+            "bkpivot": "BKPivot",
+            "tomita": "Tomita",
+            "eppstein": "Eppstein",
+            "xpivot": "XPivot",
+        }
+        return f"[{structure[self.backend]}/{algorithm[self.algorithm]}]"
+
+    def run(self, graph: Graph) -> Iterator[frozenset[Node]]:
+        """Yield the maximal cliques of ``graph`` with this combination."""
+        return _ALGORITHMS[self.algorithm](graph, self.backend)
+
+
+ALL_COMBOS: tuple[Combo, ...] = tuple(
+    Combo(algorithm, backend)
+    for algorithm in ALGORITHM_NAMES
+    for backend in BACKEND_NAMES
+)
+
+
+def get_algorithm(name: str) -> Callable[[Graph, str], Iterator[frozenset[Node]]]:
+    """Return the whole-graph enumerator registered under ``name``."""
+    try:
+        return _ALGORITHMS[name]
+    except KeyError:
+        raise AlgorithmNotFoundError(name, ALGORITHM_NAMES) from None
+
+
+def get_pivot_rule(name: str) -> PivotRule:
+    """Return the pivot rule an algorithm uses inside its recursion."""
+    try:
+        return _PIVOT_RULES[name]
+    except KeyError:
+        raise AlgorithmNotFoundError(name, ALGORITHM_NAMES) from None
+
+
+def run_combo(graph: Graph, combo: Combo) -> list[frozenset[Node]]:
+    """Run one combination to completion and return its clique list."""
+    return list(combo.run(graph))
+
+
+def time_combo(graph: Graph, combo: Combo, repeats: int = 1) -> float:
+    """Return the best-of-``repeats`` wall-clock seconds for one combo.
+
+    Used by the decision-tree trainer (Section 4) to label each training
+    graph with its best-performing combination.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        count = 0
+        for _clique in combo.run(graph):
+            count += 1
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best
+
+
+def prepare_backend_for_block(graph: Graph, backend: str) -> Backend:
+    """Build the named backend over a block graph (decision-tree output)."""
+    return build_backend(graph, backend)
+
+
+def eppstein_outer_order(graph: Graph, backend: Backend) -> list[int]:
+    """Return the Eppstein–Strash degeneracy ordering as internal indices."""
+    return [backend.index_of(node) for node in degeneracy_ordering(graph)]

@@ -1,0 +1,33 @@
+"""The Tomita–Tanaka–Takahashi maximal clique algorithm.
+
+Reference [34] of the paper: *The worst-case time complexity for
+generating all maximal cliques and computational experiments*, Theor.
+Comput. Sci. 363(1), 2006.  Bron–Kerbosch with the pivot chosen from
+``P ∪ X`` to maximise ``|N(u) ∩ P|`` — worst-case optimal
+``O(3^(n/3))`` and, per the paper, the strongest portfolio member on
+dense blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.adjacency import Graph, Node
+from repro.mce.backends import Backend, build_backend
+from repro.mce.recursion import enumerate_all, tomita_pivot
+
+
+def tomita(graph: Graph, backend: str = "bitsets") -> Iterator[frozenset[Node]]:
+    """Yield every maximal clique of ``graph`` using Tomita's pivot rule.
+
+    The default backend is bitsets, the combination the paper's Table 1
+    reports winning most often for this algorithm.
+    """
+    native = build_backend(graph, backend)
+    yield from tomita_native(native)
+
+
+def tomita_native(native: Backend) -> Iterator[frozenset[Node]]:
+    """Run Tomita on an already-built backend (label output)."""
+    for clique in enumerate_all(native, tomita_pivot):
+        yield frozenset(native.label(i) for i in clique)

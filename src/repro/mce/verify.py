@@ -1,0 +1,103 @@
+"""Validation helpers for clique sets.
+
+Used by the test suite, by the completeness benchmarks (to demonstrate
+that the naive fixed-block baseline emits non-maximal cliques and misses
+real ones), and available to library users who want to audit an output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.adjacency import Graph, Node
+
+
+def is_clique(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return whether ``nodes`` induce a complete subgraph of ``graph``."""
+    return graph.is_clique(nodes)
+
+
+def is_maximal_clique(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return whether ``nodes`` form a clique no node of ``graph`` extends.
+
+    The empty set is never maximal in a non-empty graph (any node extends
+    it) and vacuously not a clique of interest in an empty graph.
+    """
+    members = set(nodes)
+    if not members:
+        return False
+    if not graph.is_clique(members):
+        return False
+    # A clique member is never its own neighbour, so the intersection of
+    # all members' neighbourhoods contains exactly the possible extensions.
+    common: set[Node] | None = None
+    for node in members:
+        neighbors = set(graph.neighbors(node))
+        common = neighbors if common is None else common & neighbors
+        if not common:
+            return True
+    assert common is not None
+    return not common
+
+
+def find_extension(graph: Graph, nodes: Iterable[Node]) -> Node | None:
+    """Return a node adjacent to every member of ``nodes``, or ``None``.
+
+    A non-``None`` result is a witness that the clique is not maximal.
+    """
+    members = set(nodes)
+    if not members:
+        for node in graph.nodes():
+            return node
+        return None
+    common: set[Node] | None = None
+    for node in members:
+        neighbors = set(graph.neighbors(node))
+        common = neighbors if common is None else common & neighbors
+    assert common is not None
+    extensions = common - members
+    return next(iter(extensions)) if extensions else None
+
+
+def check_mce_output(
+    graph: Graph, cliques: Sequence[frozenset[Node]]
+) -> list[str]:
+    """Audit an MCE output; return a list of problem descriptions.
+
+    Checks, in order: every reported set is a clique; every reported set is
+    maximal; no duplicates.  An empty return value means the output is
+    internally consistent (it does *not* check completeness — use
+    :func:`missing_cliques` with a reference output for that).
+    """
+    problems: list[str] = []
+    seen: set[frozenset[Node]] = set()
+    for clique in cliques:
+        if clique in seen:
+            problems.append(f"duplicate clique {sorted(clique, key=str)}")
+            continue
+        seen.add(clique)
+        if not graph.is_clique(clique):
+            problems.append(f"not a clique: {sorted(clique, key=str)}")
+            continue
+        witness = find_extension(graph, clique)
+        if witness is not None:
+            problems.append(
+                f"not maximal: {sorted(clique, key=str)} extendable by {witness!r}"
+            )
+    return problems
+
+
+def missing_cliques(
+    reference: Iterable[frozenset[Node]], candidate: Iterable[frozenset[Node]]
+) -> set[frozenset[Node]]:
+    """Return the cliques present in ``reference`` but not in ``candidate``."""
+    return set(reference) - set(candidate)
+
+
+def spurious_cliques(
+    graph: Graph, candidate: Iterable[frozenset[Node]]
+) -> set[frozenset[Node]]:
+    """Return reported sets that are not maximal cliques of ``graph``."""
+    return {
+        clique for clique in candidate if not is_maximal_clique(graph, clique)
+    }

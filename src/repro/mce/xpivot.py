@@ -1,0 +1,36 @@
+"""XPivot — the pivot variation contributed by the paper itself.
+
+Section 4: "a variation of BKPivot proposed by us.  Like Tomita, it
+chooses the node that maximizes the size of N(u) ∩ P, but the node u is
+chosen from the set of already visited nodes."  Restricting the pivot to
+the exclusion set ``X`` makes the pivot computation cheaper (``X`` is
+typically much smaller than ``P ∪ X``) while keeping most of the pruning
+power; Table 1 shows it winning most often with adjacency lists.
+
+When ``X`` is empty the rule falls back to Tomita's choice over ``P`` so
+the recursion always has a pivot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.adjacency import Graph, Node
+from repro.mce.backends import Backend, build_backend
+from repro.mce.recursion import enumerate_all, x_pivot
+
+
+def xpivot(graph: Graph, backend: str = "lists") -> Iterator[frozenset[Node]]:
+    """Yield every maximal clique of ``graph`` using the XPivot rule.
+
+    The default backend is adjacency lists, the combination the paper's
+    Table 1 reports winning most often for this algorithm.
+    """
+    native = build_backend(graph, backend)
+    yield from xpivot_native(native)
+
+
+def xpivot_native(native: Backend) -> Iterator[frozenset[Node]]:
+    """Run XPivot on an already-built backend (label output)."""
+    for clique in enumerate_all(native, x_pivot):
+        yield frozenset(native.label(i) for i in clique)

@@ -1,0 +1,39 @@
+"""Relaxed community models (the paper's Section 8 future work)."""
+
+from repro.relaxed.distance import (
+    bfs_distances,
+    diameter,
+    graph_power,
+    induced_diameter_at_most,
+    is_kclub,
+    k_clans,
+    k_cliques,
+    kclubs_from_kclans,
+)
+from repro.relaxed.kplex import (
+    is_kplex,
+    kplex_deficiencies,
+    maximal_kplexes,
+    minimum_k,
+)
+from repro.relaxed.kplex_split import KplexSplitResult, degree_split_kplexes
+from repro.relaxed.percolation import community_membership, k_clique_communities
+
+__all__ = [
+    "bfs_distances",
+    "diameter",
+    "graph_power",
+    "induced_diameter_at_most",
+    "is_kclub",
+    "k_clans",
+    "k_cliques",
+    "kclubs_from_kclans",
+    "is_kplex",
+    "kplex_deficiencies",
+    "maximal_kplexes",
+    "minimum_k",
+    "KplexSplitResult",
+    "degree_split_kplexes",
+    "community_membership",
+    "k_clique_communities",
+]

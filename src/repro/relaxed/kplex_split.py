@@ -1,0 +1,157 @@
+"""The paper's decomposition approach, extended to k-plexes (Section 8).
+
+Section 8's first future-work item is "extending our approach to
+relaxed definitions of communities".  This module carries the paper's
+two core mechanisms over to maximal k-plex enumeration:
+
+* **Lemma 1 generalises to any hereditary property.**  Its proof uses
+  only maximality and closure under subsets; k-plexes are hereditary,
+  so for any bipartition ``(N1, N2)``: the maximal k-plexes of ``G``
+  are those touching ``N1``, plus the maximal k-plexes of ``G[N2]``
+  filtered by containment.
+* **The first-level recursion** (peel low-degree nodes, recurse on the
+  high-degree core) therefore applies verbatim, with anchored
+  enumeration playing the role of ``BLOCK-ANALYSIS``.
+
+What does *not* carry over is the second level: a k-plex containing a
+node ``v`` may include up to ``k - 1`` non-neighbours of ``v`` per
+member, so blocks closed under 1-hop neighbourhoods cannot contain it
+— the reason the paper calls this an extension rather than a corollary.
+Anchored sweeps therefore run over the whole residual graph (the
+degree-split form, as in :mod:`repro.baselines.degree_split`), which
+preserves the recursion's benefit — shrinking residual cores — without
+the memory-bounded blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.filtering import filter_contained
+from repro.graph.adjacency import Graph, Node
+from repro.graph.views import induced_subgraph
+from repro.relaxed.kplex import _addable
+
+
+@dataclass(frozen=True)
+class KplexSplitResult:
+    """Output of the degree-split k-plex enumeration."""
+
+    plexes: list[frozenset[Node]]
+    rounds: int
+
+    @property
+    def count(self) -> int:
+        """Number of maximal k-plexes found."""
+        return len(self.plexes)
+
+
+def degree_split_kplexes(
+    graph: Graph, k: int, threshold: int, min_size: int = 1
+) -> KplexSplitResult:
+    """Enumerate all maximal k-plexes via the paper's recursion.
+
+    Each round anchors enumerations at the nodes of degree below
+    ``threshold`` (finding every maximal k-plex touching them exactly
+    once, via the exclusion mechanism), then recurses on the induced
+    high-degree core; rounds merge bottom-up through the hereditary
+    Lemma 1 filter.
+
+    ``min_size`` is applied to the *final* merged output (a maximal
+    k-plex smaller than ``min_size`` is simply not reported).
+
+    Raises
+    ------
+    ValueError
+        If ``k < 1``, ``threshold < 1`` or ``min_size < 1``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if threshold < 1:
+        raise ValueError("threshold must be at least 1")
+    if min_size < 1:
+        raise ValueError("min_size must be at least 1")
+    level_plexes: list[list[frozenset[Node]]] = []
+    current = graph
+    rounds = 0
+    while current.num_nodes > 0:
+        low = [n for n in current.nodes() if current.degree(n) < threshold]
+        high = [n for n in current.nodes() if current.degree(n) >= threshold]
+        if not low:
+            # Residual core: finish with the direct enumerator.
+            from repro.relaxed.kplex import maximal_kplexes
+
+            level_plexes.append(list(maximal_kplexes(current, k)))
+            rounds += 1
+            break
+        level_plexes.append(list(_plexes_touching(current, low, k)))
+        rounds += 1
+        if not high:
+            break
+        current = induced_subgraph(current, high)
+
+    merged: list[frozenset[Node]] = []
+    for plexes in reversed(level_plexes):
+        merged = list(plexes) + filter_contained(merged, plexes)
+    kept = [plex for plex in merged if len(plex) >= min_size]
+    return KplexSplitResult(plexes=kept, rounds=rounds)
+
+
+def _plexes_touching(
+    graph: Graph, low: list[Node], k: int
+) -> Iterator[frozenset[Node]]:
+    """All maximal k-plexes of ``graph`` containing a node of ``low``.
+
+    One anchored set-enumeration per low node; processed anchors move
+    to the exclusion side so each k-plex is emitted exactly once at its
+    earliest anchor (the anti-monotone addability of k-plex extension
+    makes the exclusion pruning safe, as in
+    :mod:`repro.relaxed.kplex`).
+    """
+    adjacency = {node: graph.neighbors(node) for node in graph.nodes()}
+    candidates = [n for n in graph.nodes()]
+    excluded: list[Node] = []
+    for anchor in low:
+        candidates = [n for n in candidates if n != anchor]
+        members = [anchor]
+        anchored_candidates = [
+            n for n in candidates if _addable(adjacency, members, n, k)
+        ]
+        anchored_excluded = [
+            n for n in excluded if _addable(adjacency, members, n, k)
+        ]
+        yield from _expand_anchored(
+            adjacency, k, members, anchored_candidates, anchored_excluded
+        )
+        excluded.append(anchor)
+
+
+def _expand_anchored(
+    adjacency: dict[Node, frozenset[Node]],
+    k: int,
+    members: list[Node],
+    candidates: list[Node],
+    excluded: list[Node],
+) -> Iterator[frozenset[Node]]:
+    """Set-enumeration recursion (the kplex module's, anchored form)."""
+    if not candidates:
+        if not excluded:
+            yield frozenset(members)
+        return
+    remaining = list(candidates)
+    blocked = list(excluded)
+    for candidate in candidates:
+        remaining.remove(candidate)
+        members.append(candidate)
+        next_candidates = [
+            node for node in remaining if _addable(adjacency, members, node, k)
+        ]
+        next_excluded = [
+            node for node in blocked if _addable(adjacency, members, node, k)
+        ]
+        yield from _expand_anchored(
+            adjacency, k, members, next_candidates, next_excluded
+        )
+        members.pop()
+        blocked.append(candidate)

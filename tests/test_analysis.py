@@ -1,0 +1,127 @@
+"""Unit tests for the measurement and reporting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.cliques import (
+    largest_cliques_split,
+    overlap_stats,
+    provenance_split,
+    size_histogram,
+)
+from repro.analysis.degrees import degree_profile, hub_shares
+from repro.analysis.report import format_csv, format_series, format_table
+from repro.core.driver import find_max_cliques
+from repro.graph.adjacency import Graph
+from repro.graph.generators import social_network, star_graph
+
+
+@pytest.fixture(scope="module")
+def result():
+    g = social_network(150, attachment=4, planted_cliques=(10, 8), seed=7)
+    return find_max_cliques(g, 20)
+
+
+class TestProvenanceSplit:
+    def test_counts_add_up(self, result):
+        split = provenance_split(result)
+        assert split.total == result.num_cliques
+        assert split.feasible_count == len(result.feasible_cliques())
+        assert split.hub_count == len(result.hub_cliques())
+
+    def test_fraction_bounds(self, result):
+        split = provenance_split(result)
+        assert 0.0 <= split.hub_fraction <= 1.0
+
+    def test_empty_result(self):
+        empty = find_max_cliques(Graph(), 5)
+        split = provenance_split(empty)
+        assert split.total == 0
+        assert split.hub_fraction == 0.0
+        assert split.feasible_avg_size == 0.0
+
+
+class TestSizeHistogram:
+    def test_histogram(self):
+        cliques = [frozenset({1, 2}), frozenset({3, 4}), frozenset({5, 6, 7})]
+        assert size_histogram(cliques) == {2: 2, 3: 1}
+
+    def test_empty(self):
+        assert size_histogram([]) == {}
+
+
+class TestLargestSplit:
+    def test_shares_sum_to_one(self, result):
+        feasible, hub = largest_cliques_split(result, k=50)
+        assert feasible + hub == pytest.approx(1.0)
+
+    def test_empty(self):
+        empty = find_max_cliques(Graph(), 5)
+        assert largest_cliques_split(empty, 10) == (0.0, 0.0)
+
+
+class TestOverlap:
+    def test_counts(self):
+        a = {frozenset({1}), frozenset({2})}
+        b = {frozenset({2}), frozenset({3})}
+        assert overlap_stats(a, b) == {"common": 1, "missed": 1, "extra": 1}
+
+
+class TestDegreeProfile:
+    def test_star(self):
+        profile = degree_profile("star", star_graph(30), truncate_at=5)
+        assert profile.max_degree == 30
+        assert profile.truncated_histogram[1] == 30
+        assert profile.low_degree_fraction == pytest.approx(30 / 31)
+
+    def test_invalid_truncation(self):
+        with pytest.raises(ValueError):
+            degree_profile("x", Graph(), truncate_at=-1)
+
+    def test_empty_graph(self):
+        profile = degree_profile("empty", Graph())
+        assert profile.num_nodes == 0
+        assert math.isnan(profile.power_law_alpha)
+
+
+class TestHubShares:
+    def test_monotone_in_m(self):
+        g = social_network(200, attachment=3, seed=8)
+        rows = hub_shares(g, [5, 10, 20, 40])
+        shares = [share for _, share in rows]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            hub_shares(Graph(nodes=[1]), [0])
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in text
+        assert "2.5" in text
+
+    def test_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_table_bool_and_float_rendering(self):
+        text = format_table(["x"], [[True], [0.123456]])
+        assert "yes" in text
+        assert "0.1235" in text
+
+    def test_csv(self):
+        text = format_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_series(self):
+        text = format_series("s", [(0.9, 10), (0.5, 20)])
+        assert "0.9 -> 10" in text

@@ -1,0 +1,113 @@
+"""Unit tests for ASCII charts and repeated-measurement timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, log_bar_chart
+from repro.analysis.timing import measure
+
+
+class TestBarChart:
+    def test_scaling_to_max(self):
+        text = bar_chart(["a", "b"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_title_and_unit(self):
+        text = bar_chart(["x"], [1.0], title="T", unit="s")
+        assert text.startswith("T")
+        assert "1s" in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], [])
+
+    def test_zero_values(self):
+        text = bar_chart(["a"], [0.0])
+        assert "█" not in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_half_block_rendering(self):
+        text = bar_chart(["a", "b"], [20.0, 1.0], width=10)
+        # 1/20 * 10 = 0.5 -> a half block for the small bar.
+        assert "▌" in text.splitlines()[1]
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        text = grouped_bar_chart(
+            ["0.9", "0.1"],
+            {"feasible": [10.0, 5.0], "hub": [0.0, 8.0]},
+        )
+        assert "0.9:" in text
+        assert "feasible" in text
+        assert "hub" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a"], {"s": [1.0, 2.0]})
+
+    def test_empty_series(self):
+        assert grouped_bar_chart([], {}) == ""
+
+
+class TestLogBarChart:
+    def test_orders_of_magnitude(self):
+        text = log_bar_chart(["small", "large"], [10.0, 10000.0], width=40)
+        lines = text.splitlines()
+        small_bar = lines[0].count("█")
+        large_bar = lines[1].count("█")
+        assert large_bar == 40
+        assert small_bar == 10  # log10(10)/log10(10000) = 1/4 of width
+
+    def test_zero_value_empty_bar(self):
+        text = log_bar_chart(["z"], [0.0])
+        assert "█" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_bar_chart(["a"], [])
+
+
+class TestMeasure:
+    def test_result_returned(self):
+        result, sample = measure(lambda: 42, repeats=3)
+        assert result == 42
+        assert sample.runs == 3
+
+    def test_statistics_consistent(self):
+        _, sample = measure(lambda: time.sleep(0.001), repeats=3)
+        assert sample.best_seconds <= sample.mean_seconds <= sample.worst_seconds
+        assert sample.best_seconds > 0.0
+        assert sample.relative_spread >= 0.0
+
+    def test_single_repeat_no_stdev(self):
+        _, sample = measure(lambda: None, repeats=1)
+        assert sample.stdev_seconds == 0.0
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+    def test_action_runs_each_repeat(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=4)
+        assert len(calls) == 4
+
+
+class TestLogBarSubUnitValues:
+    def test_values_below_one_render_empty(self):
+        text = log_bar_chart(["tiny", "big"], [0.5, 1000.0], width=30)
+        lines = text.splitlines()
+        assert "█" not in lines[0]
+        assert lines[1].count("█") == 30

@@ -1,0 +1,69 @@
+"""Unit tests for DOT export."""
+
+from __future__ import annotations
+
+from repro.analysis.dot import block_to_dot, decomposition_to_dot, graph_to_dot
+from repro.core.blocks import build_blocks
+from repro.core.feasibility import cut
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi
+
+
+class TestGraphToDot:
+    def test_nodes_and_edges_present(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        dot = graph_to_dot(g)
+        assert dot.startswith('graph "network" {')
+        assert '"a" -- "b";' in dot or '"b" -- "a";' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_hubs_highlighted(self):
+        g = Graph(edges=[("hub", "x"), ("hub", "y")])
+        dot = graph_to_dot(g, hubs={"hub"})
+        assert '"hub" [fillcolor=salmon];' in dot
+        assert '"x" [fillcolor=white];' in dot
+
+    def test_quoting(self):
+        g = Graph(nodes=['we"ird'])
+        dot = graph_to_dot(g)
+        assert '\\"' in dot
+
+    def test_empty_graph(self):
+        dot = graph_to_dot(Graph())
+        assert "graph" in dot
+
+
+class TestBlockToDot:
+    def _block(self):
+        g = erdos_renyi(20, 0.25, seed=4)
+        feasible, _ = cut(g, 8)
+        return build_blocks(g, feasible, 8)
+
+    def test_roles_coloured(self):
+        blocks = self._block()
+        block = next(b for b in blocks if b.border or b.visited)
+        dot = block_to_dot(block)
+        assert "fillcolor=white" in dot  # kernel
+        assert "palegreen" in dot or "lightblue" in dot
+
+    def test_visited_double_circled(self):
+        blocks = self._block()
+        with_visited = [b for b in blocks if b.visited]
+        if not with_visited:
+            return
+        dot = block_to_dot(with_visited[0])
+        assert "doublecircle" in dot
+
+
+class TestDecompositionToDot:
+    def test_one_cluster_per_block(self):
+        g = erdos_renyi(20, 0.25, seed=4)
+        feasible, _ = cut(g, 8)
+        blocks = build_blocks(g, feasible, 8)
+        dot = decomposition_to_dot(blocks)
+        assert dot.count("subgraph cluster_") == len(blocks)
+        assert '"B1"' in dot.replace("label=", "") or "B1" in dot
+
+    def test_empty(self):
+        dot = decomposition_to_dot([])
+        assert "decomposition" in dot

@@ -1,0 +1,100 @@
+"""Unit tests for modularity and overlapping-cover quality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.modularity import modularity, overlapping_quality
+from repro.baselines.networkx_mce import to_networkx
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    disjoint_union,
+    erdos_renyi,
+    stochastic_block_model,
+)
+
+
+class TestModularity:
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = stochastic_block_model([10, 10], 0.6, 0.05, seed=3)
+        communities = [
+            frozenset((0, i) for i in range(10)),
+            frozenset((1, i) for i in range(10)),
+        ]
+        ours = modularity(g, communities)
+        theirs = nx.community.modularity(
+            to_networkx(g), [set(c) for c in communities]
+        )
+        assert ours == pytest.approx(theirs)
+
+    def test_single_community_zero(self):
+        g = complete_graph(5)
+        assert modularity(g, [frozenset(range(5))]) == pytest.approx(0.0)
+
+    def test_separated_cliques_high(self):
+        union = disjoint_union([complete_graph(4), complete_graph(4)])
+        communities = [
+            frozenset((0, i) for i in range(4)),
+            frozenset((1, i) for i in range(4)),
+        ]
+        assert modularity(union, communities) == pytest.approx(0.5)
+
+    def test_overlap_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError, match="overlap"):
+            modularity(g, [frozenset({0, 1, 2}), frozenset({2, 3})])
+
+    def test_incomplete_cover_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(ValueError, match="cover"):
+            modularity(g, [frozenset({0, 1})])
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(ValueError, match="edgeless"):
+            modularity(Graph(nodes=[1]), [frozenset({1})])
+
+
+class TestOverlappingQuality:
+    def test_perfect_cover(self):
+        union = disjoint_union([complete_graph(4), complete_graph(4)])
+        communities = [
+            frozenset((0, i) for i in range(4)),
+            frozenset((1, i) for i in range(4)),
+        ]
+        quality = overlapping_quality(union, communities)
+        assert quality.coverage == 1.0
+        assert quality.intra_edge_fraction == 1.0
+        assert quality.mean_conductance == 0.0
+
+    def test_partial_cover(self):
+        g = complete_graph(6)
+        quality = overlapping_quality(g, [frozenset({0, 1, 2})])
+        assert quality.coverage == pytest.approx(0.5)
+        assert 0.0 < quality.intra_edge_fraction < 1.0
+        assert quality.mean_conductance > 0.0
+
+    def test_empty_cover(self):
+        quality = overlapping_quality(complete_graph(3), [])
+        assert quality == overlapping_quality(Graph(), [frozenset({1})])
+
+    def test_overlapping_communities_allowed(self):
+        g = erdos_renyi(20, 0.3, seed=4)
+        communities = [
+            frozenset(list(g.nodes())[:12]),
+            frozenset(list(g.nodes())[8:]),
+        ]
+        quality = overlapping_quality(g, communities)
+        assert quality.coverage == 1.0
+
+    def test_percolation_communities_score_well_on_sbm(self):
+        from repro.mce.tomita import tomita
+        from repro.relaxed.percolation import k_clique_communities
+
+        g = stochastic_block_model([12, 12], 0.8, 0.02, seed=6)
+        communities = k_clique_communities(list(tomita(g)), 4)
+        quality = overlapping_quality(g, communities)
+        assert quality.coverage > 0.9
+        assert quality.intra_edge_fraction > 0.8

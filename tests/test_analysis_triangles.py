@@ -1,0 +1,84 @@
+"""Unit tests for triangle statistics, cross-checked with networkx."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.triangles import (
+    average_clustering,
+    transitivity,
+    triangle_counts,
+    triangle_total,
+)
+from repro.baselines.networkx_mce import to_networkx
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    social_network,
+)
+
+
+class TestTriangleCounts:
+    def test_triangle(self):
+        g = complete_graph(3)
+        assert triangle_counts(g) == {0: 1, 1: 1, 2: 1}
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        # Each node is in C(4, 2) = 6 triangles.
+        assert set(triangle_counts(g).values()) == {6}
+        assert triangle_total(g) == 10
+
+    def test_triangle_free(self):
+        g = cycle_graph(6)
+        assert triangle_total(g) == 0
+
+    def test_empty(self):
+        assert triangle_counts(Graph()) == {}
+        assert triangle_total(Graph()) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = erdos_renyi(40, 0.2, seed=seed)
+        assert triangle_counts(g) == nx.triangles(to_networkx(g))
+
+
+class TestTransitivity:
+    def test_complete(self):
+        assert transitivity(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_triangle_free(self):
+        assert transitivity(cycle_graph(8)) == 0.0
+
+    def test_no_triads(self):
+        assert transitivity(Graph(edges=[(0, 1)])) == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = erdos_renyi(30, 0.25, seed=seed)
+        assert transitivity(g) == pytest.approx(nx.transitivity(to_networkx(g)))
+
+
+class TestAverageClustering:
+    def test_empty(self):
+        assert average_clustering(Graph()) == 0.0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = erdos_renyi(30, 0.25, seed=seed)
+        assert average_clustering(g) == pytest.approx(
+            nx.average_clustering(to_networkx(g))
+        )
+
+    def test_triadic_closure_raises_clustering(self):
+        flat = social_network(200, attachment=3, closure_probability=0.0, seed=5)
+        closed = social_network(200, attachment=3, closure_probability=0.8, seed=5)
+        assert average_clustering(closed) > average_clustering(flat)

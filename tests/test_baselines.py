@@ -1,0 +1,87 @@
+"""Unit tests for the baseline strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import nx_cliques
+from repro.baselines.exact import exact_mce
+from repro.baselines.naive_blocks import naive_block_mce
+from repro.baselines.networkx_mce import from_networkx, networkx_cliques, to_networkx
+from repro.core.driver import find_max_cliques
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, erdos_renyi, social_network
+from repro.mce.registry import Combo
+
+
+class TestExact:
+    def test_matches_networkx(self):
+        g = erdos_renyi(30, 0.25, seed=2)
+        result = exact_mce(g)
+        assert set(result.cliques) == nx_cliques(g)
+        assert result.seconds > 0.0
+        assert result.num_cliques == len(result.cliques)
+
+    def test_custom_combo(self):
+        g = complete_graph(5)
+        combo = Combo("eppstein", "lists")
+        result = exact_mce(g, combo=combo)
+        assert result.combo == combo
+        assert result.cliques == [frozenset(range(5))]
+
+
+class TestNetworkxBridge:
+    def test_roundtrip(self):
+        g = erdos_renyi(20, 0.3, seed=3)
+        assert from_networkx(to_networkx(g)) == g
+
+    def test_cliques_match_internal(self):
+        g = erdos_renyi(20, 0.3, seed=4)
+        assert networkx_cliques(g) == set(exact_mce(g).cliques)
+
+
+class TestNaiveBlocks:
+    def test_misses_hub_cliques(self):
+        # The central claim of the paper: with small blocks, the
+        # hub-oblivious baseline loses maximal cliques that the two-level
+        # decomposition keeps.
+        g = social_network(150, attachment=4, planted_cliques=(10,), seed=5)
+        m = 20
+        reference = nx_cliques(g)
+        ours = find_max_cliques(g, m)
+        naive = naive_block_mce(g, m)
+        assert set(ours.cliques) == reference  # complete
+        assert naive.missed(reference), "expected the baseline to miss cliques"
+
+    def test_reports_spurious_cliques(self):
+        g = social_network(150, attachment=4, planted_cliques=(10,), seed=5)
+        naive = naive_block_mce(g, 20)
+        assert naive.spurious(g), "expected non-maximal output"
+
+    def test_truncation_counted(self):
+        g = social_network(150, attachment=4, seed=6)
+        naive = naive_block_mce(g, 15)
+        assert naive.truncated_blocks > 0
+
+    def test_correct_when_m_huge(self):
+        # With blocks large enough for every neighbourhood, the naive
+        # strategy is complete — the failure is specifically about hubs.
+        g = erdos_renyi(25, 0.2, seed=7)
+        naive = naive_block_mce(g, m=1000)
+        assert set(naive.cliques) == nx_cliques(g)
+        assert naive.truncated_blocks == 0
+
+    def test_no_duplicates(self):
+        g = erdos_renyi(30, 0.25, seed=8)
+        naive = naive_block_mce(g, 12)
+        assert len(naive.cliques) == len(set(naive.cliques))
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            naive_block_mce(Graph(), 1)
+
+    def test_every_node_kernel_once(self):
+        g = erdos_renyi(30, 0.25, seed=9)
+        naive = naive_block_mce(g, 12)
+        kernels = [n for b in naive.blocks for n in b.kernel]
+        assert sorted(kernels, key=str) == sorted(g.nodes(), key=str)

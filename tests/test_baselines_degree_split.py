@@ -1,0 +1,63 @@
+"""Unit tests for the Chang-style degree-split baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FIGURE1_CLIQUES, nx_cliques
+from repro.baselines.degree_split import degree_split_mce
+from repro.graph.adjacency import Graph
+from repro.graph.cores import degeneracy
+from repro.graph.generators import complete_graph, erdos_renyi, social_network
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("threshold", [3, 6, 12, 100])
+    def test_matches_networkx(self, seed, threshold):
+        g = erdos_renyi(25, 0.3, seed=seed)
+        result = degree_split_mce(g, threshold)
+        assert len(result.cliques) == len(set(result.cliques))
+        assert set(result.cliques) == nx_cliques(g)
+
+    def test_figure1(self, figure1):
+        result = degree_split_mce(figure1, 5)
+        assert set(result.cliques) == FIGURE1_CLIQUES
+
+    def test_social_network(self):
+        g = social_network(150, attachment=3, planted_cliques=(9,), seed=4)
+        result = degree_split_mce(g, 25)
+        assert set(result.cliques) == nx_cliques(g)
+
+    def test_residual_core_finished_exactly(self):
+        # threshold below the degeneracy: the split makes no progress on
+        # the core, which must still be enumerated correctly.
+        g = complete_graph(8)
+        result = degree_split_mce(g, 4)
+        assert result.cliques == [frozenset(range(8))]
+
+    def test_empty_graph(self):
+        result = degree_split_mce(Graph(), 3)
+        assert result.cliques == []
+        assert result.rounds == 0
+
+
+class TestRounds:
+    def test_rounds_grow_as_threshold_falls(self):
+        g = social_network(200, attachment=4, seed=5)
+        low_threshold = degeneracy(g) + 1
+        high_threshold = g.max_degree() + 1
+        shallow = degree_split_mce(g, high_threshold)
+        deep = degree_split_mce(g, low_threshold)
+        assert shallow.rounds <= deep.rounds
+        assert shallow.rounds == 1  # everything is low-degree
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            degree_split_mce(Graph(), 0)
+
+    def test_timing_recorded(self):
+        g = erdos_renyi(20, 0.3, seed=6)
+        result = degree_split_mce(g, 10)
+        assert result.seconds > 0.0
+        assert result.num_cliques == len(result.cliques)

@@ -1,0 +1,169 @@
+"""Unit tests for the second-level decomposition (BLOCKS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import Block, build_blocks, validate_blocks
+from repro.core.feasibility import cut
+from repro.errors import DecompositionError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    social_network,
+    star_graph,
+)
+
+
+def decompose(graph: Graph, m: int):
+    feasible, _hubs = cut(graph, m)
+    blocks = build_blocks(graph, feasible, m)
+    return feasible, blocks
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("m", [3, 5, 8, 15])
+    def test_random_graphs_validate(self, m):
+        for seed in range(4):
+            g = erdos_renyi(30, 0.2, seed=seed)
+            feasible, blocks = decompose(g, m)
+            validate_blocks(g, blocks, feasible, m)
+
+    def test_social_network_validates(self):
+        g = social_network(150, attachment=3, planted_cliques=(8,), seed=2)
+        for m in (10, 25, 60):
+            feasible, blocks = decompose(g, m)
+            validate_blocks(g, blocks, feasible, m)
+
+    def test_kernels_partition_feasible(self):
+        g = erdos_renyi(40, 0.15, seed=7)
+        feasible, blocks = decompose(g, 10)
+        all_kernels = [node for block in blocks for node in block.kernel]
+        assert sorted(all_kernels, key=str) == sorted(feasible, key=str)
+        assert len(all_kernels) == len(set(all_kernels))
+
+    def test_block_size_bounded(self):
+        g = erdos_renyi(40, 0.3, seed=8)
+        _, blocks = decompose(g, 9)
+        assert all(block.size <= 9 for block in blocks)
+
+    def test_kernel_neighborhood_inside_block(self):
+        g = social_network(80, attachment=3, seed=4)
+        _, blocks = decompose(g, 15)
+        for block in blocks:
+            members = set(block.graph.nodes())
+            for kernel in block.kernel:
+                assert g.neighbors(kernel) <= members
+
+
+class TestFigure1:
+    def test_hubs_never_kernels(self, figure1):
+        feasible, blocks = decompose(figure1, 5)
+        kernels = {node for block in blocks for node in block.kernel}
+        assert not kernels & {"D", "S", "E"}
+        # But hub neighbourhoods are distributed among the blocks.
+        appearing = {node for block in blocks for node in block.graph.nodes()}
+        assert {"D", "S", "E"} <= appearing
+
+    def test_every_feasible_clique_in_some_block(self, figure1):
+        from conftest import FIGURE1_CLIQUES
+
+        _, blocks = decompose(figure1, 5)
+        feasible_cliques = [
+            c for c in FIGURE1_CLIQUES if c - {"D", "S", "E"}
+        ]
+        for clique in feasible_cliques:
+            assert any(
+                clique <= set(block.graph.nodes()) for block in blocks
+            ), clique
+
+
+class TestBlockDataclass:
+    def test_node_kind(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        feasible, blocks = decompose(g, 3)
+        block = blocks[0]
+        assert block.node_kind(block.kernel[0]) == "kernel"
+
+    def test_node_kind_missing(self):
+        _, blocks = decompose(cycle_graph(4), 4)
+        with pytest.raises(KeyError):
+            blocks[0].node_kind("nope")
+
+    def test_repr(self):
+        _, blocks = decompose(cycle_graph(4), 4)
+        assert "kernel=" in repr(blocks[0])
+
+
+class TestEdgeCases:
+    def test_no_feasible_nodes(self):
+        g = complete_graph(5)
+        blocks = build_blocks(g, [], 2)
+        assert blocks == []
+
+    def test_isolated_nodes(self):
+        g = Graph(nodes=[1, 2, 3])
+        feasible, blocks = decompose(g, 2)
+        validate_blocks(g, blocks, feasible, 2)
+        # All three isolated nodes fit in one block of size <= 2? No:
+        # each isolated node's closed neighbourhood is itself, so greedy
+        # growth packs two per block.
+        assert sum(len(b.kernel) for b in blocks) == 3
+
+    def test_star_with_small_m(self):
+        g = star_graph(6)  # hub degree 6
+        feasible, blocks = decompose(g, 3)
+        validate_blocks(g, blocks, feasible, 3)
+        # Leaves are feasible; hub is not (degree 6 >= 3).
+        kernels = {n for b in blocks for n in b.kernel}
+        assert 0 not in kernels
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            build_blocks(Graph(), [], 0)
+
+    def test_invalid_min_adjacency(self):
+        with pytest.raises(ValueError):
+            build_blocks(Graph(), [], 5, min_adjacency=0)
+
+    def test_wrong_feasible_set_detected(self):
+        # Passing a hub as "feasible" must be caught, not silently built.
+        g = star_graph(6)
+        with pytest.raises(DecompositionError):
+            build_blocks(g, [0], 3)
+
+    def test_isolated_growth_stops_at_threshold(self):
+        # With min_adjacency=2, a chain cannot grow past the seed's
+        # immediate pair, producing more, smaller blocks.
+        g = cycle_graph(12)
+        feasible, _ = cut(g, 12)
+        loose = build_blocks(g, feasible, 12, min_adjacency=1)
+        strict = build_blocks(g, feasible, 12, min_adjacency=2)
+        assert len(strict) >= len(loose)
+
+
+class TestValidator:
+    def test_detects_oversized_block(self):
+        g = cycle_graph(5)
+        feasible, blocks = decompose(g, 5)
+        with pytest.raises(DecompositionError, match="exceed"):
+            validate_blocks(g, blocks, feasible, 2)
+
+    def test_detects_missing_kernel(self):
+        g = cycle_graph(6)
+        feasible, blocks = decompose(g, 6)
+        with pytest.raises(DecompositionError, match="partition"):
+            validate_blocks(g, blocks, feasible + ["ghost"], 6)
+
+    def test_detects_duplicate_kernels(self):
+        g = Graph(edges=[(0, 1)])
+        block = Block(
+            kernel=(0, 0),
+            border=frozenset({1}),
+            visited=frozenset(),
+            graph=g.copy(),
+        )
+        with pytest.raises(DecompositionError, match="duplicate"):
+            validate_blocks(g, [block], [0], 5)

@@ -1,0 +1,95 @@
+"""Unit tests for the feasibility predicate and CUT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feasibility import cut, is_feasible, is_feasible_node
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, star_graph
+
+
+class TestIsFeasible:
+    def test_single_node_fits(self):
+        g = star_graph(3)  # hub 0 has degree 3
+        assert is_feasible([0], g, 4)
+        assert not is_feasible([0], g, 3)
+
+    def test_set_union_counted_once(self):
+        # Nodes 1 and 2 share hub 0: closed neighbourhood is {0, 1, 2}.
+        g = star_graph(3)
+        assert is_feasible([1, 2], g, 3)
+        assert not is_feasible([1, 2, 3], g, 3)
+
+    def test_empty_set(self):
+        assert is_feasible([], Graph(), 1)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            is_feasible([], Graph(), 0)
+
+    def test_missing_node(self):
+        with pytest.raises(NodeNotFoundError):
+            is_feasible([9], Graph(), 5)
+
+    def test_early_exit_consistent(self):
+        g = complete_graph(10)
+        assert not is_feasible([0], g, 5)
+        assert is_feasible([0], g, 10)
+
+
+class TestIsFeasibleNode:
+    def test_matches_degree_rule(self):
+        g = star_graph(4)
+        # degree(0) = 4: feasible iff m >= 5.
+        assert is_feasible_node(0, g, 5)
+        assert not is_feasible_node(0, g, 4)
+
+    def test_equivalent_to_set_form(self):
+        g = complete_graph(6)
+        for m in range(1, 9):
+            for node in g.nodes():
+                assert is_feasible_node(node, g, m) == is_feasible([node], g, m)
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            is_feasible_node(0, star_graph(1), 0)
+
+
+class TestCut:
+    def test_figure1(self, figure1):
+        # Paper, Section 2: with m = 5, hubs are exactly D, S and E.
+        feasible, hubs = cut(figure1, 5)
+        assert set(hubs) == {"D", "S", "E"}
+        assert set(feasible) == set(figure1.nodes()) - {"D", "S", "E"}
+
+    def test_partition(self):
+        g = star_graph(6)
+        feasible, hubs = cut(g, 4)
+        assert set(feasible) | set(hubs) == set(g.nodes())
+        assert not set(feasible) & set(hubs)
+
+    def test_all_feasible_when_m_large(self):
+        g = complete_graph(5)
+        feasible, hubs = cut(g, 5)
+        assert hubs == []
+        assert len(feasible) == 5
+
+    def test_all_hubs_when_m_small(self):
+        g = complete_graph(5)
+        feasible, hubs = cut(g, 2)
+        assert feasible == []
+        assert len(hubs) == 5
+
+    def test_insertion_order_preserved(self):
+        g = Graph(edges=[(3, 1), (1, 2)])
+        feasible, _hubs = cut(g, 10)
+        assert feasible == [3, 1, 2]
+
+    def test_empty_graph(self):
+        assert cut(Graph(), 3) == ([], [])
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            cut(Graph(), 0)

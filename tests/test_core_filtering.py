@@ -1,0 +1,68 @@
+"""Unit tests for the Lemma 1 containment filter."""
+
+from __future__ import annotations
+
+from repro.core.filtering import filter_contained, merge_level
+
+
+def fs(*nodes):
+    return frozenset(nodes)
+
+
+class TestFilterContained:
+    def test_contained_dropped(self):
+        assert filter_contained([fs(1, 2)], [fs(1, 2, 3)]) == []
+
+    def test_equal_dropped(self):
+        assert filter_contained([fs(1, 2)], [fs(1, 2)]) == []
+
+    def test_not_contained_kept(self):
+        assert filter_contained([fs(1, 4)], [fs(1, 2, 3)]) == [fs(1, 4)]
+
+    def test_partial_overlap_kept(self):
+        # Members split across two reference cliques, but no single
+        # reference clique contains the candidate.
+        candidates = [fs(1, 2)]
+        reference = [fs(1, 3), fs(2, 3)]
+        assert filter_contained(candidates, reference) == [fs(1, 2)]
+
+    def test_empty_reference_keeps_all(self):
+        assert filter_contained([fs(1), fs(2)], []) == [fs(1), fs(2)]
+
+    def test_empty_candidates(self):
+        assert filter_contained([], [fs(1)]) == []
+
+    def test_empty_candidate_dropped_when_reference_exists(self):
+        assert filter_contained([fs()], [fs(1)]) == []
+
+    def test_empty_candidate_kept_without_reference(self):
+        assert filter_contained([fs()], []) == [fs()]
+
+    def test_order_preserved(self):
+        candidates = [fs(5), fs(4), fs(9)]
+        assert filter_contained(candidates, [fs(4, 0)]) == [fs(5), fs(9)]
+
+    def test_member_not_in_any_reference(self):
+        assert filter_contained([fs(1, 99)], [fs(1, 2), fs(1, 3)]) == [fs(1, 99)]
+
+    def test_many_references(self):
+        reference = [fs(i, i + 1, i + 2) for i in range(50)]
+        candidates = [fs(10, 11), fs(10, 13)]
+        assert filter_contained(candidates, reference) == [fs(10, 13)]
+
+
+class TestMergeLevel:
+    def test_feasible_first(self):
+        merged = merge_level([fs(1, 2)], [fs(3, 4)])
+        assert merged == [fs(1, 2), fs(3, 4)]
+
+    def test_hub_clique_filtered(self):
+        merged = merge_level([fs(1, 2, 3)], [fs(2, 3)])
+        assert merged == [fs(1, 2, 3)]
+
+    def test_lemma1_example(self):
+        # Figure 1's instantiation: Cf covers {A,J,H}, {H,F,D}, ... and
+        # Ch = {{D,S,E}} from the hub triangle; nothing filters out.
+        cf = [fs("A", "J", "H"), fs("H", "F", "D")]
+        ch = [fs("D", "S", "E")]
+        assert merge_level(cf, ch) == cf + ch

@@ -1,0 +1,82 @@
+"""Unit tests for the block-size planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.driver import find_max_cliques
+from repro.core.planner import recommend_block_size
+from repro.distributed.cluster import ClusterSpec
+from repro.errors import ConvergenceError
+from repro.graph.adjacency import Graph
+from repro.graph.cores import degeneracy
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import complete_graph, social_network
+
+
+class TestRecommendation:
+    def test_dataset_gets_efficiency_target(self):
+        graph = load_dataset("google+")
+        plan = recommend_block_size(graph)
+        assert plan.m == max(2, graph.max_degree() // 2)
+        assert "efficiency target" in plan.rationale
+        assert plan.ratio == pytest.approx(0.5, abs=0.01)
+
+    def test_plan_satisfies_theorem1(self):
+        graph = social_network(200, attachment=3, planted_cliques=(9,), seed=3)
+        plan = recommend_block_size(graph)
+        assert plan.m > degeneracy(graph)
+        # And the driver accepts it without fallback.
+        result = find_max_cliques(graph, plan.m, fallback="raise")
+        assert not result.fallback_used
+
+    def test_dense_graph_raised_to_lower_bound(self):
+        # K30: degeneracy 29, max degree 29 -> 0.5 target (14) is below
+        # the completeness bound and must be raised.
+        graph = complete_graph(30)
+        plan = recommend_block_size(graph)
+        assert plan.m == 30
+        assert "degeneracy" in plan.rationale
+
+    def test_memory_cap_binds_with_tiny_budget(self):
+        graph = load_dataset("google+")
+        tiny = ClusterSpec(memory_bytes_per_machine=30_000_000)
+        plan = recommend_block_size(
+            graph, cluster=tiny, backend="matrix", memory_fraction=0.0001
+        )
+        assert plan.m == plan.memory_upper_bound
+        assert "memory budget" in plan.rationale
+
+    def test_impossible_budget_raises(self):
+        graph = complete_graph(40)  # degeneracy 39
+        tiny = ClusterSpec(memory_bytes_per_machine=1024)
+        with pytest.raises(ConvergenceError):
+            recommend_block_size(
+                graph, cluster=tiny, backend="matrix", memory_fraction=0.5
+            )
+
+    def test_bounds_recorded(self):
+        graph = load_dataset("twitter1")
+        plan = recommend_block_size(graph)
+        assert plan.completeness_lower_bound == degeneracy(graph) + 1
+        assert plan.memory_upper_bound >= plan.m
+        assert plan.target == max(2, graph.max_degree() // 2)
+
+
+class TestValidation:
+    def test_empty_graph(self):
+        with pytest.raises(ValueError):
+            recommend_block_size(Graph())
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            recommend_block_size(complete_graph(3), ratio=0.0)
+
+    def test_bad_memory_fraction(self):
+        with pytest.raises(ValueError):
+            recommend_block_size(complete_graph(3), memory_fraction=2.0)
+
+    def test_ratio_one_allowed(self):
+        graph = social_network(100, attachment=3, seed=4)
+        plan = recommend_block_size(graph, ratio=1.0)
+        assert plan.m >= graph.max_degree() * 0.9

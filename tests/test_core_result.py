@@ -1,0 +1,134 @@
+"""Direct unit tests for the CliqueResult/LevelStats containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import CliqueResult, LevelStats
+
+
+def fs(*nodes):
+    return frozenset(nodes)
+
+
+def make_result(cliques_with_levels, m=10, levels=None):
+    cliques = [c for c, _ in cliques_with_levels]
+    provenance = {c: level for c, level in cliques_with_levels}
+    return CliqueResult(
+        cliques=cliques,
+        provenance=provenance,
+        levels=levels or [],
+        m=m,
+    )
+
+
+class TestProvenanceSplits:
+    def test_feasible_and_hub(self):
+        result = make_result([(fs(1, 2), 0), (fs(3, 4), 1), (fs(5), 2)])
+        assert result.feasible_cliques() == [fs(1, 2)]
+        assert result.hub_cliques() == [fs(3, 4), fs(5)]
+
+    def test_all_feasible(self):
+        result = make_result([(fs(1), 0), (fs(2), 0)])
+        assert result.hub_cliques() == []
+
+
+class TestAggregates:
+    def test_counts_and_sizes(self):
+        result = make_result([(fs(1, 2, 3), 0), (fs(4, 5), 1)])
+        assert result.num_cliques == 2
+        assert result.max_clique_size() == 3
+        assert result.average_clique_size() == pytest.approx(2.5)
+
+    def test_empty(self):
+        result = make_result([])
+        assert result.num_cliques == 0
+        assert result.max_clique_size() == 0
+        assert result.average_clique_size() == 0.0
+        assert result.average_size_by_provenance() == (0.0, 0.0)
+        assert result.hub_share_of_largest(10) == 0.0
+
+    def test_average_by_provenance(self):
+        result = make_result([(fs(1, 2, 3, 4), 0), (fs(5, 6), 1)])
+        feasible_avg, hub_avg = result.average_size_by_provenance()
+        assert feasible_avg == 4.0
+        assert hub_avg == 2.0
+
+
+class TestLargest:
+    def test_ordering_deterministic(self):
+        result = make_result(
+            [(fs(1, 2), 0), (fs(3, 4), 0), (fs(5, 6, 7), 1)]
+        )
+        top = result.largest(2)
+        assert top[0] == fs(5, 6, 7)
+        # Tie between the two pairs broken by sorted string members.
+        assert top[1] == fs(1, 2)
+
+    def test_k_larger_than_count(self):
+        result = make_result([(fs(1), 0)])
+        assert result.largest(100) == [fs(1)]
+
+    def test_hub_share(self):
+        result = make_result(
+            [(fs(1, 2, 3), 1), (fs(4, 5, 6), 1), (fs(7, 8), 0), (fs(9), 0)]
+        )
+        assert result.hub_share_of_largest(2) == 1.0
+        assert result.hub_share_of_largest(4) == pytest.approx(0.5)
+
+
+class TestLevels:
+    def test_timing_totals(self):
+        levels = [
+            LevelStats(
+                level=0,
+                num_nodes=10,
+                num_edges=20,
+                num_feasible=8,
+                num_hubs=2,
+                num_blocks=3,
+                decomposition_seconds=0.5,
+                analysis_seconds=1.0,
+                cliques_found=7,
+            ),
+            LevelStats(
+                level=1,
+                num_nodes=2,
+                num_edges=1,
+                num_feasible=2,
+                num_hubs=0,
+                num_blocks=1,
+                decomposition_seconds=0.25,
+                analysis_seconds=0.5,
+                cliques_found=1,
+            ),
+        ]
+        result = make_result([(fs(1), 0)], levels=levels)
+        assert result.recursion_depth == 2
+        assert result.total_decomposition_seconds() == pytest.approx(0.75)
+        assert result.total_analysis_seconds() == pytest.approx(1.5)
+
+    def test_level_stats_frozen(self):
+        stats = LevelStats(
+            level=0,
+            num_nodes=1,
+            num_edges=0,
+            num_feasible=1,
+            num_hubs=0,
+            num_blocks=1,
+            decomposition_seconds=0.0,
+            analysis_seconds=0.0,
+            cliques_found=1,
+        )
+        with pytest.raises(AttributeError):
+            stats.level = 1  # type: ignore[misc]
+
+
+class TestSummary:
+    def test_summary_of_synthetic(self):
+        result = make_result([(fs(1, 2), 0), (fs(3), 1)])
+        summary = result.summary()
+        assert summary["num_cliques"] == 2
+        assert summary["feasible_cliques"] == 1
+        assert summary["hub_only_cliques"] == 1
+        assert summary["levels"] == []

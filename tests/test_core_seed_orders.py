@@ -1,0 +1,96 @@
+"""Unit tests for the pluggable block-seed selection strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import nx_cliques
+from repro.core.blocks import (
+    SEED_ORDERS,
+    build_blocks,
+    decomposition_overlap,
+    validate_blocks,
+)
+from repro.core.driver import find_max_cliques
+from repro.core.feasibility import cut
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi, social_network
+
+
+class TestSeedOrders:
+    @pytest.mark.parametrize("seed_order", SEED_ORDERS)
+    def test_invariants_hold(self, seed_order):
+        g = erdos_renyi(30, 0.2, seed=3)
+        m = 10
+        feasible, _ = cut(g, m)
+        blocks = build_blocks(g, feasible, m, seed_order=seed_order)
+        validate_blocks(g, blocks, feasible, m)
+
+    def test_output_invariant_across_orders(self):
+        g = social_network(120, attachment=3, planted_cliques=(7,), seed=4)
+        reference = nx_cliques(g)
+        for seed_order in SEED_ORDERS:
+            feasible, _ = cut(g, 20)
+            blocks = build_blocks(g, feasible, 20, seed_order=seed_order)
+            from repro.core.block_analysis import analyze_blocks
+
+            cliques, _ = analyze_blocks(blocks)
+            feasible_set = set(feasible)
+            expected = {c for c in reference if c & feasible_set}
+            assert set(cliques) == expected, seed_order
+
+    def test_min_degree_seeds_start_low(self):
+        g = social_network(100, attachment=3, seed=5)
+        m = 20
+        feasible, _ = cut(g, m)
+        blocks = build_blocks(g, feasible, m, seed_order="min_degree")
+        first_seed = blocks[0].kernel[0]
+        assert g.degree(first_seed) == min(g.degree(n) for n in feasible)
+
+    def test_max_degree_seeds_start_high(self):
+        g = social_network(100, attachment=3, seed=5)
+        m = 20
+        feasible, _ = cut(g, m)
+        blocks = build_blocks(g, feasible, m, seed_order="max_degree")
+        first_seed = blocks[0].kernel[0]
+        assert g.degree(first_seed) == max(g.degree(n) for n in feasible)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError, match="seed_order"):
+            build_blocks(Graph(), [], 5, seed_order="random")
+
+    def test_deterministic(self):
+        g = erdos_renyi(30, 0.25, seed=7)
+        feasible, _ = cut(g, 10)
+        a = build_blocks(g, feasible, 10, seed_order="min_degree")
+        b = build_blocks(g, feasible, 10, seed_order="min_degree")
+        assert [x.kernel for x in a] == [x.kernel for x in b]
+
+
+class TestOverlap:
+    def test_empty(self):
+        assert decomposition_overlap([]) == 0.0
+
+    def test_disjoint_blocks_have_factor_one(self):
+        g = Graph(nodes=[1, 2, 3, 4])
+        feasible, _ = cut(g, 2)
+        blocks = build_blocks(g, feasible, 2)
+        assert decomposition_overlap(blocks) == pytest.approx(1.0)
+
+    def test_definition_matches_manual_count(self):
+        g = social_network(200, attachment=3, seed=8)
+        feasible, _ = cut(g, 15)
+        blocks = build_blocks(g, feasible, 15)
+        total = sum(b.size for b in blocks)
+        distinct = set()
+        for b in blocks:
+            distinct.update(b.graph.nodes())
+        assert decomposition_overlap(blocks) == pytest.approx(
+            total / len(distinct)
+        )
+        assert decomposition_overlap(blocks) >= 1.0
+
+    def test_end_to_end_output_unchanged(self):
+        g = social_network(120, attachment=3, seed=9)
+        a = find_max_cliques(g, 20)
+        assert set(a.cliques) == nx_cliques(g)

@@ -1,0 +1,71 @@
+"""Unit tests for the uniform-size second-level decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block_analysis import analyze_blocks
+from repro.core.blocks import build_blocks, validate_blocks
+from repro.core.feasibility import cut
+from repro.core.uniform_blocks import (
+    block_size_spread,
+    build_uniform_blocks,
+    mean_block_density,
+)
+from repro.errors import DecompositionError
+from repro.graph.generators import erdos_renyi, social_network, star_graph
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("m", [5, 10, 20])
+    def test_same_invariants_as_density_seeking(self, m):
+        for seed in range(3):
+            g = erdos_renyi(30, 0.2, seed=seed)
+            feasible, _ = cut(g, m)
+            blocks = build_uniform_blocks(g, feasible, m)
+            validate_blocks(g, blocks, feasible, m)
+
+    def test_same_cliques_as_density_seeking(self):
+        g = social_network(120, attachment=3, planted_cliques=(8,), seed=5)
+        m = 20
+        feasible, _ = cut(g, m)
+        dense_cliques, _ = analyze_blocks(build_blocks(g, feasible, m))
+        uniform_cliques, _ = analyze_blocks(build_uniform_blocks(g, feasible, m))
+        assert set(dense_cliques) == set(uniform_cliques)
+
+    def test_kernel_order_is_insertion_order(self):
+        g = erdos_renyi(20, 0.1, seed=2)
+        feasible, _ = cut(g, 10)
+        blocks = build_uniform_blocks(g, feasible, 10)
+        flattened = [n for b in blocks for n in b.kernel]
+        assert flattened == feasible
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            build_uniform_blocks(erdos_renyi(5, 0.5, seed=1), [], 0)
+
+    def test_hub_as_feasible_detected(self):
+        g = star_graph(6)
+        with pytest.raises(DecompositionError):
+            build_uniform_blocks(g, [0], 3)
+
+    def test_empty_feasible(self):
+        assert build_uniform_blocks(erdos_renyi(5, 0.5, seed=1), [], 4) == []
+
+
+class TestMetrics:
+    def test_spread_empty(self):
+        assert block_size_spread([]) == 0.0
+
+    def test_density_empty(self):
+        assert mean_block_density([]) == 0.0
+
+    def test_density_seeking_is_denser(self):
+        # The point of the heterogeneous strategy: blocks built along
+        # adjacency are internally denser than insertion-order blocks.
+        g = social_network(300, attachment=3, closure_probability=0.6, seed=9)
+        m = 25
+        feasible, _ = cut(g, m)
+        dense = build_blocks(g, feasible, m)
+        uniform = build_uniform_blocks(g, feasible, m)
+        assert mean_block_density(dense) > mean_block_density(uniform)

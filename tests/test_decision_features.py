@@ -1,0 +1,49 @@
+"""Unit tests for block feature extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decision.features import FEATURE_NAMES, BlockFeatures, extract_features
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, cycle_graph
+
+
+class TestBlockFeatures:
+    def test_of_complete(self):
+        features = BlockFeatures.of(complete_graph(6))
+        assert features.num_nodes == 6
+        assert features.num_edges == 15
+        assert features.density == pytest.approx(1.0)
+        assert features.degeneracy == 5
+        assert features.d_star == 5
+
+    def test_of_empty(self):
+        features = BlockFeatures.of(Graph())
+        assert features.vector() == (0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_vector_order_matches_names(self):
+        features = BlockFeatures.of(cycle_graph(5))
+        vector = features.vector()
+        assert len(vector) == len(FEATURE_NAMES)
+        for name, value in zip(FEATURE_NAMES, vector):
+            assert features.value(name) == value
+
+    def test_value_by_name(self):
+        features = BlockFeatures.of(cycle_graph(5))
+        assert features.value("num_nodes") == 5.0
+        assert features.value("degeneracy") == 2.0
+
+    def test_unknown_feature(self):
+        features = BlockFeatures.of(Graph())
+        with pytest.raises(KeyError):
+            features.value("diameter")
+
+    def test_free_function(self):
+        g = cycle_graph(4)
+        assert extract_features(g) == BlockFeatures.of(g)
+
+    def test_frozen(self):
+        features = BlockFeatures.of(Graph())
+        with pytest.raises(AttributeError):
+            features.num_nodes = 7  # type: ignore[misc]

@@ -1,0 +1,105 @@
+"""Unit tests for the published Figure 3 decision tree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decision.features import BlockFeatures
+from repro.decision.paper_tree import (
+    BITSETS_TOMITA,
+    LISTS_XPIVOT,
+    MATRIX_BKPIVOT,
+    MATRIX_XPIVOT,
+    combo_for_label,
+    paper_tree,
+    select_combo,
+)
+
+
+def features(nodes=100, degeneracy=5):
+    return BlockFeatures(
+        num_nodes=nodes,
+        num_edges=nodes,
+        density=0.1,
+        degeneracy=degeneracy,
+        d_star=degeneracy,
+    )
+
+
+class TestFigure3Routing:
+    def test_sparse_goes_to_lists_xpivot(self):
+        # degeneracy <= 25 -> [Lists/XPivot].
+        assert paper_tree().predict(features(degeneracy=10)) == LISTS_XPIVOT
+
+    def test_boundary_degeneracy_25_is_sparse(self):
+        assert paper_tree().predict(features(degeneracy=25)) == LISTS_XPIVOT
+
+    def test_large_dense_goes_to_matrix_xpivot(self):
+        # degeneracy > 25, nodes >= 8558 -> [Matrix/XPivot].
+        assert (
+            paper_tree().predict(features(nodes=9000, degeneracy=30))
+            == MATRIX_XPIVOT
+        )
+
+    def test_small_very_dense_goes_to_bitsets_tomita(self):
+        # degeneracy > 52, nodes < 8558 -> [BitSets/Tomita].
+        assert (
+            paper_tree().predict(features(nodes=500, degeneracy=60))
+            == BITSETS_TOMITA
+        )
+
+    def test_small_medium_dense_goes_to_matrix_bkpivot(self):
+        # 25 < degeneracy <= 52, nodes < 8558 -> [Matrix/BKPivot].
+        assert (
+            paper_tree().predict(features(nodes=500, degeneracy=40))
+            == MATRIX_BKPIVOT
+        )
+
+    def test_node_boundary(self):
+        # Exactly 8558 nodes is NOT "< 8558".
+        assert (
+            paper_tree().predict(features(nodes=8558, degeneracy=30))
+            == MATRIX_XPIVOT
+        )
+        assert (
+            paper_tree().predict(features(nodes=8557, degeneracy=30))
+            == MATRIX_BKPIVOT
+        )
+
+    def test_all_four_leaves_reachable(self):
+        tree = paper_tree()
+        labels = {
+            tree.predict(features(degeneracy=5)),
+            tree.predict(features(nodes=9000, degeneracy=30)),
+            tree.predict(features(nodes=100, degeneracy=60)),
+            tree.predict(features(nodes=100, degeneracy=30)),
+        }
+        assert labels == {
+            LISTS_XPIVOT,
+            MATRIX_XPIVOT,
+            BITSETS_TOMITA,
+            MATRIX_BKPIVOT,
+        }
+
+
+class TestComboTranslation:
+    def test_known_labels(self):
+        combo = combo_for_label(LISTS_XPIVOT)
+        assert combo.algorithm == "xpivot"
+        assert combo.backend == "lists"
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            combo_for_label("[Trie/Dijkstra]")
+
+    def test_select_combo_end_to_end(self):
+        combo = select_combo(paper_tree(), features(degeneracy=60, nodes=100))
+        assert combo.algorithm == "tomita"
+        assert combo.backend == "bitsets"
+
+    def test_selected_combo_runs(self):
+        from repro.graph.generators import complete_graph
+        from repro.mce.registry import run_combo
+
+        combo = select_combo(paper_tree(), features())
+        assert run_combo(complete_graph(4), combo) == [frozenset(range(4))]

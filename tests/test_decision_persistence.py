@@ -1,0 +1,96 @@
+"""Unit tests for decision-tree JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decision.features import BlockFeatures
+from repro.decision.paper_tree import paper_tree
+from repro.decision.persistence import (
+    load_tree,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.decision.training import build_corpus, label_corpus, train
+from repro.decision.tree import Leaf, Split
+from repro.errors import FormatError
+
+
+def features(nodes=100, degeneracy=5):
+    return BlockFeatures(
+        num_nodes=nodes,
+        num_edges=nodes,
+        density=0.1,
+        degeneracy=degeneracy,
+        d_star=degeneracy,
+    )
+
+
+class TestDictRoundTrip:
+    def test_leaf(self):
+        leaf = Leaf("x")
+        assert tree_from_dict(tree_to_dict(leaf)) == leaf
+
+    def test_paper_tree(self):
+        tree = paper_tree()
+        restored = tree_from_dict(tree_to_dict(tree))
+        assert restored == tree
+
+    def test_predictions_preserved(self):
+        tree = paper_tree()
+        restored = tree_from_dict(tree_to_dict(tree))
+        for degeneracy in (5, 30, 60):
+            for nodes in (100, 10_000):
+                sample = features(nodes=nodes, degeneracy=degeneracy)
+                assert restored.predict(sample) == tree.predict(sample)
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "tree.json"
+        save_tree(paper_tree(), path)
+        assert load_tree(path) == paper_tree()
+
+    def test_trained_tree_roundtrip(self, tmp_path):
+        corpus = build_corpus(count=10, seed=2, size_range=(15, 40))
+        labelled = label_corpus(corpus)
+        result = train(labelled, seed=4)
+        path = tmp_path / "trained.json"
+        save_tree(result.tree, path)
+        assert load_tree(path) == result.tree
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(FormatError):
+            load_tree(path)
+
+
+class TestMalformedPayloads:
+    def test_unknown_kind(self):
+        with pytest.raises(FormatError, match="kind"):
+            tree_from_dict({"kind": "forest"})
+
+    def test_leaf_without_label(self):
+        with pytest.raises(FormatError, match="label"):
+            tree_from_dict({"kind": "leaf"})
+
+    def test_split_missing_field(self):
+        with pytest.raises(FormatError, match="missing"):
+            tree_from_dict({"kind": "split", "feature": "density"})
+
+    def test_split_unknown_feature(self):
+        payload = {
+            "kind": "split",
+            "feature": "diameter",
+            "threshold": 1,
+            "if_true": {"kind": "leaf", "label": "a"},
+            "if_false": {"kind": "leaf", "label": "b"},
+        }
+        with pytest.raises(FormatError, match="malformed split"):
+            tree_from_dict(payload)
+
+    def test_non_dict(self):
+        with pytest.raises(FormatError):
+            tree_from_dict([1, 2, 3])  # type: ignore[arg-type]

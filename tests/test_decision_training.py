@@ -1,0 +1,118 @@
+"""Unit tests for the decision-tree training pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decision.training import (
+    build_corpus,
+    label_corpus,
+    train,
+    win_counts,
+)
+from repro.errors import TrainingError
+from repro.graph.generators import complete_graph, cycle_graph
+from repro.mce.registry import Combo
+
+
+def tiny_combos():
+    """Two cheap combos so labelling stays fast in unit tests."""
+    return (Combo("tomita", "bitsets"), Combo("xpivot", "lists"))
+
+
+class TestBuildCorpus:
+    def test_count(self):
+        corpus = build_corpus(count=12, seed=1, size_range=(15, 30))
+        assert len(corpus) == 12
+
+    def test_deterministic(self):
+        a = build_corpus(count=8, seed=3, size_range=(15, 25))
+        b = build_corpus(count=8, seed=3, size_range=(15, 25))
+        assert [name for name, _ in a] == [name for name, _ in b]
+        assert all(x == y for (_, x), (_, y) in zip(a, b))
+
+    def test_heterogeneous_families(self):
+        corpus = build_corpus(count=8, seed=2, size_range=(15, 25))
+        prefixes = {name.split("-")[0] for name, _ in corpus}
+        assert prefixes == {"er", "ba", "ws", "soc"}
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            build_corpus(count=0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            build_corpus(count=5, size_range=(5, 3))
+
+
+class TestLabelCorpus:
+    def test_labels_and_timings(self):
+        corpus = [("k5", complete_graph(5)), ("c6", cycle_graph(6))]
+        labelled = label_corpus(corpus, combos=tiny_combos())
+        assert len(labelled) == 2
+        for entry in labelled:
+            assert entry.best in {c.name for c in tiny_combos()}
+            assert set(entry.timings) == {c.name for c in tiny_combos()}
+            assert all(t >= 0.0 for t in entry.timings.values())
+
+    def test_no_combos_rejected(self):
+        with pytest.raises(TrainingError):
+            label_corpus([("k3", complete_graph(3))], combos=())
+
+    def test_win_counts_sum(self):
+        corpus = [(f"g{i}", complete_graph(4 + i)) for i in range(4)]
+        labelled = label_corpus(corpus, combos=tiny_combos())
+        counts = win_counts(labelled)
+        assert sum(counts.values()) == 4
+
+
+class TestTrain:
+    def test_split_and_accuracy_range(self):
+        corpus = build_corpus(count=15, seed=5, size_range=(15, 40))
+        labelled = label_corpus(corpus, combos=tiny_combos())
+        result = train(labelled, train_fraction=0.8, seed=1)
+        assert len(result.training) == 12
+        assert len(result.testing) == 3
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_total_test_time_bounded_by_oracle_and_worst(self):
+        corpus = build_corpus(count=10, seed=6, size_range=(15, 30))
+        labelled = label_corpus(corpus, combos=tiny_combos())
+        result = train(labelled, seed=2)
+        tree_time = result.total_test_time()
+        oracle = sum(min(e.timings.values()) for e in result.testing)
+        worst = sum(max(e.timings.values()) for e in result.testing)
+        assert oracle - 1e-12 <= tree_time <= worst + 1e-12
+
+    def test_fixed_chooser_uses_named_combo(self):
+        corpus = build_corpus(count=10, seed=6, size_range=(15, 30))
+        labelled = label_corpus(corpus, combos=tiny_combos())
+        result = train(labelled, seed=2)
+        name = tiny_combos()[0].name
+        expected = sum(e.timings[name] for e in result.testing)
+        assert result.total_test_time(name) == expected
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train([], train_fraction=1.0)
+
+    def test_degenerate_split_rejected(self):
+        corpus = [("k3", complete_graph(3))]
+        labelled = label_corpus(corpus, combos=tiny_combos())
+        with pytest.raises(TrainingError):
+            train(labelled, train_fraction=0.5)
+
+
+class TestSelectionOverhead:
+    def test_tree_prediction_is_cheap(self):
+        from repro.decision.training import selection_overhead
+        from repro.decision.paper_tree import paper_tree
+
+        corpus = build_corpus(count=10, seed=6, size_range=(15, 30))
+        labelled = label_corpus(corpus, combos=tiny_combos())
+        seconds = selection_overhead(labelled, paper_tree())
+        # The selector must be negligible next to enumeration.
+        total_enumeration = sum(
+            min(e.timings.values()) for e in labelled
+        )
+        assert seconds < max(total_enumeration, 1e-3)

@@ -1,0 +1,152 @@
+"""Unit tests for the CART-style tree learner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decision.features import BlockFeatures
+from repro.decision.tree import (
+    Leaf,
+    Split,
+    accuracy,
+    fit_tree,
+    gini,
+    majority_label,
+)
+from repro.errors import TrainingError
+
+
+def features(nodes=10, edges=10, density=0.1, degeneracy=2, d_star=2):
+    return BlockFeatures(
+        num_nodes=nodes,
+        num_edges=edges,
+        density=density,
+        degeneracy=degeneracy,
+        d_star=d_star,
+    )
+
+
+class TestGini:
+    def test_empty(self):
+        assert gini([]) == 0.0
+
+    def test_pure(self):
+        assert gini(["a", "a", "a"]) == 0.0
+
+    def test_even_binary(self):
+        assert gini(["a", "b"]) == pytest.approx(0.5)
+
+    def test_three_way(self):
+        assert gini(["a", "b", "c"]) == pytest.approx(2 / 3)
+
+
+class TestMajority:
+    def test_simple(self):
+        assert majority_label(["a", "b", "a"]) == "a"
+
+    def test_tie_breaks_lexicographically(self):
+        assert majority_label(["b", "a"]) == "a"
+
+
+class TestLeafAndSplit:
+    def test_leaf_predicts_constant(self):
+        leaf = Leaf("x")
+        assert leaf.predict(features()) == "x"
+        assert leaf.depth() == 0
+
+    def test_split_routes(self):
+        tree = Split(
+            feature="degeneracy",
+            threshold=5,
+            if_true=Leaf("dense"),
+            if_false=Leaf("sparse"),
+        )
+        assert tree.predict(features(degeneracy=9)) == "dense"
+        assert tree.predict(features(degeneracy=5)) == "sparse"
+        assert tree.depth() == 1
+
+    def test_split_unknown_feature(self):
+        with pytest.raises(TrainingError):
+            Split(
+                feature="diameter",
+                threshold=1,
+                if_true=Leaf("a"),
+                if_false=Leaf("b"),
+            )
+
+    def test_render_mentions_feature(self):
+        tree = Split(
+            feature="density",
+            threshold=0.5,
+            if_true=Leaf("a"),
+            if_false=Leaf("b"),
+        )
+        text = tree.render()
+        assert "density > 0.5?" in text
+        assert "-> a" in text
+
+
+class TestFit:
+    def test_pure_training_set(self):
+        tree = fit_tree([features(), features()], ["a", "a"], min_samples=1)
+        assert isinstance(tree, Leaf)
+        assert tree.label == "a"
+
+    def test_single_split_learned(self):
+        samples = [features(degeneracy=d) for d in (1, 2, 3, 50, 60, 70)]
+        labels = ["sparse"] * 3 + ["dense"] * 3
+        tree = fit_tree(samples, labels, min_samples=1)
+        assert accuracy(tree, samples, labels) == 1.0
+        assert tree.predict(features(degeneracy=100)) == "dense"
+        assert tree.predict(features(degeneracy=0)) == "sparse"
+
+    def test_two_feature_interaction(self):
+        # dense+large -> A, dense+small -> B, sparse -> C.
+        samples, labels = [], []
+        for nodes in (10, 20, 1000, 2000):
+            for density in (0.05, 0.9):
+                samples.append(features(nodes=nodes, density=density))
+                if density < 0.5:
+                    labels.append("C")
+                elif nodes >= 1000:
+                    labels.append("A")
+                else:
+                    labels.append("B")
+        tree = fit_tree(samples, labels, min_samples=1)
+        assert accuracy(tree, samples, labels) == 1.0
+
+    def test_max_depth_respected(self):
+        samples = [features(degeneracy=d) for d in range(16)]
+        labels = [str(d % 4) for d in range(16)]
+        tree = fit_tree(samples, labels, max_depth=2, min_samples=1)
+        assert tree.depth() <= 2
+
+    def test_min_samples_respected(self):
+        samples = [features(degeneracy=d) for d in (1, 100)]
+        labels = ["a", "b"]
+        tree = fit_tree(samples, labels, min_samples=3)
+        assert isinstance(tree, Leaf)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            fit_tree([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            fit_tree([features()], ["a", "b"])
+
+    def test_uninformative_features_give_leaf(self):
+        samples = [features()] * 4
+        labels = ["a", "b", "a", "b"]
+        tree = fit_tree(samples, labels, min_samples=1)
+        assert isinstance(tree, Leaf)
+        assert tree.label == "a"
+
+
+class TestAccuracy:
+    def test_empty(self):
+        assert accuracy(Leaf("a"), [], []) == 0.0
+
+    def test_half(self):
+        tree = Leaf("a")
+        assert accuracy(tree, [features(), features()], ["a", "b"]) == 0.5

@@ -1,0 +1,61 @@
+"""Unit tests for the cluster topology model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.cluster import ClusterSpec, paper_cluster
+
+
+class TestClusterSpec:
+    def test_total_workers(self):
+        spec = ClusterSpec(machines=3, workers_per_machine=4)
+        assert spec.total_workers == 12
+
+    def test_machine_of_worker(self):
+        spec = ClusterSpec(machines=3, workers_per_machine=4)
+        assert spec.machine_of_worker(0) == 0
+        assert spec.machine_of_worker(3) == 0
+        assert spec.machine_of_worker(4) == 1
+        assert spec.machine_of_worker(11) == 2
+
+    def test_machine_of_worker_out_of_range(self):
+        spec = ClusterSpec(machines=2, workers_per_machine=2)
+        with pytest.raises(ValueError):
+            spec.machine_of_worker(4)
+        with pytest.raises(ValueError):
+            spec.machine_of_worker(-1)
+
+    def test_transfer_cost_linear(self):
+        spec = ClusterSpec(
+            bandwidth_bytes_per_second=100.0, latency_seconds=0.5
+        )
+        assert spec.transfer_seconds(0) == pytest.approx(0.5)
+        assert spec.transfer_seconds(200) == pytest.approx(2.5)
+
+    def test_transfer_negative_bytes(self):
+        with pytest.raises(ValueError):
+            ClusterSpec().transfer_seconds(-1)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("machines", 0),
+            ("workers_per_machine", 0),
+            ("memory_bytes_per_machine", 0),
+            ("bandwidth_bytes_per_second", 0.0),
+            ("latency_seconds", -1.0),
+        ],
+    )
+    def test_invalid_parameters(self, field, value):
+        with pytest.raises(ValueError):
+            ClusterSpec(**{field: value})
+
+
+class TestPaperCluster:
+    def test_matches_section_6_1(self):
+        spec = paper_cluster()
+        assert spec.machines == 10
+        assert spec.workers_per_machine == 16
+        assert spec.memory_bytes_per_machine == 8 * 1024**3
+        assert spec.total_workers == 160

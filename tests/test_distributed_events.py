@@ -1,0 +1,129 @@
+"""Unit tests for the event-driven cluster simulation with failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.events import (
+    failure_overhead_curve,
+    simulate_events,
+)
+from repro.distributed.scheduler import Task, schedule_lpt
+from repro.errors import SchedulingError
+
+
+def cluster(workers: int) -> ClusterSpec:
+    return ClusterSpec(
+        machines=1,
+        workers_per_machine=workers,
+        latency_seconds=0.0,
+        bandwidth_bytes_per_second=1e12,
+    )
+
+
+def tasks(costs: list[float]) -> list[Task]:
+    return [Task(task_id=i, cost_seconds=c) for i, c in enumerate(costs)]
+
+
+class TestWithoutFailures:
+    def test_all_tasks_complete_once(self):
+        work = tasks([3.0, 1.0, 2.0, 4.0])
+        result = simulate_events(work, cluster(2))
+        assert result.completed_task_ids() == {0, 1, 2, 3}
+        assert len(result.completions) == 4
+        assert result.failures == []
+        assert result.wasted_seconds == 0.0
+
+    def test_matches_lpt_makespan(self):
+        # The pull model with longest-first ordering reproduces greedy
+        # LPT exactly when nothing fails.
+        work = tasks([5.0, 4.0, 3.0, 3.0, 3.0])
+        event = simulate_events(work, cluster(2))
+        static = schedule_lpt(work, cluster(2))
+        assert event.makespan == pytest.approx(static.makespan)
+
+    def test_empty(self):
+        result = simulate_events([], cluster(2))
+        assert result.makespan == 0.0
+        assert result.completions == []
+
+    def test_single_worker_serialises(self):
+        work = tasks([1.0, 2.0, 3.0])
+        result = simulate_events(work, cluster(1))
+        assert result.makespan == pytest.approx(6.0)
+
+    def test_timeline_non_overlapping_per_worker(self):
+        work = tasks([2.0] * 6)
+        result = simulate_events(work, cluster(2))
+        by_worker: dict[int, list] = {}
+        for record in result.completions:
+            by_worker.setdefault(record.worker, []).append(record)
+        for records in by_worker.values():
+            records.sort(key=lambda r: r.started)
+            for a, b in zip(records, records[1:]):
+                assert a.finished <= b.started + 1e-12
+
+
+class TestWithFailures:
+    def test_every_task_still_completes(self):
+        work = tasks([1.0] * 20)
+        result = simulate_events(
+            work, cluster(4), failure_rate=0.3, seed=7
+        )
+        assert result.completed_task_ids() == set(range(20))
+        assert len(result.completions) == 20
+
+    def test_failures_recorded_and_cost_time(self):
+        work = tasks([1.0] * 20)
+        clean = simulate_events(work, cluster(4))
+        faulty = simulate_events(work, cluster(4), failure_rate=0.4, seed=3)
+        assert faulty.failures, "expected some injected failures"
+        assert faulty.wasted_seconds > 0.0
+        assert faulty.makespan >= clean.makespan
+
+    def test_retry_attempts_increase(self):
+        work = tasks([1.0] * 30)
+        result = simulate_events(
+            work, cluster(4), failure_rate=0.5, seed=1, max_attempts=100
+        )
+        attempts = {r.task_id: r.attempt for r in result.completions}
+        assert max(attempts.values()) >= 2
+
+    def test_deterministic_for_seed(self):
+        work = tasks([1.0, 2.0, 3.0] * 5)
+        a = simulate_events(work, cluster(3), failure_rate=0.3, seed=9)
+        b = simulate_events(work, cluster(3), failure_rate=0.3, seed=9)
+        assert a.makespan == b.makespan
+        assert len(a.failures) == len(b.failures)
+
+    def test_max_attempts_guard(self):
+        work = tasks([1.0])
+        with pytest.raises(SchedulingError, match="attempts"):
+            simulate_events(
+                work, cluster(1), failure_rate=0.99, seed=2, max_attempts=3
+            )
+
+
+class TestValidation:
+    def test_duplicate_ids(self):
+        bad = [Task(task_id=1, cost_seconds=1.0)] * 2
+        with pytest.raises(SchedulingError, match="duplicate"):
+            simulate_events(bad, cluster(1))
+
+    def test_invalid_rate(self):
+        with pytest.raises(SchedulingError, match="failure_rate"):
+            simulate_events([], cluster(1), failure_rate=1.0)
+
+
+class TestOverheadCurve:
+    def test_monotone_failure_counts(self):
+        work = tasks([1.0] * 40)
+        rows = failure_overhead_curve(
+            work, cluster(4), [0.0, 0.2, 0.5], seed=11
+        )
+        rates = [rate for rate, _, _ in rows]
+        counts = [count for _, _, count in rows]
+        assert rates == [0.0, 0.2, 0.5]
+        assert counts[0] == 0
+        assert counts[-1] > counts[1] > 0

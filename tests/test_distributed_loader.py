@@ -1,0 +1,93 @@
+"""Unit tests for the sharded data loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.loader import (
+    estimated_load_seconds,
+    load_shards,
+    shard_graph,
+)
+from repro.errors import FormatError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi, social_network
+
+
+class TestSharding:
+    @pytest.mark.parametrize("machines", [1, 3, 10])
+    def test_roundtrip(self, tmp_path, machines):
+        g = erdos_renyi(40, 0.2, seed=5)
+        dataset = shard_graph(g, tmp_path / "shards", machines)
+        assert load_shards(dataset) == g
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        g = Graph(edges=[(1, 2)], nodes=[99])
+        dataset = shard_graph(g, tmp_path, 4)
+        assert load_shards(dataset) == g
+
+    def test_record_count(self, tmp_path):
+        g = erdos_renyi(30, 0.25, seed=2)
+        dataset = shard_graph(g, tmp_path, 5)
+        assert dataset.records == g.num_edges
+
+    def test_shard_files_exist(self, tmp_path):
+        g = erdos_renyi(30, 0.25, seed=2)
+        dataset = shard_graph(g, tmp_path, 5)
+        assert len(dataset.shard_paths()) == 5
+        assert all(path.exists() for path in dataset.shard_paths())
+
+    def test_deterministic_placement(self, tmp_path):
+        g = erdos_renyi(30, 0.25, seed=3)
+        a = shard_graph(g, tmp_path / "a", 4)
+        b = shard_graph(g, tmp_path / "b", 4)
+        for pa, pb in zip(a.shard_paths(), b.shard_paths()):
+            assert pa.read_text() == pb.read_text()
+
+    def test_reasonably_balanced(self, tmp_path):
+        g = social_network(500, attachment=3, seed=4)
+        dataset = shard_graph(g, tmp_path, 10)
+        sizes = [path.stat().st_size for path in dataset.shard_paths()]
+        assert max(sizes) < 3 * (sum(sizes) / len(sizes))
+
+    def test_invalid_machines(self, tmp_path):
+        with pytest.raises(ValueError):
+            shard_graph(Graph(), tmp_path, 0)
+
+    def test_missing_shard_detected(self, tmp_path):
+        g = erdos_renyi(20, 0.3, seed=6)
+        dataset = shard_graph(g, tmp_path, 3)
+        dataset.shard_paths()[1].unlink()
+        with pytest.raises(FormatError, match="missing shard"):
+            load_shards(dataset)
+
+
+class TestLoadEstimate:
+    def test_positive_and_bounded(self, tmp_path):
+        g = erdos_renyi(40, 0.2, seed=7)
+        dataset = shard_graph(g, tmp_path, 4)
+        cluster = ClusterSpec()
+        estimate = estimated_load_seconds(dataset, cluster)
+        total_bytes = sum(p.stat().st_size for p in dataset.shard_paths())
+        assert 0 < estimate <= cluster.transfer_seconds(total_bytes)
+
+    def test_more_machines_loads_faster_or_equal(self, tmp_path):
+        g = social_network(400, attachment=3, seed=8)
+        few = shard_graph(g, tmp_path / "few", 2)
+        many = shard_graph(g, tmp_path / "many", 10)
+        cluster = ClusterSpec()
+        assert estimated_load_seconds(many, cluster) <= estimated_load_seconds(
+            few, cluster
+        )
+
+
+class TestEstimateEdgeCases:
+    def test_missing_shard_counts_as_empty(self, tmp_path):
+        g = erdos_renyi(20, 0.3, seed=12)
+        dataset = shard_graph(g, tmp_path, 3)
+        dataset.shard_paths()[0].unlink()
+        # The estimate degrades gracefully (missing shard -> 0 bytes);
+        # only load_shards treats it as an error.
+        estimate = estimated_load_seconds(dataset, ClusterSpec())
+        assert estimate > 0.0

@@ -1,0 +1,90 @@
+"""Unit tests for the coordinator/worker message protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.block_analysis import analyze_blocks
+from repro.core.blocks import build_blocks
+from repro.core.feasibility import cut
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.protocol import run_protocol_level
+from repro.graph.generators import social_network
+
+
+@pytest.fixture(scope="module")
+def blocks():
+    g = social_network(100, attachment=3, planted_cliques=(7,), seed=8)
+    feasible, _ = cut(g, 20)
+    return build_blocks(g, feasible, 20)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec(machines=2, workers_per_machine=4)
+
+
+class TestOutput:
+    def test_same_cliques_as_serial(self, blocks, cluster):
+        serial, _reports = analyze_blocks(blocks)
+        protocol_cliques, _trace = run_protocol_level(blocks, cluster)
+        assert set(protocol_cliques) == set(serial)
+        assert len(protocol_cliques) == len(serial)
+
+    def test_empty_level(self, cluster):
+        cliques, trace = run_protocol_level([], cluster)
+        assert cliques == []
+        assert trace.messages == []
+        assert trace.makespan == 0.0
+
+    def test_deterministic_message_structure(self, blocks, cluster):
+        _c1, trace1 = run_protocol_level(blocks, cluster)
+        _c2, trace2 = run_protocol_level(blocks, cluster)
+        assert [m.task_id for m in trace1.assignments] == [
+            m.task_id for m in trace2.assignments
+        ]
+
+
+class TestTrace:
+    def test_two_messages_per_block(self, blocks, cluster):
+        _cliques, trace = run_protocol_level(blocks, cluster)
+        assert len(trace.assignments) == len(blocks)
+        assert len(trace.results) == len(blocks)
+
+    def test_timestamps_ordered(self, blocks, cluster):
+        _cliques, trace = run_protocol_level(blocks, cluster)
+        for message in trace.messages:
+            assert message.received_at >= message.sent_at
+
+    def test_result_follows_assignment(self, blocks, cluster):
+        _cliques, trace = run_protocol_level(blocks, cluster)
+        assigns = {m.task_id: m for m in trace.assignments}
+        for result in trace.results:
+            assert result.sent_at >= assigns[result.task_id].received_at
+
+    def test_makespan_bounds(self, blocks, cluster):
+        _cliques, trace = run_protocol_level(blocks, cluster)
+        latest_result = max(m.received_at for m in trace.results)
+        assert trace.makespan == pytest.approx(latest_result)
+        assert trace.makespan >= max(
+            busy for busy in trace.worker_busy_seconds.values()
+        )
+
+    def test_bytes_accounted(self, blocks, cluster):
+        _cliques, trace = run_protocol_level(blocks, cluster)
+        assert trace.total_bytes() > 0
+        assert all(m.payload_bytes >= 0 for m in trace.messages)
+
+    def test_workers_within_cluster(self, blocks, cluster):
+        _cliques, trace = run_protocol_level(blocks, cluster)
+        assert all(
+            0 <= m.worker < cluster.total_workers for m in trace.messages
+        )
+
+    def test_more_workers_not_slower(self, blocks):
+        small = ClusterSpec(machines=1, workers_per_machine=1)
+        big = ClusterSpec(machines=4, workers_per_machine=8)
+        _c1, trace_small = run_protocol_level(blocks, small)
+        _c2, trace_big = run_protocol_level(blocks, big)
+        # Timing noise exists (real analyses run twice), so allow slack.
+        assert trace_big.makespan <= trace_small.makespan * 1.5

@@ -1,0 +1,85 @@
+"""Unit tests for streaming graph partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.streaming import Partition, partition_hash, partition_ldg
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    social_network,
+    stochastic_block_model,
+)
+
+
+class TestHashPartition:
+    def test_all_nodes_assigned(self):
+        g = erdos_renyi(40, 0.2, seed=3)
+        partition = partition_hash(g, 4)
+        assert set(partition.assignment) == set(g.nodes())
+        assert all(0 <= p < 4 for p in partition.assignment.values())
+
+    def test_deterministic(self):
+        g = erdos_renyi(40, 0.2, seed=3)
+        assert partition_hash(g, 4).assignment == partition_hash(g, 4).assignment
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            partition_hash(Graph(), 0)
+
+
+class TestLDGPartition:
+    def test_all_nodes_assigned(self):
+        g = erdos_renyi(40, 0.2, seed=5)
+        partition = partition_ldg(g, 4)
+        assert set(partition.assignment) == set(g.nodes())
+
+    def test_balance_respected(self):
+        g = social_network(300, attachment=3, seed=7)
+        partition = partition_ldg(g, 5, slack=1.1)
+        assert max(partition.part_sizes()) <= 1.1 * 300 / 5 + 1
+
+    def test_deterministic(self):
+        g = erdos_renyi(40, 0.25, seed=8)
+        assert partition_ldg(g, 3).assignment == partition_ldg(g, 3).assignment
+
+    def test_beats_hash_on_clustered_graph(self):
+        # The paper's related-work claim: oblivious hashing is the worst
+        # placement for clustered/scale-free data.
+        g = stochastic_block_model([25, 25, 25, 25], 0.4, 0.01, seed=11)
+        ldg = partition_ldg(g, 4)
+        hashed = partition_hash(g, 4)
+        assert ldg.edge_cut(g) < hashed.edge_cut(g)
+
+    def test_single_part_zero_cut(self):
+        g = erdos_renyi(20, 0.3, seed=9)
+        partition = partition_ldg(g, 1)
+        assert partition.edge_cut(g) == 0.0
+        assert partition.balance() == 1.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            partition_ldg(Graph(), 0)
+        with pytest.raises(ValueError):
+            partition_ldg(Graph(), 2, slack=0.5)
+
+
+class TestPartitionMetrics:
+    def test_edge_cut_bounds(self):
+        g = complete_graph(10)
+        partition = partition_ldg(g, 2)
+        assert 0.0 <= partition.edge_cut(g) <= 1.0
+
+    def test_edge_cut_empty_graph(self):
+        partition = Partition(assignment={}, parts=2)
+        assert partition.edge_cut(Graph()) == 0.0
+
+    def test_balance_empty(self):
+        assert Partition(assignment={}, parts=3).balance() == 0.0
+
+    def test_part_sizes_sum(self):
+        g = erdos_renyi(30, 0.2, seed=10)
+        partition = partition_ldg(g, 4)
+        assert sum(partition.part_sizes()) == 30

@@ -1,0 +1,62 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AlgorithmNotFoundError,
+    ConvergenceError,
+    DecompositionError,
+    FormatError,
+    GraphError,
+    NodeNotFoundError,
+    ReproError,
+    SchedulingError,
+    SelfLoopError,
+    TrainingError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphError("x"),
+            NodeNotFoundError(1),
+            SelfLoopError(1),
+            FormatError("x"),
+            ConvergenceError("x", core_size=3),
+            DecompositionError("x"),
+            AlgorithmNotFoundError("x", ("a",)),
+            TrainingError("x"),
+            SchedulingError("x"),
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_node_not_found_is_key_error(self):
+        assert isinstance(NodeNotFoundError(1), KeyError)
+
+    def test_format_error_is_value_error(self):
+        assert isinstance(FormatError("x"), ValueError)
+
+
+class TestMessages:
+    def test_node_not_found_message(self):
+        assert "not in the graph" in str(NodeNotFoundError("v7"))
+        assert "v7" in str(NodeNotFoundError("v7"))
+
+    def test_self_loop_message(self):
+        assert "self-loop" in str(SelfLoopError(3))
+
+    def test_convergence_carries_core_size(self):
+        exc = ConvergenceError("stuck", core_size=42)
+        assert exc.core_size == 42
+
+    def test_algorithm_not_found_lists_options(self):
+        exc = AlgorithmNotFoundError("foo", ("tomita", "bkpivot"))
+        assert "foo" in str(exc)
+        assert "bkpivot" in str(exc)
+        assert "tomita" in str(exc)

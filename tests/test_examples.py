@@ -1,0 +1,49 @@
+"""Smoke-run every example script so the examples cannot rot.
+
+Each example is executed as a subprocess with a bounded runtime; the
+slow ones take a size argument to stay quick under test.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+# script -> (argv suffix, expected stdout fragment)
+EXAMPLES = {
+    "quickstart.py": ([], "maximal cliques"),
+    "community_detection.py": ([], "communities"),
+    "hub_analysis.py": ([], "naive"),
+    "file_pipeline.py": ([], "wrote"),
+    "evolving_network.py": ([], "incremental maintenance"),
+    "scalability_sweep.py": (["google+"], "speed-up"),
+    "reproduce_paper.py": (["google+"], "Figure 11"),
+    "train_selector.py": (["10"], "test accuracy"),
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs(script, tmp_path):
+    args, expected = EXAMPLES[script]
+    if script == "file_pipeline.py":
+        args = [str(tmp_path)]
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected in completed.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples changed on disk; update the smoke map"
+    )

@@ -1,0 +1,44 @@
+"""Golden regression values for the five data-set stand-ins.
+
+Everything in the library is seeded and deterministic, so the exact
+clique statistics of each stand-in are stable across runs and
+platforms.  These tests pin them: any change to the generators, the
+decomposition, or the MCE portfolio that alters an output will trip a
+golden value and force a conscious recalibration (EXPERIMENTS.md
+records the same numbers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.driver import find_max_cliques
+from repro.graph.datasets import load_dataset
+
+# dataset -> (nodes, edges, max_degree, num_cliques, max_clique_size)
+GOLDEN = {
+    "twitter1": (2900, 12951, 345, 7545, 27),
+    "twitter2": (2800, 18615, 361, 12945, 31),
+    "twitter3": (3200, 28461, 401, 37764, 33),
+    "facebook": (2300, 19458, 348, 19978, 21),
+    "google+": (2100, 12477, 233, 8159, 18),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_dataset_shape_is_pinned(name):
+    nodes, edges, max_degree, _cliques, _max_size = GOLDEN[name]
+    graph = load_dataset(name)
+    assert graph.num_nodes == nodes
+    assert graph.num_edges == edges
+    assert graph.max_degree() == max_degree
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_dataset_cliques_are_pinned(name):
+    _nodes, _edges, max_degree, num_cliques, max_size = GOLDEN[name]
+    graph = load_dataset(name)
+    result = find_max_cliques(graph, max(2, max_degree // 2))
+    assert result.num_cliques == num_cliques
+    assert result.max_clique_size() == max_size
+    assert not result.fallback_used

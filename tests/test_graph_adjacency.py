@@ -1,0 +1,261 @@
+"""Unit tests for the core Graph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError, SelfLoopError
+from repro.graph.adjacency import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_from_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_from_nodes(self):
+        g = Graph(nodes=[1, 2, 3])
+        assert g.num_nodes == 3
+        assert g.num_edges == 0
+
+    def test_nodes_before_edges(self):
+        g = Graph(edges=[(2, 3)], nodes=[1])
+        assert list(g.nodes()) == [1, 2, 3]
+
+    def test_string_labels(self):
+        g = Graph(edges=[("a", "b")])
+        assert g.has_edge("a", "b")
+
+    def test_tuple_labels(self):
+        g = Graph(edges=[((0, "x"), (1, "y"))])
+        assert g.has_node((0, "x"))
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(1)
+        g.add_node(1)
+        assert g.num_nodes == 1
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_add_edge_idempotent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(SelfLoopError):
+            g.add_edge(1, 1)
+
+    def test_self_loop_in_constructor_rejected(self):
+        with pytest.raises(SelfLoopError):
+            Graph(edges=[(1, 1)])
+
+    def test_add_edges(self):
+        g = Graph()
+        g.add_edges([(1, 2), (2, 3)])
+        assert g.num_edges == 2
+
+    def test_add_clique(self):
+        g = Graph()
+        g.add_clique([1, 2, 3, 4])
+        assert g.num_edges == 6
+        assert g.is_clique([1, 2, 3, 4])
+
+    def test_add_clique_with_duplicates(self):
+        g = Graph()
+        g.add_clique([1, 2, 2, 3])
+        assert g.num_edges == 3
+
+    def test_add_clique_over_existing_edges(self):
+        g = Graph(edges=[(1, 2)])
+        g.add_clique([1, 2, 3])
+        assert g.num_edges == 3
+
+    def test_remove_node(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_node(2)
+        assert not g.has_node(2)
+        assert g.num_edges == 0
+        assert g.num_nodes == 2
+
+    def test_remove_node_missing(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(9)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert g.has_node(1)
+
+    def test_remove_edge_idempotent(self):
+        g = Graph(edges=[(1, 2)])
+        g.remove_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert g.num_edges == 0
+
+    def test_remove_edge_missing_endpoint(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            g.remove_edge(1, 9)
+
+
+class TestInspection:
+    def test_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.neighbors(1) == frozenset({2, 3})
+
+    def test_neighbors_missing(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.neighbors(1)
+
+    def test_neighbors_snapshot_immutable(self):
+        g = Graph(edges=[(1, 2)])
+        snapshot = g.neighbors(1)
+        g.add_edge(1, 3)
+        assert snapshot == frozenset({2})
+
+    def test_degree(self):
+        g = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert g.degree(2) == 1
+
+    def test_degree_missing(self):
+        g = Graph()
+        with pytest.raises(NodeNotFoundError):
+            g.degree(7)
+
+    def test_edges_each_once(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert normalized == {
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+            frozenset({1, 3}),
+        }
+
+    def test_node_insertion_order(self):
+        g = Graph(edges=[(3, 1), (2, 5)])
+        assert list(g.nodes()) == [3, 1, 2, 5]
+
+    def test_closed_neighborhood(self):
+        g = Graph(edges=[(1, 2), (1, 3)])
+        assert g.closed_neighborhood(1) == frozenset({1, 2, 3})
+        assert g.closed_neighborhood(2) == frozenset({1, 2})
+
+    def test_neighborhood_of_set(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        assert g.neighborhood_of_set([1, 2]) == frozenset({1, 2, 3})
+        assert g.neighborhood_of_set([2, 3]) == frozenset({1, 2, 3, 4})
+
+    def test_neighborhood_of_set_missing_node(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            g.neighborhood_of_set([1, 9])
+
+    def test_max_degree(self):
+        g = Graph(edges=[(1, 2), (1, 3), (4, 5)])
+        assert g.max_degree() == 2
+
+    def test_max_degree_empty(self):
+        assert Graph().max_degree() == 0
+
+    def test_density_complete(self):
+        g = Graph()
+        g.add_clique([1, 2, 3, 4])
+        assert g.density() == pytest.approx(1.0)
+
+    def test_density_empty_graph(self):
+        assert Graph().density() == 0.0
+        assert Graph(nodes=[1]).density() == 0.0
+
+    def test_density_half(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        assert g.density() == pytest.approx(0.5)
+
+    def test_is_clique(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert g.is_clique([1, 2, 3])
+        assert not g.is_clique([1, 2, 3, 4])
+        assert g.is_clique([3, 4])
+
+    def test_is_clique_trivial(self):
+        g = Graph(nodes=[1])
+        assert g.is_clique([])
+        assert g.is_clique([1])
+
+    def test_is_clique_missing_node(self):
+        g = Graph(nodes=[1])
+        with pytest.raises(NodeNotFoundError):
+            g.is_clique([1, 2])
+
+
+class TestDunders:
+    def test_contains(self):
+        g = Graph(nodes=[1])
+        assert 1 in g
+        assert 2 not in g
+
+    def test_iter_and_len(self):
+        g = Graph(nodes=[1, 2, 3])
+        assert list(g) == [1, 2, 3]
+        assert len(g) == 3
+
+    def test_equality(self):
+        a = Graph(edges=[(1, 2), (2, 3)])
+        b = Graph(edges=[(2, 3), (1, 2)])
+        assert a == b
+
+    def test_inequality_edges(self):
+        a = Graph(edges=[(1, 2)])
+        b = Graph(nodes=[1, 2])
+        assert a != b
+
+    def test_inequality_nodes(self):
+        assert Graph(nodes=[1]) != Graph(nodes=[2])
+
+    def test_equality_other_type(self):
+        assert Graph() != 42
+
+    def test_repr(self):
+        g = Graph(edges=[(1, 2)])
+        assert "num_nodes=2" in repr(g)
+        assert "num_edges=1" in repr(g)
+
+
+class TestCopy:
+    def test_copy_independent(self):
+        g = Graph(edges=[(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_nodes == 2
+        assert clone.num_nodes == 3
+
+    def test_copy_equal(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        assert g.copy() == g
+
+    def test_adjacency_snapshot(self):
+        g = Graph(edges=[(1, 2)])
+        adj = g.adjacency()
+        assert adj == {1: frozenset({2}), 2: frozenset({1})}

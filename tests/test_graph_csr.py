@@ -1,0 +1,76 @@
+"""Unit tests for the CSR graph snapshot."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import complete_graph, erdos_renyi, star_graph
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(30, 0.2, seed=seed)
+        assert CSRGraph(g).to_graph() == g
+
+    def test_isolated_nodes_preserved(self):
+        g = Graph(edges=[(1, 2)], nodes=[9])
+        assert CSRGraph(g).to_graph() == g
+
+    def test_empty(self):
+        csr = CSRGraph(Graph())
+        assert csr.num_nodes == 0
+        assert csr.num_edges == 0
+        assert csr.to_graph() == Graph()
+
+
+class TestQueries:
+    def test_counts(self):
+        csr = CSRGraph(complete_graph(5))
+        assert csr.num_nodes == 5
+        assert csr.num_edges == 10
+
+    def test_degree(self):
+        csr = CSRGraph(star_graph(6))
+        assert csr.degree(0) == 6
+        assert csr.degree(1) == 1
+
+    def test_neighbors_sorted_indices(self):
+        g = Graph(edges=[(0, 3), (0, 1), (0, 2)])
+        csr = CSRGraph(g)
+        row = list(csr.neighbor_indices(csr.index_of(0)))
+        assert row == sorted(row)
+
+    def test_neighbors_labels(self):
+        g = Graph(edges=[("a", "b"), ("a", "c")])
+        csr = CSRGraph(g)
+        assert set(csr.neighbors("a")) == {"b", "c"}
+
+    def test_has_edge(self):
+        g = erdos_renyi(25, 0.3, seed=7)
+        csr = CSRGraph(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                if u != v:
+                    assert csr.has_edge(u, v) == g.has_edge(u, v)
+
+    def test_unknown_node(self):
+        csr = CSRGraph(Graph(nodes=[1]))
+        with pytest.raises(NodeNotFoundError):
+            csr.degree(99)
+
+    def test_memory_bytes_positive(self):
+        csr = CSRGraph(complete_graph(10))
+        assert csr.memory_bytes() == (11 + 90) * 8
+
+    def test_repr(self):
+        assert "num_nodes=3" in repr(CSRGraph(complete_graph(3)))
+
+    def test_label_index_roundtrip(self):
+        g = Graph(nodes=["x", "y"])
+        csr = CSRGraph(g)
+        for node in g.nodes():
+            assert csr.label(csr.index_of(node)) == node

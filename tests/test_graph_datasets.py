@@ -1,0 +1,73 @@
+"""Unit tests for the calibrated data-set stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.cores import degeneracy
+from repro.graph.datasets import DATASET_NAMES, DATASETS, load_all, load_dataset
+from repro.graph.properties import fraction_with_degree_at_most
+
+
+class TestCatalogue:
+    def test_five_datasets(self):
+        assert len(DATASET_NAMES) == 5
+        assert set(DATASET_NAMES) == {
+            "twitter1",
+            "twitter2",
+            "twitter3",
+            "facebook",
+            "google+",
+        }
+
+    def test_paper_statistics_recorded(self):
+        # Table 3 of the paper, verbatim.
+        assert DATASETS["twitter1"].paper_nodes == 2_919_613
+        assert DATASETS["twitter3"].paper_edges == 476_553_560
+        assert DATASETS["facebook"].paper_max_degree == 2_621_960
+        assert DATASETS["google+"].paper_max_clique == 18
+
+    def test_scale_is_small(self):
+        for spec in DATASETS.values():
+            assert spec.scale < 0.01
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("orkut")
+
+
+class TestBuiltGraphs:
+    def test_deterministic(self):
+        assert load_dataset("twitter1") == load_dataset("twitter1")
+
+    def test_seed_override(self):
+        assert load_dataset("twitter1", seed=1) != load_dataset("twitter1", seed=2)
+
+    def test_node_counts(self):
+        for name, spec in DATASETS.items():
+            graph = spec.build()
+            assert graph.num_nodes == spec.nodes, name
+
+    def test_load_all(self):
+        graphs = load_all()
+        assert set(graphs) == set(DATASET_NAMES)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_hubs_dominate_degeneracy(self, name):
+        # The m/d sweep of Section 6 needs 0.1 * max_degree to exceed the
+        # degeneracy so the first-level recursion converges at every ratio.
+        graph = load_dataset(name)
+        assert 0.1 * graph.max_degree() > degeneracy(graph)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_mostly_low_degree(self, name):
+        # Figure 6 prose: ~91% of nodes have degree in [1, 20] on average.
+        graph = load_dataset(name)
+        assert fraction_with_degree_at_most(graph, 20) > 0.75
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_planted_max_clique_size_is_feasible(self, name):
+        # The largest planted clique forces degeneracy >= size - 1.
+        spec = DATASETS[name]
+        graph = spec.build()
+        assert degeneracy(graph) >= max(spec.planted_cliques) - 1

@@ -1,0 +1,267 @@
+"""Unit tests for the seeded graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.cores import degeneracy
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    erdos_renyi,
+    h_n,
+    social_network,
+    star_graph,
+    watts_strogatz,
+)
+
+
+class TestFixedShapes:
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 10
+
+    def test_complete_zero(self):
+        assert complete_graph(0).num_nodes == 0
+
+    def test_complete_negative(self):
+        with pytest.raises(ValueError):
+            complete_graph(-1)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(n) == 2 for n in g.nodes())
+
+    def test_cycle_two_nodes(self):
+        g = cycle_graph(2)
+        assert g.num_edges == 1
+
+    def test_cycle_one_node(self):
+        g = cycle_graph(1)
+        assert g.num_nodes == 1
+        assert g.num_edges == 0
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+
+class TestErdosRenyi:
+    def test_p_zero(self):
+        g = erdos_renyi(20, 0.0, seed=1)
+        assert g.num_edges == 0
+        assert g.num_nodes == 20
+
+    def test_p_one(self):
+        g = erdos_renyi(6, 1.0, seed=1)
+        assert g.num_edges == 15
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 0.5)
+
+    def test_deterministic(self):
+        assert erdos_renyi(40, 0.2, seed=9) == erdos_renyi(40, 0.2, seed=9)
+
+    def test_seed_changes_graph(self):
+        assert erdos_renyi(40, 0.2, seed=1) != erdos_renyi(40, 0.2, seed=2)
+
+    def test_expected_edge_count(self):
+        n, p = 200, 0.1
+        g = erdos_renyi(n, p, seed=42)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        n, m = 50, 3
+        g = barabasi_albert(n, m, seed=0)
+        assert g.num_nodes == n
+        # m edges per new node after the initial star of m edges.
+        assert g.num_edges == m + (n - m - 1) * m
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+    def test_n_too_small(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 3)
+
+    def test_deterministic(self):
+        assert barabasi_albert(60, 2, seed=5) == barabasi_albert(60, 2, seed=5)
+
+    def test_has_hubs(self):
+        g = barabasi_albert(500, 3, seed=1)
+        assert g.max_degree() > 20
+
+    def test_attached_nodes_have_degree_at_least_m(self):
+        # Nodes added after the initial star attach to m distinct targets.
+        m = 4
+        g = barabasi_albert(100, m, seed=2)
+        assert all(g.degree(n) >= m for n in range(m + 1, 100))
+
+
+class TestWattsStrogatz:
+    def test_degree_regular_without_rewiring(self):
+        g = watts_strogatz(20, 4, 0.0, seed=1)
+        assert all(g.degree(n) == 4 for n in g.nodes())
+
+    def test_edge_count_preserved(self):
+        g = watts_strogatz(30, 6, 0.5, seed=2)
+        assert g.num_edges == 30 * 3
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_n_not_greater_than_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 4, -0.1)
+
+    def test_deterministic(self):
+        assert watts_strogatz(25, 4, 0.3, seed=7) == watts_strogatz(
+            25, 4, 0.3, seed=7
+        )
+
+
+class TestSocialNetwork:
+    def test_basic(self):
+        g = social_network(100, attachment=3, seed=1)
+        assert g.num_nodes == 100
+
+    def test_planted_clique_present(self):
+        g = social_network(80, attachment=2, planted_cliques=(9,), seed=3)
+        # A 9-clique forces degeneracy at least 8.
+        assert degeneracy(g) >= 8
+
+    def test_planted_too_large(self):
+        with pytest.raises(ValueError):
+            social_network(10, attachment=2, planted_cliques=(11,), seed=0)
+
+    def test_planted_too_small(self):
+        with pytest.raises(ValueError):
+            social_network(10, attachment=2, planted_cliques=(1,), seed=0)
+
+    def test_invalid_closure(self):
+        with pytest.raises(ValueError):
+            social_network(10, attachment=2, closure_probability=2.0)
+
+    def test_deterministic(self):
+        a = social_network(90, attachment=3, planted_cliques=(6,), seed=11)
+        b = social_network(90, attachment=3, planted_cliques=(6,), seed=11)
+        assert a == b
+
+    def test_closure_raises_clustering(self):
+        flat = social_network(300, attachment=3, closure_probability=0.0, seed=5)
+        closed = social_network(300, attachment=3, closure_probability=0.9, seed=5)
+        assert closed.num_edges > flat.num_edges
+
+
+class TestHn:
+    def test_small_is_complete(self):
+        # For n <= m + 1, H_n is the complete graph.
+        g = h_n(4, 5)
+        assert g.num_edges == 6
+
+    def test_new_node_degree_m(self):
+        # Proof property (a): v_j has degree m in H_j for j > m + 1.
+        m = 4
+        g = h_n(12, m)
+        assert g.degree(12) == m
+
+    def test_degeneracy_at_most_m(self):
+        for m in (2, 4):
+            assert degeneracy(h_n(30, m)) <= m
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            h_n(0, 3)
+        with pytest.raises(ValueError):
+            h_n(5, 0)
+
+    def test_node_labels(self):
+        g = h_n(7, 3)
+        assert set(g.nodes()) == set(range(1, 8))
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        u = disjoint_union([complete_graph(3), cycle_graph(4)])
+        assert u.num_nodes == 7
+        assert u.num_edges == 3 + 4
+
+    def test_no_cross_edges(self):
+        u = disjoint_union([complete_graph(3), complete_graph(3)])
+        assert not u.has_edge((0, 0), (1, 0))
+
+    def test_empty_input(self):
+        assert disjoint_union([]).num_nodes == 0
+
+
+class TestStochasticBlockModel:
+    def test_node_count_and_labels(self):
+        from repro.graph.generators import stochastic_block_model
+
+        g = stochastic_block_model([4, 3], 1.0, 0.0, seed=1)
+        assert g.num_nodes == 7
+        assert g.has_node((0, 0))
+        assert g.has_node((1, 2))
+
+    def test_pure_communities_are_cliques(self):
+        from repro.graph.generators import stochastic_block_model
+
+        g = stochastic_block_model([4, 3], 1.0, 0.0, seed=1)
+        assert g.is_clique([(0, i) for i in range(4)])
+        assert g.is_clique([(1, i) for i in range(3)])
+        assert not g.has_edge((0, 0), (1, 0))
+
+    def test_p_out_one_connects_everything(self):
+        from repro.graph.generators import stochastic_block_model
+
+        g = stochastic_block_model([2, 2], 1.0, 1.0, seed=1)
+        assert g.num_edges == 6
+
+    def test_deterministic(self):
+        from repro.graph.generators import stochastic_block_model
+
+        a = stochastic_block_model([10, 10], 0.6, 0.05, seed=4)
+        b = stochastic_block_model([10, 10], 0.6, 0.05, seed=4)
+        assert a == b
+
+    def test_validation(self):
+        from repro.graph.generators import stochastic_block_model
+
+        with pytest.raises(ValueError):
+            stochastic_block_model([], 0.5, 0.1)
+        with pytest.raises(ValueError):
+            stochastic_block_model([3, 0], 0.5, 0.1)
+        with pytest.raises(ValueError):
+            stochastic_block_model([3], 1.5, 0.1)
+
+    def test_percolation_recovers_planted_communities(self):
+        from repro.graph.generators import stochastic_block_model
+        from repro.mce.tomita import tomita
+        from repro.relaxed.percolation import k_clique_communities
+
+        g = stochastic_block_model([8, 8, 8], 0.95, 0.02, seed=9)
+        communities = k_clique_communities(list(tomita(g)), 5)
+        # Each planted group should be covered by one detected community.
+        for community_index in range(3):
+            members = {(community_index, i) for i in range(8)}
+            assert any(members <= c for c in communities), community_index

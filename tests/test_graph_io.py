@@ -1,0 +1,172 @@
+"""Unit tests for triple-format serialisation and label hashing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import FormatError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi
+from repro.graph.io import (
+    hash_label,
+    hash_labels,
+    iter_edge_chunks,
+    read_cliques,
+    read_triples,
+    write_cliques,
+    write_triples,
+)
+
+
+class TestTripleRoundTrip:
+    def test_basic(self, tmp_path):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        path = tmp_path / "g.txt"
+        count = write_triples(g, path)
+        assert count == 2
+        assert read_triples(path) == g
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        g = Graph(edges=[(1, 2)], nodes=[9])
+        path = tmp_path / "g.txt"
+        write_triples(g, path)
+        assert read_triples(path) == g
+
+    def test_string_labels(self, tmp_path):
+        g = Graph(edges=[("alice", "bob")])
+        path = tmp_path / "g.txt"
+        write_triples(g, path)
+        assert read_triples(path) == g
+
+    def test_labels_with_spaces(self, tmp_path):
+        g = Graph(edges=[("a b", "c d")])
+        path = tmp_path / "g.txt"
+        write_triples(g, path)
+        assert read_triples(path) == g
+
+    def test_stream_handles(self):
+        g = Graph(edges=[(1, 2)])
+        buffer = io.StringIO()
+        write_triples(g, buffer)
+        buffer.seek(0)
+        assert read_triples(buffer) == g
+
+    def test_random_graph_roundtrip(self, tmp_path):
+        g = erdos_renyi(50, 0.2, seed=8)
+        path = tmp_path / "g.txt"
+        write_triples(g, path)
+        assert read_triples(path) == g
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_triples(Graph(), path)
+        assert read_triples(path) == Graph()
+
+
+class TestTripleParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\n1 e0 2\n"
+        g = read_triples(io.StringIO(text))
+        assert g.has_edge(1, 2)
+
+    def test_bad_field_count(self):
+        with pytest.raises(FormatError, match="expected 3 fields"):
+            read_triples(io.StringIO("1 2\n"))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(FormatError, match="self-loop"):
+            read_triples(io.StringIO("7 e0 7\n"))
+
+    def test_integer_labels_restored(self):
+        g = read_triples(io.StringIO("10 e0 20\n"))
+        assert g.has_node(10)
+        assert not g.has_node("10")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(FormatError, match="line 2"):
+            read_triples(io.StringIO("1 e0 2\nbroken line here now\n"))
+
+
+class TestHashing:
+    def test_stable(self):
+        assert hash_label("x") == hash_label("x")
+
+    def test_distinct(self):
+        assert hash_label("x") != hash_label("y")
+
+    def test_bit_width(self):
+        assert hash_label("x", digest_bits=32) < 2**32
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            hash_label("x", digest_bits=7)
+
+    def test_hash_labels_graph(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        hashed, inverse = hash_labels(g)
+        assert hashed.num_edges == 2
+        assert sorted(inverse.values()) == ["a", "b", "c"]
+        assert all(isinstance(n, int) for n in hashed.nodes())
+
+
+class TestCliqueIO:
+    def test_roundtrip(self, tmp_path):
+        cliques = [frozenset({1, 2, 3}), frozenset({4})]
+        path = tmp_path / "cliques.jsonl"
+        assert write_cliques(cliques, path) == 2
+        assert read_cliques(path) == cliques
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\nnot json\n")
+        with pytest.raises(FormatError, match="line 2"):
+            read_cliques(path)
+
+    def test_non_array(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\n')
+        with pytest.raises(FormatError, match="array"):
+            read_cliques(path)
+
+
+class TestEdgeChunks:
+    def test_chunking(self):
+        g = erdos_renyi(20, 0.3, seed=1)
+        chunks = list(iter_edge_chunks(g, 7))
+        assert sum(len(c) for c in chunks) == g.num_edges
+        assert all(len(c) <= 7 for c in chunks)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            list(iter_edge_chunks(Graph(), 0))
+
+
+class TestHashCollisions:
+    def test_collision_detected_at_tiny_digest(self):
+        # 300 labels into an 8-bit hash space must collide.
+        g = Graph(nodes=[f"user{i}" for i in range(300)])
+        with pytest.raises(FormatError, match="collision"):
+            hash_labels(g, digest_bits=8)
+
+
+class TestQuotedIsolatedNodes:
+    def test_isolated_node_with_spaces(self, tmp_path):
+        g = Graph(nodes=["a b"])
+        path = tmp_path / "g.triples"
+        write_triples(g, path)
+        assert read_triples(path) == g
+
+    def test_numeric_string_label_roundtrip(self, tmp_path):
+        # "12" (string) must not come back as the integer 12.
+        g = Graph(edges=[("12", "x")])
+        path = tmp_path / "g.triples"
+        write_triples(g, path)
+        loaded = read_triples(path)
+        assert loaded.has_node("12")
+        assert not loaded.has_node(12)
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(FormatError, match="unterminated"):
+            read_triples(io.StringIO('"broken e0 x\n'))

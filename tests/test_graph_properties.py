@@ -1,0 +1,150 @@
+"""Unit tests for scalar graph properties (Section 4 parameters)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.graph.properties import (
+    GraphSummary,
+    d_star,
+    degree_histogram,
+    fraction_with_degree_at_most,
+    hub_fraction,
+    power_law_exponent,
+    summarize,
+)
+
+
+class TestDStar:
+    def test_empty(self):
+        assert d_star(Graph()) == 0
+
+    def test_single_node(self):
+        assert d_star(Graph(nodes=[1])) == 0
+
+    def test_single_edge(self):
+        assert d_star(Graph(edges=[(1, 2)])) == 1
+
+    def test_complete(self):
+        # K_n: n nodes of degree n-1, so d* = n-1.
+        assert d_star(complete_graph(6)) == 5
+
+    def test_cycle(self):
+        # All degrees 2; at least 2 nodes of degree >= 2 -> d* = 2.
+        assert d_star(cycle_graph(8)) == 2
+
+    def test_star(self):
+        # Hub degree n, leaves degree 1: only 1 node has degree >= 2.
+        assert d_star(star_graph(9)) == 1
+
+    def test_h_index_example(self):
+        # Degrees: 4, 3, 3, 2, 1, 1 -> three nodes with degree >= 3.
+        g = Graph(
+            edges=[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (2, 5)]
+        )
+        degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+        assert degrees == [4, 3, 3, 2, 1, 1]
+        assert d_star(g) == 3
+
+    def test_monotone_under_edge_addition(self):
+        g = cycle_graph(6)
+        before = d_star(g)
+        g.add_edge(0, 3)
+        assert d_star(g) >= before
+
+
+class TestDegreeHistogram:
+    def test_empty(self):
+        assert degree_histogram(Graph()) == []
+
+    def test_full_range(self):
+        g = star_graph(3)
+        hist = degree_histogram(g)
+        assert hist == [0, 3, 0, 1]
+
+    def test_truncation_drops_tail(self):
+        g = star_graph(30)
+        hist = degree_histogram(g, max_degree=5)
+        assert len(hist) == 6
+        assert hist[1] == 30
+        assert sum(hist) == 30  # the hub (degree 30) is dropped
+
+    def test_counts_sum_to_nodes_when_untruncated(self):
+        g = barabasi_albert(50, 3, seed=2)
+        assert sum(degree_histogram(g)) == g.num_nodes
+
+
+class TestHubFraction:
+    def test_empty(self):
+        assert hub_fraction(Graph(), 5) == 0.0
+
+    def test_star(self):
+        g = star_graph(9)
+        assert hub_fraction(g, 5) == pytest.approx(0.1)
+
+    def test_all_hubs(self):
+        assert hub_fraction(complete_graph(4), 2) == 1.0
+
+    def test_no_hubs(self):
+        assert hub_fraction(complete_graph(4), 10) == 0.0
+
+
+class TestLowDegreeFraction:
+    def test_empty(self):
+        assert fraction_with_degree_at_most(Graph(), 20) == 0.0
+
+    def test_star(self):
+        g = star_graph(9)
+        assert fraction_with_degree_at_most(g, 1) == pytest.approx(0.9)
+
+    def test_all(self):
+        g = cycle_graph(5)
+        assert fraction_with_degree_at_most(g, 2) == 1.0
+
+
+class TestPowerLawExponent:
+    def test_too_few_nodes(self):
+        assert math.isnan(power_law_exponent(Graph(nodes=[1])))
+
+    def test_invalid_d_min(self):
+        with pytest.raises(ValueError):
+            power_law_exponent(Graph(), d_min=0)
+
+    def test_ba_in_scale_free_range(self):
+        g = barabasi_albert(2000, 3, seed=1)
+        alpha = power_law_exponent(g, d_min=3)
+        assert 1.8 < alpha < 3.8
+
+    def test_regular_graph_diverges(self):
+        # All degrees equal d_min: log-sum is positive but tiny spread;
+        # the MLE is finite and large or inf for degenerate input.
+        g = cycle_graph(10)
+        alpha = power_law_exponent(g, d_min=2)
+        assert alpha > 3.0
+
+
+class TestSummary:
+    def test_of_complete(self):
+        summary = GraphSummary.of(complete_graph(5))
+        assert summary.num_nodes == 5
+        assert summary.num_edges == 10
+        assert summary.density == pytest.approx(1.0)
+        assert summary.degeneracy == 4
+        assert summary.d_star == 4
+
+    def test_as_tuple_order(self):
+        summary = GraphSummary.of(complete_graph(3))
+        assert summary.as_tuple() == (3.0, 3.0, 1.0, 2.0, 2.0)
+
+    def test_summarize_free_function(self):
+        g = cycle_graph(4)
+        assert summarize(g) == GraphSummary.of(g)

@@ -1,0 +1,101 @@
+"""Unit tests for evolving-network edge streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.graph.streams import apply_stream, edge_stream
+from repro.incremental.maintainer import IncrementalMCE
+from repro.mce.tomita import tomita
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_stream_applies_cleanly(self, seed):
+        g = erdos_renyi(15, 0.2, seed=seed)
+        live = g.copy()
+        for event in edge_stream(g, 100, churn=0.3, seed=seed):
+            if event.operation == "insert":
+                assert not live.has_edge(event.u, event.v)
+                live.add_edge(event.u, event.v)
+            else:
+                assert live.has_edge(event.u, event.v)
+                live.remove_edge(event.u, event.v)
+
+    def test_apply_stream_matches_manual(self):
+        g = erdos_renyi(12, 0.2, seed=4)
+        events = list(edge_stream(g, 50, seed=4))
+        applied = apply_stream(g, iter(events))
+        manual = g.copy()
+        for event in events:
+            if event.operation == "insert":
+                manual.add_edge(event.u, event.v)
+            else:
+                manual.remove_edge(event.u, event.v)
+        assert applied == manual
+
+    def test_original_graph_untouched(self):
+        g = erdos_renyi(10, 0.3, seed=1)
+        before = g.copy()
+        list(edge_stream(g, 30, seed=1))
+        assert g == before
+
+    def test_deterministic(self):
+        g = erdos_renyi(12, 0.2, seed=2)
+        a = list(edge_stream(g, 40, seed=9))
+        b = list(edge_stream(g, 40, seed=9))
+        assert a == b
+
+    def test_length(self):
+        g = erdos_renyi(10, 0.2, seed=3)
+        assert len(list(edge_stream(g, 25, seed=1))) == 25
+
+    def test_steps_sequential(self):
+        g = erdos_renyi(10, 0.2, seed=3)
+        steps = [event.step for event in edge_stream(g, 10, seed=1)]
+        assert steps == list(range(10))
+
+
+class TestEdgeCases:
+    def test_complete_graph_forces_deletions(self):
+        g = complete_graph(4)
+        events = list(edge_stream(g, 3, churn=0.0, seed=0))
+        assert events[0].operation == "delete"
+
+    def test_churn_zero_grows(self):
+        g = Graph(nodes=range(10))
+        events = list(edge_stream(g, 20, churn=0.0, seed=5))
+        assert all(event.operation == "insert" for event in events)
+
+    def test_churn_one_only_deletes_while_possible(self):
+        g = complete_graph(4)
+        events = list(edge_stream(g, 6, churn=1.0, seed=5))
+        assert all(event.operation == "delete" for event in events)
+
+    def test_validation(self):
+        g = erdos_renyi(10, 0.2, seed=1)
+        with pytest.raises(ValueError):
+            list(edge_stream(g, -1))
+        with pytest.raises(ValueError):
+            list(edge_stream(g, 5, churn=1.5))
+        with pytest.raises(ValueError):
+            list(edge_stream(Graph(nodes=[1]), 5))
+
+    def test_uniform_mode(self):
+        g = Graph(nodes=range(8))
+        events = list(edge_stream(g, 15, preferential=False, seed=6))
+        assert len(events) == 15
+
+
+class TestDrivesIncremental:
+    def test_maintainer_tracks_stream(self):
+        g = erdos_renyi(12, 0.25, seed=7)
+        tracker = IncrementalMCE(g)
+        for event in edge_stream(g, 60, churn=0.3, seed=7):
+            if event.operation == "insert":
+                tracker.insert_edge(event.u, event.v)
+            else:
+                tracker.delete_edge(event.u, event.v)
+        assert tracker.cliques == set(tomita(tracker.graph))

@@ -1,0 +1,144 @@
+"""Unit tests for subgraph extraction and relabeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, cycle_graph
+from repro.graph.views import (
+    connected_components,
+    filter_nodes,
+    induced_subgraph,
+    map_cliques,
+    relabel,
+    to_integer_labels,
+)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4), (1, 3)])
+        sub = induced_subgraph(g, [1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_drops_external_edges(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        sub = induced_subgraph(g, [1, 3])
+        assert sub.num_edges == 0
+
+    def test_keeps_isolated_members(self):
+        g = Graph(edges=[(1, 2)], nodes=[5])
+        sub = induced_subgraph(g, [1, 5])
+        assert set(sub.nodes()) == {1, 5}
+
+    def test_empty_selection(self):
+        g = Graph(edges=[(1, 2)])
+        sub = induced_subgraph(g, [])
+        assert sub.num_nodes == 0
+
+    def test_whole_graph(self):
+        g = complete_graph(5)
+        assert induced_subgraph(g, g.nodes()) == g
+
+    def test_missing_node_raises(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(NodeNotFoundError):
+            induced_subgraph(g, [1, 9])
+
+    def test_order_follows_selection(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        sub = induced_subgraph(g, [3, 1])
+        assert list(sub.nodes()) == [3, 1]
+
+    def test_duplicates_collapse(self):
+        g = Graph(edges=[(1, 2)])
+        sub = induced_subgraph(g, [1, 1, 2])
+        assert sub.num_nodes == 2
+
+    def test_does_not_mutate_original(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        before = g.copy()
+        induced_subgraph(g, [1, 2])
+        assert g == before
+
+
+class TestRelabel:
+    def test_basic(self):
+        g = Graph(edges=[(1, 2)])
+        out = relabel(g, {1: "a", 2: "b"})
+        assert out.has_edge("a", "b")
+
+    def test_partial_mapping(self):
+        g = Graph(edges=[(1, 2)])
+        out = relabel(g, {1: "a"})
+        assert out.has_edge("a", 2)
+
+    def test_collision_rejected(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(ValueError):
+            relabel(g, {1: "x", 2: "x"})
+
+    def test_collision_with_unmapped_rejected(self):
+        g = Graph(edges=[(1, 2)])
+        with pytest.raises(ValueError):
+            relabel(g, {1: 2})
+
+
+class TestIntegerLabels:
+    def test_roundtrip(self):
+        g = Graph(edges=[("a", "b"), ("b", "c")])
+        compact, inverse = to_integer_labels(g)
+        assert set(compact.nodes()) == {0, 1, 2}
+        assert compact.num_edges == 2
+        assert sorted(inverse.values()) == ["a", "b", "c"]
+
+    def test_insertion_order(self):
+        g = Graph(nodes=["z", "a", "m"])
+        _, inverse = to_integer_labels(g)
+        assert inverse == {0: "z", 1: "a", 2: "m"}
+
+    def test_map_cliques(self):
+        cliques = [frozenset({0, 1}), frozenset({2})]
+        inverse = {0: "a", 1: "b", 2: "c"}
+        assert map_cliques(cliques, inverse) == [
+            frozenset({"a", "b"}),
+            frozenset({"c"}),
+        ]
+
+    def test_empty_graph(self):
+        compact, inverse = to_integer_labels(Graph())
+        assert compact.num_nodes == 0
+        assert inverse == {}
+
+
+class TestFilterNodes:
+    def test_predicate(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 4)])
+        sub = filter_nodes(g, lambda n: n % 2 == 0)
+        assert set(sub.nodes()) == {2, 4}
+        assert sub.num_edges == 0
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        g = cycle_graph(5)
+        components = connected_components(g)
+        assert len(components) == 1
+        assert components[0] == frozenset(range(5))
+
+    def test_multiple_components(self):
+        g = Graph(edges=[(1, 2), (3, 4)], nodes=[9])
+        components = connected_components(g)
+        assert len(components) == 3
+        assert frozenset({9}) in components
+
+    def test_empty(self):
+        assert connected_components(Graph()) == []
+
+    def test_order_by_first_node(self):
+        g = Graph(nodes=[5, 1])
+        components = connected_components(g)
+        assert components[0] == frozenset({5})

@@ -1,0 +1,153 @@
+"""Unit and property tests for incremental clique maintenance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import GraphError, SelfLoopError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.incremental.maintainer import IncrementalMCE, replay
+from repro.mce.tomita import tomita
+
+
+def oracle(graph: Graph) -> set[frozenset]:
+    return set(tomita(graph))
+
+
+class TestInsertEdge:
+    def test_triangle_closure(self):
+        tracker = IncrementalMCE(Graph(edges=[(1, 2), (2, 3)]))
+        tracker.insert_edge(1, 3)
+        assert tracker.cliques == {frozenset({1, 2, 3})}
+
+    def test_insert_between_components(self):
+        tracker = IncrementalMCE(Graph(nodes=[1, 2]))
+        tracker.insert_edge(1, 2)
+        assert tracker.cliques == {frozenset({1, 2})}
+
+    def test_insert_creates_endpoints(self):
+        tracker = IncrementalMCE(Graph())
+        tracker.insert_edge("a", "b")
+        assert tracker.cliques == {frozenset({"a", "b"})}
+
+    def test_idempotent(self):
+        tracker = IncrementalMCE(Graph(edges=[(1, 2)]))
+        before = tracker.cliques
+        tracker.insert_edge(1, 2)
+        assert tracker.cliques == before
+
+    def test_self_loop_rejected(self):
+        tracker = IncrementalMCE(Graph(nodes=[1]))
+        with pytest.raises(SelfLoopError):
+            tracker.insert_edge(1, 1)
+
+    def test_absorbs_old_cliques(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        tracker = IncrementalMCE(g)
+        assert len(tracker.cliques) == 2
+        tracker.insert_edge(0, 1)
+        assert tracker.cliques == {frozenset(range(4))}
+
+
+class TestDeleteEdge:
+    def test_split_clique(self):
+        tracker = IncrementalMCE(complete_graph(3))
+        tracker.delete_edge(0, 1)
+        assert tracker.cliques == {frozenset({0, 2}), frozenset({1, 2})}
+
+    def test_missing_edge_rejected(self):
+        tracker = IncrementalMCE(Graph(nodes=[1, 2]))
+        with pytest.raises(GraphError):
+            tracker.delete_edge(1, 2)
+
+    def test_halves_deduplicated(self):
+        # Two maximal cliques sharing the split edge can produce the
+        # same half; it must appear once.
+        g = Graph(edges=[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)])
+        tracker = IncrementalMCE(g)
+        tracker.delete_edge(0, 1)
+        assert tracker.cliques == oracle(tracker.graph)
+
+    def test_isolated_endpoint_becomes_singleton(self):
+        tracker = IncrementalMCE(Graph(edges=[(1, 2)]))
+        tracker.delete_edge(1, 2)
+        assert tracker.cliques == {frozenset({1}), frozenset({2})}
+
+
+class TestNodeOperations:
+    def test_insert_node(self):
+        tracker = IncrementalMCE(Graph())
+        tracker.insert_node("x")
+        assert tracker.cliques == {frozenset({"x"})}
+
+    def test_delete_node(self):
+        tracker = IncrementalMCE(complete_graph(4))
+        tracker.delete_node(0)
+        assert tracker.cliques == {frozenset({1, 2, 3})}
+        assert not tracker.graph.has_node(0)
+
+    def test_cliques_of(self):
+        tracker = IncrementalMCE(complete_graph(3))
+        assert tracker.cliques_of(0) == {frozenset({0, 1, 2})}
+        assert tracker.cliques_of("ghost") == frozenset()
+
+
+class TestRandomizedAgainstOracle:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_update_stream(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi(12, 0.3, seed=seed)
+        tracker = IncrementalMCE(g)
+        nodes = list(g.nodes())
+        for _step in range(120):
+            u, v = rng.sample(nodes, 2)
+            if tracker.graph.has_edge(u, v):
+                tracker.delete_edge(u, v)
+            else:
+                tracker.insert_edge(u, v)
+            assert tracker.cliques == oracle(tracker.graph)
+
+    def test_graph_accessor_is_a_copy(self):
+        tracker = IncrementalMCE(complete_graph(3))
+        copy = tracker.graph
+        copy.remove_edge(0, 1)
+        assert tracker.cliques == {frozenset({0, 1, 2})}
+
+
+class TestReplay:
+    def test_stream(self):
+        tracker = replay(
+            Graph(nodes=[1, 2, 3]),
+            [("insert", 1, 2), ("insert", 2, 3), ("insert", 1, 3), ("delete", 1, 2)],
+        )
+        assert tracker.cliques == oracle(tracker.graph)
+
+    def test_unknown_operation(self):
+        with pytest.raises(ValueError):
+            replay(Graph(nodes=[1, 2]), [("upsert", 1, 2)])
+
+
+class TestFromResult:
+    def test_seeded_from_driver_output(self):
+        from repro.core.driver import find_max_cliques
+
+        g = erdos_renyi(14, 0.3, seed=11)
+        result = find_max_cliques(g, 8)
+        tracker = IncrementalMCE.from_result(g, result)
+        assert tracker.cliques == set(result.cliques)
+        tracker.insert_edge(*next(
+            (u, v)
+            for u in g.nodes()
+            for v in g.nodes()
+            if u != v and not g.has_edge(u, v)
+        ))
+        assert tracker.cliques == oracle(tracker.graph)
+
+    def test_explicit_cliques_adopted(self):
+        g = complete_graph(3)
+        tracker = IncrementalMCE(g, cliques=[frozenset({0, 1, 2})])
+        assert tracker.num_cliques == 1

@@ -1,0 +1,129 @@
+"""End-to-end integration tests across modules.
+
+These exercise whole pipelines the way the examples and benchmarks do:
+dataset → decomposition → distributed analysis → filtering → reporting,
+cross-checked against the networkx oracle.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from conftest import nx_cliques
+from repro.analysis.cliques import largest_cliques_split, provenance_split
+from repro.baselines.naive_blocks import naive_block_mce
+from repro.core.driver import find_max_cliques
+from repro.decision.training import build_corpus, label_corpus, train
+from repro.distributed.runner import run_distributed
+from repro.graph.cores import degeneracy
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import h_n, social_network
+from repro.graph.io import read_cliques, write_cliques
+
+
+@pytest.fixture(scope="module")
+def gplus():
+    return load_dataset("google+")
+
+
+class TestDatasetPipeline:
+    def test_google_plus_end_to_end(self, gplus):
+        d = gplus.max_degree()
+        result = find_max_cliques(gplus, int(0.5 * d))
+        assert set(result.cliques) == nx_cliques(gplus)
+        assert result.max_clique_size() == 18  # Table/figure value
+        assert not result.fallback_used
+
+    def test_md_sweep_converges_like_paper(self, gplus):
+        # Paper Section 6.2: two first-level iterations at m/d in
+        # {0.5, 0.9}, three at {0.1, 0.3}.  Our stand-ins reproduce
+        # monotone-growing depth as the ratio shrinks.
+        d = gplus.max_degree()
+        depths = {}
+        for ratio in (0.9, 0.5, 0.1):
+            result = find_max_cliques(gplus, max(2, int(ratio * d)))
+            assert not result.fallback_used
+            depths[ratio] = result.recursion_depth
+        assert depths[0.9] <= depths[0.5] <= depths[0.1]
+        assert depths[0.9] >= 2
+
+    def test_hub_cliques_appear_at_small_ratio(self, gplus):
+        d = gplus.max_degree()
+        result = find_max_cliques(gplus, max(2, int(0.1 * d)))
+        split = provenance_split(result)
+        assert split.hub_count > 0
+        # Hub-only cliques are comparable in size to the overall largest
+        # (Section 6.3 "Effectiveness").
+        assert split.hub_avg_size >= split.feasible_avg_size * 0.5
+
+    def test_largest_clique_analysis(self, gplus):
+        d = gplus.max_degree()
+        result = find_max_cliques(gplus, max(2, int(0.1 * d)))
+        feasible_share, hub_share = largest_cliques_split(result, k=200)
+        assert feasible_share + hub_share == pytest.approx(1.0)
+        assert hub_share > 0.0
+
+
+class TestDistributedPipeline:
+    def test_distributed_equals_serial_on_dataset(self, gplus):
+        d = gplus.max_degree()
+        m = int(0.5 * d)
+        serial = find_max_cliques(gplus, m)
+        distributed = run_distributed(gplus, m)
+        assert set(distributed.cliques) == set(serial.cliques)
+        assert distributed.simulated_speedup() >= 1.0
+
+
+class TestNaiveContrast:
+    def test_naive_loses_what_we_keep(self, gplus):
+        d = gplus.max_degree()
+        m = max(2, int(0.1 * d))
+        reference = nx_cliques(gplus)
+        ours = find_max_cliques(gplus, m)
+        naive = naive_block_mce(gplus, m)
+        assert set(ours.cliques) == reference
+        assert len(naive.missed(reference)) > 0
+
+
+class TestTheorem1:
+    def test_pathological_vs_real_recursion_depth(self, gplus):
+        # H_n needs Omega(n) rounds; the social stand-in needs only a few.
+        m_construction = 3
+        pathological = h_n(60, m_construction)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            deep = find_max_cliques(pathological, m_construction + 2)
+        assert deep.recursion_depth >= 20
+        shallow = find_max_cliques(gplus, int(0.5 * gplus.max_degree()))
+        assert shallow.recursion_depth <= 4
+
+    def test_m_above_degeneracy_suffices(self):
+        g = social_network(120, attachment=3, planted_cliques=(8,), seed=13)
+        m = degeneracy(g) + 1
+        result = find_max_cliques(g, m, fallback="raise")
+        assert set(result.cliques) == nx_cliques(g)
+
+
+class TestPersistence:
+    def test_clique_output_roundtrip(self, tmp_path, gplus):
+        result = find_max_cliques(gplus, int(0.5 * gplus.max_degree()))
+        path = tmp_path / "cliques.jsonl"
+        write_cliques(result.cliques, path)
+        assert set(read_cliques(path)) == set(result.cliques)
+
+
+class TestDecisionPipeline:
+    def test_training_to_selection(self):
+        corpus = build_corpus(count=12, seed=3, size_range=(20, 60))
+        labelled = label_corpus(corpus)
+        result = train(labelled, seed=5)
+        # The learned tree routes every test graph to a runnable combo.
+        from repro.decision.paper_tree import combo_for_label
+
+        for entry in result.testing:
+            label = result.tree.predict(entry.features)
+            combo = combo_for_label(label)
+            cliques = set(combo.run(entry.graph))
+            assert cliques == nx_cliques(entry.graph)

@@ -1,0 +1,135 @@
+"""Cross-validation of every MCE algorithm on every backend.
+
+The oracle is networkx ``find_cliques`` (an implementation this library
+shares no code with).  Each of the 12 (algorithm × backend) combinations
+must produce exactly the same *set* of cliques with no duplicates, on
+every corpus graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CORPUS, FIGURE1_CLIQUES, nx_cliques
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.mce.backends import BACKEND_NAMES
+from repro.mce.bron_kerbosch import bk_pivot, bron_kerbosch
+from repro.mce.eppstein import eppstein
+from repro.mce.registry import ALL_COMBOS, Combo, run_combo
+from repro.mce.tomita import tomita
+from repro.mce.xpivot import xpivot
+
+ALGORITHMS = {
+    "bron_kerbosch": bron_kerbosch,
+    "bk_pivot": bk_pivot,
+    "tomita": tomita,
+    "eppstein": eppstein,
+    "xpivot": xpivot,
+}
+
+
+@pytest.mark.parametrize("backend", BACKEND_NAMES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=ALGORITHMS.keys())
+@pytest.mark.parametrize(
+    "name,graph", CORPUS, ids=[name for name, _ in CORPUS]
+)
+def test_matches_networkx(algorithm, backend, name, graph):
+    found = list(ALGORITHMS[algorithm](graph, backend))
+    assert len(found) == len(set(found)), "duplicate cliques emitted"
+    assert set(found) == nx_cliques(graph)
+
+
+@pytest.mark.parametrize("combo", ALL_COMBOS, ids=[c.name for c in ALL_COMBOS])
+def test_figure1_via_registry(figure1, combo):
+    assert set(run_combo(figure1, combo)) == FIGURE1_CLIQUES
+
+
+class TestEdgeCases:
+    def test_empty_graph_yields_nothing(self):
+        for algorithm in ALGORITHMS.values():
+            assert list(algorithm(Graph(), "lists")) == []
+
+    def test_single_node_is_maximal(self):
+        g = Graph(nodes=["a"])
+        for algorithm in ALGORITHMS.values():
+            assert list(algorithm(g, "lists")) == [frozenset({"a"})]
+
+    def test_isolated_nodes_each_maximal(self):
+        g = Graph(nodes=[1, 2, 3])
+        for algorithm in ALGORITHMS.values():
+            assert set(algorithm(g, "bitsets")) == {
+                frozenset({1}),
+                frozenset({2}),
+                frozenset({3}),
+            }
+
+    def test_complete_graph_single_clique(self):
+        g = complete_graph(8)
+        for algorithm in ALGORITHMS.values():
+            assert list(algorithm(g, "matrix")) == [frozenset(range(8))]
+
+    def test_string_labels(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c")])
+        assert set(tomita(g)) == {frozenset({"a", "b", "c"})}
+
+
+class TestMoonMoserWorstCase:
+    def test_clique_count(self):
+        # The Moon–Moser graph K_{3,3,3...} (complete multipartite with
+        # parts of size 3) has exactly 3^(n/3) maximal cliques — the
+        # worst case Tomita's bound is tight on.
+        parts = 3
+        g = Graph()
+        nodes = [(p, i) for p in range(parts) for i in range(3)]
+        for u in nodes:
+            g.add_node(u)
+        for u in nodes:
+            for v in nodes:
+                if u < v and u[0] != v[0]:
+                    g.add_edge(u, v)
+        for algorithm in ALGORITHMS.values():
+            assert len(list(algorithm(g, "bitsets"))) == 3**parts
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("combo", ALL_COMBOS, ids=[c.name for c in ALL_COMBOS])
+    def test_same_output_order_across_runs(self, combo):
+        g = erdos_renyi(25, 0.3, seed=21)
+        assert run_combo(g, combo) == run_combo(g, combo)
+
+
+class TestRegistry:
+    def test_twelve_combos(self):
+        assert len(ALL_COMBOS) == 12
+
+    def test_combo_names(self):
+        names = {combo.name for combo in ALL_COMBOS}
+        assert "[BitSets/Tomita]" in names
+        assert "[Lists/XPivot]" in names
+        assert "[Matrix/BKPivot]" in names
+
+    def test_unknown_algorithm(self):
+        from repro.errors import AlgorithmNotFoundError
+
+        with pytest.raises(AlgorithmNotFoundError):
+            Combo("dijkstra", "lists")
+
+    def test_unknown_backend(self):
+        from repro.errors import AlgorithmNotFoundError
+
+        with pytest.raises(AlgorithmNotFoundError):
+            Combo("tomita", "btree")
+
+    def test_time_combo_positive(self):
+        from repro.mce.registry import time_combo
+
+        g = complete_graph(6)
+        seconds = time_combo(g, Combo("tomita", "bitsets"))
+        assert seconds > 0.0
+
+    def test_time_combo_invalid_repeats(self):
+        from repro.mce.registry import time_combo
+
+        with pytest.raises(ValueError):
+            time_combo(Graph(), Combo("tomita", "bitsets"), repeats=0)

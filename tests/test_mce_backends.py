@@ -1,0 +1,135 @@
+"""Unit tests for the three graph-representation backends.
+
+Every test is parametrized over all backends: the whole point of the
+backend protocol is that the MCE algorithms cannot tell them apart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AlgorithmNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.mce.backends import BACKEND_NAMES, build_backend
+
+pytestmark = pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+
+
+@pytest.fixture
+def square() -> Graph:
+    """4-cycle: 0-1-2-3-0."""
+    return Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+def test_full_and_empty(square, backend_name):
+    backend = build_backend(square, backend_name)
+    assert backend.count(backend.full()) == 4
+    assert backend.count(backend.empty()) == 0
+    assert backend.is_empty(backend.empty())
+    assert not backend.is_empty(backend.full())
+
+
+def test_make_and_iterate(square, backend_name):
+    backend = build_backend(square, backend_name)
+    members = backend.make([0, 2])
+    assert list(backend.iterate(members)) == [0, 2]
+    assert backend.count(members) == 2
+
+
+def test_make_from_labels(backend_name):
+    g = Graph(edges=[("a", "b"), ("b", "c")])
+    backend = build_backend(g, backend_name)
+    members = backend.make_from_labels(["a", "c"])
+    assert backend.to_labels(members) == frozenset({"a", "c"})
+
+
+def test_intersect_neighbors(square, backend_name):
+    backend = build_backend(square, backend_name)
+    full = backend.full()
+    # Neighbours of 0 are 1 and 3.
+    neighbors = backend.intersect_neighbors(full, 0)
+    assert backend.to_labels(neighbors) == frozenset({1, 3})
+
+
+def test_minus_neighbors_keeps_self(square, backend_name):
+    backend = build_backend(square, backend_name)
+    rest = backend.minus_neighbors(backend.full(), 0)
+    assert backend.to_labels(rest) == frozenset({0, 2})
+
+
+def test_add_remove(square, backend_name):
+    backend = build_backend(square, backend_name)
+    members = backend.make([1])
+    grown = backend.add(members, 2)
+    assert backend.count(grown) == 2
+    shrunk = backend.remove(grown, 1)
+    assert backend.to_labels(shrunk) == frozenset({2})
+    # Immutable style: the original is untouched.
+    assert backend.to_labels(members) == frozenset({1})
+
+
+def test_add_idempotent(square, backend_name):
+    backend = build_backend(square, backend_name)
+    members = backend.add(backend.make([1]), 1)
+    assert backend.count(members) == 1
+
+
+def test_remove_absent(square, backend_name):
+    backend = build_backend(square, backend_name)
+    members = backend.remove(backend.make([1]), 3)
+    assert backend.to_labels(members) == frozenset({1})
+
+
+def test_common_count(square, backend_name):
+    backend = build_backend(square, backend_name)
+    members = backend.make([1, 2, 3])
+    # N(0) = {1, 3}; intersection with {1, 2, 3} has 2 elements.
+    assert backend.common_count(0, members) == 2
+
+
+def test_degree(backend_name):
+    g = complete_graph(5)
+    backend = build_backend(g, backend_name)
+    assert all(backend.degree(i) == 4 for i in range(5))
+
+
+def test_contains(square, backend_name):
+    backend = build_backend(square, backend_name)
+    members = backend.make([0, 2])
+    assert backend.contains(members, 0)
+    assert not backend.contains(members, 1)
+
+
+def test_label_index_roundtrip(backend_name):
+    g = Graph(edges=[("x", "y"), ("y", "z")])
+    backend = build_backend(g, backend_name)
+    for node in g.nodes():
+        assert backend.label(backend.index_of(node)) == node
+
+
+def test_empty_graph(backend_name):
+    backend = build_backend(Graph(), backend_name)
+    assert backend.n == 0
+    assert backend.is_empty(backend.full())
+
+
+def test_consistency_across_backends_on_random_graph(backend_name):
+    g = erdos_renyi(20, 0.3, seed=17)
+    reference = build_backend(g, "lists")
+    other = build_backend(g, backend_name)
+    full_ref = reference.full()
+    full_other = other.full()
+    for i in range(g.num_nodes):
+        assert reference.to_labels(
+            reference.intersect_neighbors(full_ref, i)
+        ) == other.to_labels(other.intersect_neighbors(full_other, i))
+        assert reference.common_count(i, full_ref) == other.common_count(
+            i, full_other
+        )
+        assert reference.degree(i) == other.degree(i)
+
+
+def test_unknown_backend_rejected(backend_name):
+    with pytest.raises(AlgorithmNotFoundError):
+        build_backend(Graph(), "cuckoo-" + backend_name)

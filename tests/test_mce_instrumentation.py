@@ -1,0 +1,65 @@
+"""Unit tests for MCE recursion instrumentation."""
+
+from __future__ import annotations
+
+from repro.graph.generators import complete_graph, erdos_renyi
+from repro.mce.instrumentation import (
+    CountingRule,
+    collect_cliques_with_profile,
+    profile_rule,
+)
+from repro.mce.recursion import no_pivot, tomita_pivot
+from repro.mce.tomita import tomita
+
+
+class TestCountingRule:
+    def test_counts_and_delegates(self):
+        counting = CountingRule(tomita_pivot)
+        g = complete_graph(4)
+        cliques, profile = collect_cliques_with_profile(g, counting.rule)
+        assert cliques == [frozenset(range(4))]
+        assert profile.internal_nodes >= 1
+
+    def test_reset(self):
+        counting = CountingRule(tomita_pivot)
+        profile_graph = complete_graph(3)
+        from repro.mce.backends import build_backend
+        from repro.mce.recursion import enumerate_all
+
+        list(enumerate_all(build_backend(profile_graph, "bitsets"), counting))
+        assert counting.calls > 0
+        counting.reset()
+        assert counting.calls == 0
+
+
+class TestProfileRule:
+    def test_pivot_prunes_vs_plain(self):
+        g = erdos_renyi(25, 0.5, seed=5)
+        plain = profile_rule(g, no_pivot)
+        pivoted = profile_rule(g, tomita_pivot)
+        assert plain.cliques == pivoted.cliques
+        assert pivoted.internal_nodes < plain.internal_nodes
+
+    def test_clique_count_matches_enumeration(self):
+        g = erdos_renyi(20, 0.3, seed=6)
+        profile = profile_rule(g, tomita_pivot)
+        assert profile.cliques == len(list(tomita(g)))
+
+    def test_nodes_per_clique(self):
+        g = complete_graph(5)
+        profile = profile_rule(g, tomita_pivot)
+        assert profile.nodes_per_clique == profile.internal_nodes
+
+    def test_empty_graph(self):
+        from repro.graph.adjacency import Graph
+
+        profile = profile_rule(Graph(), tomita_pivot)
+        assert profile.internal_nodes == 0
+        assert profile.cliques == 0
+        assert profile.nodes_per_clique == 0.0
+
+    def test_collect_matches_profile(self):
+        g = erdos_renyi(18, 0.4, seed=7)
+        cliques, profile = collect_cliques_with_profile(g, tomita_pivot)
+        assert len(cliques) == profile.cliques
+        assert set(cliques) == set(tomita(g))

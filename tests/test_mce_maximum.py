@@ -1,0 +1,85 @@
+"""Unit tests for the branch-and-bound maximum clique solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import CORPUS
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    social_network,
+)
+from repro.mce.maximum import maximum_clique, maximum_clique_size
+from repro.mce.tomita import tomita
+
+
+def brute_maximum_size(graph: Graph) -> int:
+    return max((len(c) for c in tomita(graph)), default=0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "name,graph", CORPUS, ids=[name for name, _ in CORPUS]
+    )
+    def test_size_matches_enumeration(self, name, graph):
+        assert maximum_clique_size(graph) == brute_maximum_size(graph)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(35, 0.4, seed=seed)
+        found = maximum_clique(g)
+        assert g.is_clique(found)
+        assert len(found) == brute_maximum_size(g)
+
+    def test_result_is_a_clique_of_the_graph(self):
+        g = social_network(200, attachment=3, planted_cliques=(11,), seed=5)
+        found = maximum_clique(g)
+        assert g.is_clique(found)
+        assert len(found) == 11
+
+    def test_empty_graph(self):
+        assert maximum_clique(Graph()) == frozenset()
+        assert maximum_clique_size(Graph()) == 0
+
+    def test_edgeless_graph(self):
+        found = maximum_clique(Graph(nodes=[1, 2, 3]))
+        assert len(found) == 1
+
+    def test_complete_graph(self):
+        assert maximum_clique(complete_graph(9)) == frozenset(range(9))
+
+    def test_cycle(self):
+        assert maximum_clique_size(cycle_graph(7)) == 2
+
+    def test_string_labels(self):
+        g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+        assert maximum_clique(g) == frozenset({"a", "b", "c"})
+
+
+class TestLowerBound:
+    def test_certified_bound_prunes_but_keeps_answer(self):
+        g = erdos_renyi(30, 0.4, seed=7)
+        true_size = brute_maximum_size(g)
+        found = maximum_clique(g, lower_bound=true_size - 1)
+        assert len(found) == true_size
+
+    def test_bound_at_true_size_returns_empty(self):
+        g = complete_graph(5)
+        assert maximum_clique(g, lower_bound=5) == frozenset()
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            maximum_clique(Graph(), lower_bound=-1)
+
+
+class TestScale:
+    def test_dataset_standin(self):
+        from repro.graph.datasets import load_dataset
+
+        g = load_dataset("google+")
+        found = maximum_clique(g)
+        assert g.is_clique(found)
+        assert len(found) == 18  # the calibrated maximum

@@ -1,0 +1,96 @@
+"""Unit tests for the clique-output validators."""
+
+from __future__ import annotations
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph
+from repro.mce.verify import (
+    check_mce_output,
+    find_extension,
+    is_clique,
+    is_maximal_clique,
+    missing_cliques,
+    spurious_cliques,
+)
+
+
+def triangle_plus_tail() -> Graph:
+    """Triangle 0-1-2 with tail 2-3."""
+    return Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestIsMaximal:
+    def test_maximal(self):
+        assert is_maximal_clique(triangle_plus_tail(), {0, 1, 2})
+
+    def test_not_maximal(self):
+        assert not is_maximal_clique(triangle_plus_tail(), {0, 1})
+
+    def test_not_a_clique(self):
+        assert not is_maximal_clique(triangle_plus_tail(), {0, 3})
+
+    def test_empty_never_maximal(self):
+        assert not is_maximal_clique(triangle_plus_tail(), set())
+
+    def test_singleton_isolated(self):
+        g = Graph(nodes=[7])
+        assert is_maximal_clique(g, {7})
+
+    def test_singleton_with_neighbor(self):
+        g = Graph(edges=[(1, 2)])
+        assert not is_maximal_clique(g, {1})
+
+    def test_pendant_edge(self):
+        assert is_maximal_clique(triangle_plus_tail(), {2, 3})
+
+
+class TestFindExtension:
+    def test_extension_found(self):
+        assert find_extension(triangle_plus_tail(), {0, 1}) == 2
+
+    def test_no_extension(self):
+        assert find_extension(triangle_plus_tail(), {0, 1, 2}) is None
+
+    def test_empty_set_extended_by_any_node(self):
+        g = Graph(nodes=[5])
+        assert find_extension(g, set()) == 5
+
+    def test_empty_set_empty_graph(self):
+        assert find_extension(Graph(), set()) is None
+
+
+class TestCheckOutput:
+    def test_clean(self):
+        g = triangle_plus_tail()
+        assert check_mce_output(g, [frozenset({0, 1, 2}), frozenset({2, 3})]) == []
+
+    def test_duplicate_detected(self):
+        g = complete_graph(3)
+        problems = check_mce_output(
+            g, [frozenset({0, 1, 2}), frozenset({0, 1, 2})]
+        )
+        assert any("duplicate" in p for p in problems)
+
+    def test_non_clique_detected(self):
+        g = triangle_plus_tail()
+        problems = check_mce_output(g, [frozenset({0, 3})])
+        assert any("not a clique" in p for p in problems)
+
+    def test_non_maximal_detected(self):
+        g = triangle_plus_tail()
+        problems = check_mce_output(g, [frozenset({0, 1})])
+        assert any("not maximal" in p for p in problems)
+
+
+class TestSetComparisons:
+    def test_missing(self):
+        ref = [frozenset({1, 2}), frozenset({3, 4})]
+        assert missing_cliques(ref, [frozenset({1, 2})]) == {frozenset({3, 4})}
+
+    def test_spurious(self):
+        g = triangle_plus_tail()
+        spurious = spurious_cliques(g, [frozenset({0, 1}), frozenset({2, 3})])
+        assert spurious == {frozenset({0, 1})}
+
+    def test_is_clique_delegates(self):
+        assert is_clique(complete_graph(3), [0, 1, 2])

@@ -1,0 +1,91 @@
+"""The paper's worked example (Figures 1 and 2), end to end.
+
+Section 2 walks the reader through the network of Figure 1 with m = 5.
+These tests pin every claim the paper makes about that example.
+"""
+
+from __future__ import annotations
+
+from conftest import FIGURE1_CLIQUES
+from repro.core.blocks import build_blocks
+from repro.core.driver import find_max_cliques
+from repro.core.feasibility import cut
+from repro.graph.views import induced_subgraph
+
+
+class TestSection2Claims:
+    def test_hub_degrees(self, figure1):
+        # "the red-coloured nodes D, S, and E of degree 7, 5, and 5".
+        assert figure1.degree("D") == 7
+        assert figure1.degree("S") == 5
+        assert figure1.degree("E") == 5
+
+    def test_cut_identifies_hubs(self, figure1):
+        _feasible, hubs = cut(figure1, 5)
+        assert set(hubs) == {"D", "S", "E"}
+
+    def test_cf_examples(self, figure1):
+        # "Cf includes the cliques {A,J,H} and {H,F,D}".
+        result = find_max_cliques(figure1, 5)
+        feasible_cliques = set(result.feasible_cliques())
+        assert frozenset({"A", "J", "H"}) in feasible_cliques
+        assert frozenset({"H", "F", "D"}) in feasible_cliques
+
+    def test_gh_is_the_triangle(self, figure1):
+        # "Gh consists only of the nodes D, S, E and of the edges between
+        # them ... Gh is the cycle D, S, E and its maximum degree is two."
+        _feasible, hubs = cut(figure1, 5)
+        gh = induced_subgraph(figure1, hubs)
+        assert gh.num_nodes == 3
+        assert gh.num_edges == 3
+        assert gh.max_degree() == 2
+
+    def test_ch_contains_hub_triangle(self, figure1):
+        # "Ch includes the clique {D,S,E}".
+        result = find_max_cliques(figure1, 5)
+        assert frozenset({"D", "S", "E"}) in set(result.hub_cliques())
+
+    def test_complete_output(self, figure1):
+        result = find_max_cliques(figure1, 5)
+        assert set(result.cliques) == FIGURE1_CLIQUES
+
+    def test_two_recursion_levels(self, figure1):
+        # One pass over the feasible nodes, one over the hub triangle.
+        result = find_max_cliques(figure1, 5)
+        assert result.recursion_depth == 2
+        assert result.levels[1].num_nodes == 3
+
+
+class TestSection3Claims:
+    def test_hubs_never_kernel_nodes(self, figure1):
+        # "the hub nodes (D, E, and S) never occur as kernel nodes in any
+        # block.  Instead, their neighborhood has been distributed among
+        # the various blocks."
+        feasible, _hubs = cut(figure1, 5)
+        blocks = build_blocks(figure1, feasible, 5)
+        for block in blocks:
+            assert not set(block.kernel) & {"D", "S", "E"}
+
+    def test_feasible_nodes_kernel_exactly_once(self, figure1):
+        # "all feasible nodes occur in exactly one block as kernel nodes".
+        feasible, _hubs = cut(figure1, 5)
+        blocks = build_blocks(figure1, feasible, 5)
+        kernels = [n for b in blocks for n in b.kernel]
+        assert sorted(kernels) == sorted(feasible)
+
+    def test_every_maximal_clique_in_some_block_or_hub_graph(self, figure1):
+        # "every maximal clique occurs in at least one block" — for
+        # feasible-touching cliques; {D,S,E} lives in the hub recursion.
+        feasible, hubs = cut(figure1, 5)
+        blocks = build_blocks(figure1, feasible, 5)
+        for clique in FIGURE1_CLIQUES:
+            if clique == frozenset({"D", "S", "E"}):
+                continue
+            assert any(
+                clique <= set(block.graph.nodes()) for block in blocks
+            ), clique
+
+    def test_block_size_limit_respected(self, figure1):
+        feasible, _hubs = cut(figure1, 5)
+        blocks = build_blocks(figure1, feasible, 5)
+        assert all(block.size <= 5 for block in blocks)

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These generate random graphs and parameters and assert the paper's
+structural guarantees hold universally: output equals ground truth,
+blocks satisfy their invariants, the filter preserves Lemma 1, cores
+behave like cores, serialisation round-trips.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import nx_cliques
+from repro.core.blocks import build_blocks, validate_blocks
+from repro.core.driver import find_max_cliques
+from repro.core.feasibility import cut, is_feasible
+from repro.core.filtering import filter_contained
+from repro.graph.adjacency import Graph
+from repro.graph.cores import core_numbers, degeneracy, degeneracy_ordering, k_core
+from repro.graph.io import read_triples, write_triples
+from repro.graph.properties import d_star
+from repro.mce.tomita import tomita
+from repro.mce.verify import is_maximal_clique
+
+import io
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 14):
+    """A random simple graph, possibly with isolated nodes."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.append((u, v))
+    return Graph(edges=edges, nodes=range(n))
+
+
+@st.composite
+def cliques_families(draw):
+    """A list of node sets over a small universe."""
+    count = draw(st.integers(min_value=0, max_value=8))
+    return [
+        frozenset(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=9), min_size=1, max_size=5
+                )
+            )
+        )
+        for _ in range(count)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.integers(min_value=2, max_value=20))
+def test_find_max_cliques_equals_ground_truth(graph, m):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = find_max_cliques(graph, m)
+    assert len(result.cliques) == len(set(result.cliques))
+    assert set(result.cliques) == nx_cliques(graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.integers(min_value=2, max_value=20))
+def test_every_output_clique_is_maximal(graph, m):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = find_max_cliques(graph, m)
+    for clique in result.cliques:
+        assert is_maximal_clique(graph, clique)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.integers(min_value=2, max_value=20))
+def test_blocks_satisfy_invariants(graph, m):
+    feasible, _hubs = cut(graph, m)
+    blocks = build_blocks(graph, feasible, m)
+    validate_blocks(graph, blocks, feasible, m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.integers(min_value=1, max_value=20))
+def test_cut_is_partition_by_degree(graph, m):
+    feasible, hubs = cut(graph, m)
+    assert set(feasible) | set(hubs) == set(graph.nodes())
+    assert not set(feasible) & set(hubs)
+    for node in feasible:
+        assert graph.degree(node) < m
+    for node in hubs:
+        assert graph.degree(node) >= m
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs(), st.integers(min_value=1, max_value=20))
+def test_feasibility_matches_closed_neighborhood(graph, m):
+    for node in graph.nodes():
+        expected = len(graph.closed_neighborhood(node)) <= m
+        assert is_feasible([node], graph, m) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(cliques_families(), cliques_families())
+def test_filter_keeps_exactly_uncontained(candidates, reference):
+    kept = filter_contained(candidates, reference)
+    kept_set = set(kept)
+    # No false survivors and no false drops:
+    for candidate in candidates:
+        contained = any(candidate <= ref for ref in reference)
+        if contained:
+            assert candidate not in kept_set
+        else:
+            assert candidate in kept_set
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_core_numbers_are_cores(graph):
+    numbers = core_numbers(graph)
+    d = degeneracy(graph)
+    for k in range(d + 2):
+        core = k_core(graph, k)
+        # Every node in the k-core has >= k neighbours inside it.
+        for node in core:
+            inside = sum(1 for nb in graph.neighbors(node) if nb in core)
+            assert inside >= k
+        assert core == frozenset(n for n, c in numbers.items() if c >= k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_degeneracy_ordering_property(graph):
+    order = degeneracy_ordering(graph)
+    assert sorted(order) == sorted(graph.nodes())
+    d = degeneracy(graph)
+    position = {node: i for i, node in enumerate(order)}
+    for node in order:
+        later = sum(
+            1 for nb in graph.neighbors(node) if position[nb] > position[node]
+        )
+        assert later <= d
+
+
+@settings(max_examples=60, deadline=None)
+@given(graphs())
+def test_d_star_definition(graph):
+    value = d_star(graph)
+    at_least = sum(1 for n in graph.nodes() if graph.degree(n) >= value)
+    assert at_least >= value
+    above = sum(1 for n in graph.nodes() if graph.degree(n) >= value + 1)
+    assert above < value + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs())
+def test_triple_roundtrip(graph):
+    buffer = io.StringIO()
+    write_triples(graph, buffer)
+    buffer.seek(0)
+    assert read_triples(buffer) == graph
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs())
+def test_tomita_output_is_cover_of_edges(graph):
+    # Every edge and every node appears in at least one maximal clique.
+    cliques = list(tomita(graph))
+    covered_nodes = set().union(*cliques) if cliques else set()
+    assert covered_nodes == set(graph.nodes())
+    for u, v in graph.edges():
+        assert any(u in c and v in c for c in cliques)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_nodes=10), st.integers(min_value=2, max_value=12))
+def test_audit_passes_on_every_driver_output(graph, m):
+    from repro.core.audit import audit_result
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = find_max_cliques(graph, m)
+    report = audit_result(graph, result, check_completeness=True)
+    assert report.ok, report.problems
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), st.integers(min_value=2, max_value=12))
+def test_provenance_levels_are_hub_only_below_top(graph, m):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        result = find_max_cliques(graph, m)
+    feasible, _hubs = cut(graph, m)
+    feasible_set = set(feasible)
+    for clique, level in result.provenance.items():
+        if level == 0:
+            assert clique & feasible_set or not feasible_set
+        else:
+            assert not clique & feasible_set

@@ -1,0 +1,172 @@
+"""Property-based tests for the extension modules.
+
+Hypothesis-driven invariants for the Section 8 extensions and the
+auxiliary substrates added on top of the first pass: incremental
+maintenance, k-plexes, CSR snapshots, event simulation, and the uniform
+block strategy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import build_blocks
+from repro.core.feasibility import cut
+from repro.core.uniform_blocks import build_uniform_blocks
+from repro.core.blocks import validate_blocks
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.events import simulate_events
+from repro.distributed.scheduler import Task
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+from repro.incremental.maintainer import IncrementalMCE
+from repro.mce.tomita import tomita
+from repro.relaxed.kplex import is_kplex, maximal_kplexes, minimum_k
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 10):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.append((u, v))
+    return Graph(edges=edges, nodes=range(n))
+
+
+@st.composite
+def edge_streams(draw, n: int = 8, length: int = 12):
+    ops = []
+    for _ in range(draw(st.integers(min_value=0, max_value=length))):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            ops.append((u, v))
+    return ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(), edge_streams())
+def test_incremental_tracks_oracle(graph, stream):
+    tracker = IncrementalMCE(graph)
+    for u, v in stream:
+        if tracker.graph.has_edge(u, v):
+            tracker.delete_edge(u, v)
+        else:
+            tracker.insert_edge(u, v)
+        assert tracker.cliques == set(tomita(tracker.graph))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_nodes=8), st.integers(min_value=1, max_value=3))
+def test_kplex_outputs_are_maximal_kplexes(graph, k):
+    nodes = set(graph.nodes())
+    for plex in maximal_kplexes(graph, k):
+        assert is_kplex(graph, plex, k)
+        for extra in nodes - plex:
+            assert not is_kplex(graph, plex | {extra}, k)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_nodes=8))
+def test_kplex_k1_is_mce(graph):
+    assert set(maximal_kplexes(graph, 1)) == set(tomita(graph))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_nodes=8), st.integers(min_value=1, max_value=3))
+def test_minimum_k_consistent_with_is_kplex(graph, k):
+    for plex in maximal_kplexes(graph, k):
+        smallest = minimum_k(graph, plex)
+        assert smallest <= k
+        assert is_kplex(graph, plex, smallest)
+        if smallest > 1:
+            assert not is_kplex(graph, plex, smallest - 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(graphs(max_nodes=12))
+def test_csr_roundtrip(graph):
+    csr = CSRGraph(graph)
+    assert csr.to_graph() == graph
+    assert csr.num_edges == graph.num_edges
+    for node in graph.nodes():
+        assert csr.degree(node) == graph.degree(node)
+        assert set(csr.neighbors(node)) == set(graph.neighbors(node))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=12),
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=0.0, max_value=0.5),
+    st.integers(min_value=0, max_value=5),
+)
+def test_event_simulation_completes_everything(costs, workers, rate, seed):
+    tasks = [Task(task_id=i, cost_seconds=c) for i, c in enumerate(costs)]
+    cluster = ClusterSpec(
+        machines=1,
+        workers_per_machine=workers,
+        latency_seconds=0.0,
+        bandwidth_bytes_per_second=1e12,
+    )
+    result = simulate_events(
+        tasks, cluster, failure_rate=rate, seed=seed, max_attempts=200
+    )
+    assert result.completed_task_ids() == {task.task_id for task in tasks}
+    assert len(result.completions) == len(tasks)
+    serial = sum(task.cost_seconds for task in tasks)
+    assert result.makespan >= serial / workers - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(max_nodes=12), st.integers(min_value=2, max_value=12))
+def test_uniform_blocks_satisfy_invariants(graph, m):
+    feasible, _hubs = cut(graph, m)
+    blocks = build_uniform_blocks(graph, feasible, m)
+    validate_blocks(graph, blocks, feasible, m)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs(max_nodes=12), st.integers(min_value=2, max_value=12))
+def test_both_block_strategies_cover_same_cliques(graph, m):
+    from repro.core.block_analysis import analyze_blocks
+
+    feasible, _hubs = cut(graph, m)
+    dense, _ = analyze_blocks(build_blocks(graph, feasible, m))
+    uniform, _ = analyze_blocks(build_uniform_blocks(graph, feasible, m))
+    assert set(dense) == set(uniform)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_nodes=12), st.integers(min_value=1, max_value=5))
+def test_streaming_partitions_are_total_and_balanced(graph, parts):
+    from repro.distributed.streaming import partition_hash, partition_ldg
+
+    for partition in (
+        partition_ldg(graph, parts),
+        partition_hash(graph, parts),
+    ):
+        assert set(partition.assignment) == set(graph.nodes())
+        assert all(0 <= p < parts for p in partition.assignment.values())
+        assert sum(partition.part_sizes()) == graph.num_nodes
+        assert 0.0 <= partition.edge_cut(graph) <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_nodes=9), st.integers(min_value=1, max_value=3))
+def test_distance_kcliques_match_power_graph_mce(graph, k):
+    from repro.relaxed.distance import graph_power, k_cliques
+
+    power = graph_power(graph, k)
+    assert set(k_cliques(graph, k)) == set(tomita(power))
+
+
+@settings(max_examples=30, deadline=None)
+@given(graphs(max_nodes=9))
+def test_kclans_contained_in_kcliques(graph):
+    from repro.relaxed.distance import k_clans, k_cliques
+
+    assert set(k_clans(graph, 2)) <= set(k_cliques(graph, 2))

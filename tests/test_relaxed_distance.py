@@ -1,0 +1,172 @@
+"""Unit tests for distance-based relaxed communities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, cycle_graph, erdos_renyi, star_graph
+from repro.mce.tomita import tomita
+from repro.relaxed.distance import (
+    bfs_distances,
+    diameter,
+    graph_power,
+    induced_diameter_at_most,
+    is_kclub,
+    k_clans,
+    k_cliques,
+    kclubs_from_kclans,
+)
+
+
+def path_graph(n: int) -> Graph:
+    return Graph(edges=[(i, i + 1) for i in range(n - 1)], nodes=range(n))
+
+
+class TestBFS:
+    def test_path(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_limit(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0, limit=2) == {0: 0, 1: 1, 2: 2}
+
+    def test_disconnected(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        assert 2 not in bfs_distances(g, 0)
+
+    def test_missing_source(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(Graph(), 0)
+
+
+class TestDiameter:
+    def test_path(self):
+        assert diameter(path_graph(5)) == 4
+
+    def test_complete(self):
+        assert diameter(complete_graph(6)) == 1
+
+    def test_cycle(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_singleton(self):
+        assert diameter(Graph(nodes=[1])) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            diameter(Graph())
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            diameter(Graph(nodes=[1, 2]))
+
+
+class TestGraphPower:
+    def test_square_of_path(self):
+        g = path_graph(4)
+        squared = graph_power(g, 2)
+        assert squared.has_edge(0, 2)
+        assert squared.has_edge(1, 3)
+        assert not squared.has_edge(0, 3)
+
+    def test_power_one_is_identity(self):
+        g = erdos_renyi(15, 0.3, seed=2)
+        assert graph_power(g, 1) == g
+
+    def test_large_k_saturates_connected_graph(self):
+        g = cycle_graph(6)
+        assert graph_power(g, 10).num_edges == 15  # complete K6
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            graph_power(Graph(), 0)
+
+    def test_matches_networkx_power(self):
+        import networkx as nx
+
+        from repro.baselines.networkx_mce import to_networkx
+
+        g = erdos_renyi(20, 0.15, seed=3)
+        ours = graph_power(g, 2)
+        theirs = nx.power(to_networkx(g), 2)
+        assert {frozenset(e) for e in ours.edges()} == {
+            frozenset(e) for e in theirs.edges()
+        }
+
+
+class TestKCliques:
+    def test_k1_is_mce(self):
+        g = erdos_renyi(15, 0.3, seed=4)
+        assert set(k_cliques(g, 1)) == set(tomita(g))
+
+    def test_star_is_a_2clique(self):
+        # All leaves of a star are within distance 2 of each other.
+        g = star_graph(5)
+        assert set(k_cliques(g, 2)) == {frozenset(g.nodes())}
+
+    def test_path_2cliques(self):
+        g = path_graph(5)
+        found = set(k_cliques(g, 2))
+        assert frozenset({0, 1, 2}) in found
+        assert frozenset({2, 3, 4}) in found
+
+
+class TestKClans:
+    def test_clans_subset_of_cliques(self):
+        g = erdos_renyi(15, 0.25, seed=5)
+        cliques = set(k_cliques(g, 2))
+        clans = set(k_clans(g, 2))
+        assert clans <= cliques
+
+    def test_classic_separating_example(self):
+        # The 5-cycle with a chord pattern where a 2-clique is not a
+        # 2-clan: nodes {0,1,2,3,4} pairwise within distance 2 via the
+        # hub 5, but the induced subgraph without 5 has diameter > 2.
+        g = Graph(
+            edges=[(0, 5), (1, 5), (2, 5), (3, 5), (4, 5), (0, 1), (2, 3)]
+        )
+        cliques = set(k_cliques(g, 2))
+        clans = set(k_clans(g, 2))
+        whole = frozenset(range(6))
+        assert whole in cliques  # hub 5 makes everything pairwise-close
+        assert whole in clans  # and 5 is inside, so induced diameter <= 2
+        # Remove the hub from the candidate: not even a 2-clique then.
+        assert frozenset(range(5)) not in cliques
+
+
+class TestKClubs:
+    def test_is_kclub_basic(self):
+        g = path_graph(4)
+        assert is_kclub(g, [0, 1, 2], 2)
+        assert not is_kclub(g, [0, 1, 2, 3], 2)
+        assert is_kclub(g, [0], 1)
+        assert is_kclub(g, [], 1)
+
+    def test_disconnected_candidate_rejected(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        assert not is_kclub(g, [0, 1, 2, 3], 5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            is_kclub(Graph(), [], 0)
+
+    def test_clans_are_clubs(self):
+        g = erdos_renyi(14, 0.25, seed=6)
+        for club in kclubs_from_kclans(g, 2):
+            assert is_kclub(g, club, 2)
+
+    def test_deduplicated(self):
+        g = erdos_renyi(14, 0.25, seed=6)
+        clubs = kclubs_from_kclans(g, 2)
+        assert len(clubs) == len(set(clubs))
+
+
+class TestInducedDiameter:
+    def test_uses_induced_paths_only(self):
+        # 0-1-2 path plus a shortcut through 3 outside the candidate.
+        g = Graph(edges=[(0, 1), (1, 2), (0, 3), (3, 2)])
+        assert induced_diameter_at_most(g, [0, 1, 2], 2)
+        assert not induced_diameter_at_most(g, [0, 2], 1)

@@ -1,0 +1,124 @@
+"""Unit tests for maximal k-plex enumeration."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, cycle_graph, erdos_renyi
+from repro.mce.tomita import tomita
+from repro.relaxed.kplex import (
+    is_kplex,
+    kplex_deficiencies,
+    maximal_kplexes,
+    minimum_k,
+)
+
+
+def brute_force_maximal_kplexes(graph: Graph, k: int) -> set[frozenset]:
+    """Exponential reference implementation for tiny graphs."""
+    nodes = list(graph.nodes())
+    plexes = {
+        frozenset(subset)
+        for size in range(1, len(nodes) + 1)
+        for subset in itertools.combinations(nodes, size)
+        if is_kplex(graph, set(subset), k)
+    }
+    return {p for p in plexes if not any(p < q for q in plexes)}
+
+
+class TestIsKplex:
+    def test_clique_is_1plex(self):
+        g = complete_graph(4)
+        assert is_kplex(g, set(range(4)), 1)
+
+    def test_empty_and_singleton(self):
+        g = Graph(nodes=[1])
+        assert is_kplex(g, set(), 1)
+        assert is_kplex(g, {1}, 1)
+
+    def test_missing_one_edge_is_2plex(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        assert not is_kplex(g, set(range(4)), 1)
+        assert is_kplex(g, set(range(4)), 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            is_kplex(Graph(), set(), 0)
+
+    def test_cycle_is_2plex_up_to_size_4(self):
+        g = cycle_graph(4)
+        assert is_kplex(g, {0, 1, 2, 3}, 2)
+
+    def test_cycle5_not_2plex(self):
+        g = cycle_graph(5)
+        # Each node has 2 neighbours but size-1 = 4 > 2 + ... needs >= 3.
+        assert not is_kplex(g, set(range(5)), 2)
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k1_equals_maximal_cliques(self, seed):
+        g = erdos_renyi(13, 0.35, seed=seed)
+        assert set(maximal_kplexes(g, 1)) == set(tomita(g))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_k2_matches_brute_force(self, seed):
+        g = erdos_renyi(8, 0.4, seed=seed)
+        assert set(maximal_kplexes(g, 2)) == brute_force_maximal_kplexes(g, 2)
+
+    def test_k3_matches_brute_force(self):
+        g = erdos_renyi(7, 0.45, seed=11)
+        assert set(maximal_kplexes(g, 3)) == brute_force_maximal_kplexes(g, 3)
+
+    def test_no_duplicates(self):
+        g = erdos_renyi(10, 0.4, seed=3)
+        out = list(maximal_kplexes(g, 2))
+        assert len(out) == len(set(out))
+
+    def test_min_size_filters(self):
+        g = erdos_renyi(10, 0.3, seed=4)
+        everything = set(maximal_kplexes(g, 2))
+        large = set(maximal_kplexes(g, 2, min_size=4))
+        assert large == {p for p in everything if len(p) >= 4}
+
+    def test_every_output_is_maximal(self):
+        g = erdos_renyi(9, 0.45, seed=6)
+        for plex in maximal_kplexes(g, 2):
+            assert is_kplex(g, plex, 2)
+            for extra in set(g.nodes()) - plex:
+                assert not is_kplex(g, plex | {extra}, 2)
+
+    def test_empty_graph(self):
+        assert list(maximal_kplexes(Graph(), 2)) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(maximal_kplexes(Graph(), 0))
+        with pytest.raises(ValueError):
+            list(maximal_kplexes(Graph(), 2, min_size=0))
+
+    def test_complete_graph_single_plex(self):
+        g = complete_graph(5)
+        assert list(maximal_kplexes(g, 2)) == [frozenset(range(5))]
+
+
+class TestDeficiencies:
+    def test_clique_deficiencies_zero(self):
+        g = complete_graph(4)
+        assert set(kplex_deficiencies(g, frozenset(range(4))).values()) == {0}
+
+    def test_minimum_k_clique(self):
+        g = complete_graph(4)
+        assert minimum_k(g, frozenset(range(4))) == 1
+
+    def test_minimum_k_missing_edge(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        assert minimum_k(g, frozenset(range(4))) == 2
+
+    def test_minimum_k_empty(self):
+        assert minimum_k(Graph(), frozenset()) == 1

@@ -1,0 +1,77 @@
+"""Unit tests for the decomposed (degree-split) k-plex enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, erdos_renyi, social_network
+from repro.mce.tomita import tomita
+from repro.relaxed.kplex import maximal_kplexes
+from repro.relaxed.kplex_split import degree_split_kplexes
+
+
+class TestEquivalenceWithDirect:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("k", [1, 2])
+    @pytest.mark.parametrize("threshold", [3, 6, 50])
+    def test_matches_direct_enumeration(self, seed, k, threshold):
+        g = erdos_renyi(10, 0.35, seed=seed)
+        split = degree_split_kplexes(g, k, threshold)
+        assert set(split.plexes) == set(maximal_kplexes(g, k))
+        assert len(split.plexes) == len(set(split.plexes))
+
+    def test_k1_equals_mce(self):
+        g = erdos_renyi(12, 0.3, seed=9)
+        split = degree_split_kplexes(g, 1, 4)
+        assert set(split.plexes) == set(tomita(g))
+
+    def test_social_structure(self):
+        g = social_network(30, attachment=2, planted_cliques=(6,), seed=3)
+        split = degree_split_kplexes(g, 2, 5)
+        assert set(split.plexes) == set(maximal_kplexes(g, 2))
+
+
+class TestRecursion:
+    def test_rounds_counted(self):
+        g = social_network(30, attachment=2, seed=4)
+        shallow = degree_split_kplexes(g, 2, g.max_degree() + 1)
+        deep = degree_split_kplexes(g, 2, 3)
+        assert shallow.rounds == 1
+        assert deep.rounds >= shallow.rounds
+        assert set(shallow.plexes) == set(deep.plexes)
+
+    def test_residual_core_finished(self):
+        # threshold below every degree: round one goes straight to the
+        # direct enumerator on the whole graph.
+        g = complete_graph(6)
+        split = degree_split_kplexes(g, 2, 2)
+        assert split.plexes == [frozenset(range(6))]
+
+
+class TestOptions:
+    def test_min_size_filters_output(self):
+        g = erdos_renyi(10, 0.3, seed=5)
+        everything = degree_split_kplexes(g, 2, 4)
+        large = degree_split_kplexes(g, 2, 4, min_size=4)
+        assert set(large.plexes) == {
+            p for p in everything.plexes if len(p) >= 4
+        }
+
+    def test_count_property(self):
+        g = erdos_renyi(9, 0.3, seed=6)
+        split = degree_split_kplexes(g, 2, 4)
+        assert split.count == len(split.plexes)
+
+    def test_empty_graph(self):
+        split = degree_split_kplexes(Graph(), 2, 3)
+        assert split.plexes == []
+        assert split.rounds == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            degree_split_kplexes(Graph(), 0, 3)
+        with pytest.raises(ValueError):
+            degree_split_kplexes(Graph(), 2, 0)
+        with pytest.raises(ValueError):
+            degree_split_kplexes(Graph(), 2, 3, min_size=0)

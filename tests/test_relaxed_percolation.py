@@ -1,0 +1,82 @@
+"""Unit tests for k-clique community percolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.networkx_mce import to_networkx
+from repro.core.driver import find_max_cliques
+from repro.graph.adjacency import Graph
+from repro.graph.generators import complete_graph, erdos_renyi, social_network
+from repro.mce.tomita import tomita
+from repro.relaxed.percolation import community_membership, k_clique_communities
+
+
+class TestKCliqueCommunities:
+    def test_two_triangles_sharing_edge_merge(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+        communities = k_clique_communities(list(tomita(g)), 3)
+        assert communities == [frozenset({0, 1, 2, 3})]
+
+    def test_two_triangles_sharing_node_stay_apart(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        communities = k_clique_communities(list(tomita(g)), 3)
+        assert len(communities) == 2
+
+    def test_disjoint_cliques(self):
+        g = Graph()
+        g.add_clique([0, 1, 2, 3])
+        g.add_clique([10, 11, 12])
+        communities = k_clique_communities(list(tomita(g)), 3)
+        assert set(communities) == {
+            frozenset({0, 1, 2, 3}),
+            frozenset({10, 11, 12}),
+        }
+
+    def test_small_cliques_excluded(self):
+        g = Graph(edges=[(0, 1)])
+        assert k_clique_communities(list(tomita(g)), 3) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_clique_communities([], 1)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx(self, k, seed):
+        import networkx as nx
+
+        g = erdos_renyi(25, 0.25, seed=seed)
+        ours = set(k_clique_communities(list(tomita(g)), k))
+        theirs = {
+            frozenset(c)
+            for c in nx.community.k_clique_communities(to_networkx(g), k)
+        }
+        assert ours == theirs
+
+    def test_composes_with_two_level_decomposition(self):
+        g = social_network(120, attachment=3, planted_cliques=(8, 6), seed=9)
+        result = find_max_cliques(g, 20)
+        communities = k_clique_communities(result.cliques, 4)
+        assert communities
+        # Largest-first ordering.
+        sizes = [len(c) for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_sorted_deterministically(self):
+        g = complete_graph(5)
+        a = k_clique_communities(list(tomita(g)), 3)
+        b = k_clique_communities(list(tomita(g)), 3)
+        assert a == b
+
+
+class TestMembership:
+    def test_overlap_preserved(self):
+        communities = [frozenset({1, 2, 3}), frozenset({3, 4, 5})]
+        membership = community_membership(communities)
+        assert membership[3] == [0, 1]
+        assert membership[1] == [0]
+
+    def test_uncovered_nodes_absent(self):
+        membership = community_membership([frozenset({1})])
+        assert 2 not in membership

@@ -1,0 +1,97 @@
+"""Robustness tests: awkward inputs the library must handle gracefully.
+
+Mixed label types, very deep recursion, disconnected graphs, huge
+planted structures — the inputs a downstream user will eventually feed
+in.
+"""
+
+from __future__ import annotations
+
+import doctest
+import warnings
+
+import pytest
+
+from conftest import nx_cliques
+from repro.core.driver import find_max_cliques
+from repro.graph.adjacency import Graph
+from repro.graph.generators import disjoint_union, h_n, social_network
+
+
+class TestMixedLabelTypes:
+    def test_int_and_str_labels_coexist(self):
+        g = Graph(edges=[(1, "a"), ("a", (2, "b")), ((2, "b"), 1)])
+        result = find_max_cliques(g, 5)
+        assert set(result.cliques) == nx_cliques(g)
+
+    def test_mixed_labels_through_decomposition(self):
+        # Blocks sort border/visited nodes by str(), which must not
+        # choke on heterogeneous label types.
+        g = Graph()
+        g.add_clique([1, "one", (1,), 1.5])
+        g.add_edge(1, "tail")
+        result = find_max_cliques(g, 4)
+        assert set(result.cliques) == nx_cliques(g)
+
+    def test_bool_labels(self):
+        # True == 1 in Python; the graph treats them as the same node,
+        # which is dict semantics, not a crash.
+        g = Graph(edges=[(True, "x")])
+        g.add_edge(1, "y")
+        assert g.num_nodes == 3
+
+
+class TestDeepRecursion:
+    def test_driver_survives_200_levels(self):
+        # The level loop is iterative, so the pathological H_n cannot
+        # blow Python's recursion limit no matter how many rounds.
+        graph = h_n(200, 3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = find_max_cliques(graph, 4)
+        assert result.recursion_depth > 150
+        assert set(result.cliques) == nx_cliques(graph)
+
+
+class TestDisconnectedInputs:
+    def test_many_components(self):
+        parts = [
+            social_network(40, attachment=2, seed=s) for s in range(4)
+        ]
+        g = disjoint_union(parts)
+        result = find_max_cliques(g, 15)
+        assert set(result.cliques) == nx_cliques(g)
+
+    def test_only_isolated_nodes(self):
+        g = Graph(nodes=range(50))
+        result = find_max_cliques(g, 2)
+        assert result.num_cliques == 50
+        assert all(len(c) == 1 for c in result.cliques)
+
+
+class TestLargePlantedStructure:
+    def test_one_giant_clique_dominates(self):
+        g = social_network(
+            300, attachment=2, closure_probability=0.1,
+            planted_cliques=(40,), seed=9,
+        )
+        result = find_max_cliques(g, 60)
+        assert result.max_clique_size() == 40
+        assert set(result.cliques) == nx_cliques(g)
+
+
+class TestDoctests:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.graph.adjacency",
+            "repro.incremental.maintainer",
+        ],
+    )
+    def test_docstring_examples_run(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        outcome = doctest.testmod(module)
+        assert outcome.attempted > 0, f"{module_name} has no doctests"
+        assert outcome.failed == 0

@@ -1,0 +1,35 @@
+"""Bounded at-scale confidence runs on the largest stand-in."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.audit import audit_result
+from repro.core.driver import find_max_cliques
+from repro.core.planner import recommend_block_size
+from repro.graph.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def twitter3():
+    return load_dataset("twitter3")
+
+
+def test_largest_standin_full_run(twitter3):
+    plan = recommend_block_size(twitter3)
+    result = find_max_cliques(twitter3, plan.m, fallback="raise")
+    assert result.num_cliques == 37764  # golden
+    assert result.max_clique_size() == 33
+    # Structural audit only; completeness would double the runtime and
+    # is already covered by the golden clique count.
+    report = audit_result(twitter3, result, check_completeness=False)
+    assert report.ok, report.problems[:3]
+
+
+def test_largest_standin_distributed_equivalence(twitter3):
+    from repro.distributed.runner import run_distributed
+
+    plan = recommend_block_size(twitter3)
+    distributed = run_distributed(twitter3, plan.m)
+    assert distributed.num_cliques == 37764
+    assert distributed.simulated_speedup() >= 1.0
