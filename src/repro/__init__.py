@@ -31,6 +31,7 @@ from repro.core.result import CliqueResult, LevelStats
 from repro.errors import (
     ConvergenceError,
     DecompositionError,
+    ExecutorError,
     FormatError,
     GraphError,
     ReproError,
@@ -48,6 +49,7 @@ __all__ = [
     "LevelStats",
     "ConvergenceError",
     "DecompositionError",
+    "ExecutorError",
     "FormatError",
     "GraphError",
     "ReproError",

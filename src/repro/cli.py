@@ -109,6 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="exact",
         help="behaviour when m does not exceed the degeneracy",
     )
+    enumerate_.add_argument(
+        "--executor",
+        choices=["serial", "process", "shared"],
+        default="serial",
+        help=(
+            "block-analysis executor: in-process serial (default), a "
+            "pickling process pool, or the zero-copy shared-memory pool"
+        ),
+    )
+    enumerate_.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor process/shared (default: CPU count)",
+    )
 
     compare = commands.add_parser(
         "compare", help="two-level decomposition vs the hub-oblivious baseline"
@@ -256,8 +271,17 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             raise ReproError("--ratio must be in (0, 1]")
         m = max(2, int(args.ratio * graph.max_degree()))
     tree = load_tree(args.tree) if args.tree else None
+    from repro.distributed.executor import SharedMemoryExecutor, build_executor
+
+    executor = (
+        None
+        if args.executor == "serial"
+        else build_executor(args.executor, max_workers=args.workers)
+    )
     start = time.perf_counter()
-    result = find_max_cliques(graph, m, tree=tree, fallback=args.fallback)
+    result = find_max_cliques(
+        graph, m, tree=tree, fallback=args.fallback, executor=executor
+    )
     elapsed = time.perf_counter() - start
     print(
         f"{result.num_cliques} maximal cliques in {elapsed:.2f}s "
@@ -265,6 +289,13 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         f"max clique {result.max_clique_size()}, "
         f"{len(result.hub_cliques())} hub-only)"
     )
+    if isinstance(executor, SharedMemoryExecutor) and executor.last_trace:
+        trace = executor.last_trace
+        print(
+            f"shared-memory dispatch (last level): {trace.total_dispatch_bytes} descriptor "
+            f"bytes, {trace.publish_bytes} published bytes, peak worker RSS "
+            f"{trace.max_peak_rss_kb} kB"
+        )
     if result.fallback_used:
         print("note: fell back to exact enumeration on the residual core")
     if args.output:

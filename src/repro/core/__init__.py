@@ -1,7 +1,13 @@
 """The paper's contribution: hub-aware two-level decomposition MCE."""
 
 from repro.core.audit import AuditReport, audit_result
-from repro.core.block_analysis import BlockReport, analyze_block, analyze_blocks
+from repro.core.block_analysis import (
+    BlockDescriptor,
+    BlockReport,
+    analyze_block,
+    analyze_blocks,
+    block_from_descriptor,
+)
 from repro.core.blocks import (
     SEED_ORDERS,
     Block,
@@ -23,9 +29,11 @@ from repro.core.uniform_blocks import (
 __all__ = [
     "AuditReport",
     "audit_result",
+    "BlockDescriptor",
     "BlockReport",
     "analyze_block",
     "analyze_blocks",
+    "block_from_descriptor",
     "SEED_ORDERS",
     "Block",
     "build_blocks",

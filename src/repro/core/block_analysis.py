@@ -23,11 +23,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.blocks import Block
-from repro.decision.features import BlockFeatures
+from repro.decision.features import BlockFeatures, estimate_analysis_cost
 from repro.decision.paper_tree import paper_tree, select_combo
 from repro.decision.tree import DecisionTree
-from repro.graph.adjacency import Node
+from repro.graph.adjacency import Graph, Node
 from repro.mce.anchored import enumerate_anchored_native
 from repro.mce.backends import build_backend
 from repro.mce.registry import Combo, get_pivot_rule
@@ -93,6 +95,91 @@ def analyze_block(
         features=features,
         seconds=time.perf_counter() - start,
         kernel_nodes=len(block.kernel),
+    )
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """A block reduced to node-id arrays over a published CSR snapshot.
+
+    This is what the shared-memory executor ships to a worker instead of
+    a pickled subgraph: three small ``int64`` arrays naming the block's
+    members by their dense indices in the level graph's
+    :class:`repro.graph.csr.CSRGraph`.  ``kernel_ids`` preserves kernel
+    assignment order and ``border_ids``/``visited_ids`` are in the same
+    sorted-by-``str`` order :mod:`repro.core.blocks` uses, so the block
+    reconstructed by :func:`block_from_descriptor` has exactly the node
+    ordering of the original — the analysis is bit-for-bit identical.
+    """
+
+    block_id: int
+    kernel_ids: np.ndarray
+    border_ids: np.ndarray
+    visited_ids: np.ndarray
+    estimated_cost: float = 0.0
+
+    @classmethod
+    def from_block(
+        cls, block_id: int, block: Block, index_of: "dict[Node, int]"
+    ) -> "BlockDescriptor":
+        """Build a descriptor for ``block`` under the dense index map."""
+
+        def ids(nodes) -> np.ndarray:
+            return np.fromiter(
+                (index_of[node] for node in nodes), dtype=np.int64, count=len(nodes)
+            )
+
+        return cls(
+            block_id=block_id,
+            kernel_ids=ids(block.kernel),
+            border_ids=ids(sorted(block.border, key=str)),
+            visited_ids=ids(sorted(block.visited, key=str)),
+            estimated_cost=estimate_analysis_cost(
+                block.graph.num_nodes, block.graph.num_edges
+            ),
+        )
+
+    def nbytes(self) -> int:
+        """Bytes of payload actually dispatched for this block."""
+        return int(
+            self.kernel_ids.nbytes + self.border_ids.nbytes + self.visited_ids.nbytes
+        )
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes in the described block."""
+        return len(self.kernel_ids) + len(self.border_ids) + len(self.visited_ids)
+
+
+def block_from_descriptor(
+    descriptor: BlockDescriptor,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    labels: list[Node],
+) -> Block:
+    """Rebuild a :class:`Block` from CSR views of the level graph.
+
+    The induced subgraph is recovered by walking each member's CSR row
+    and keeping the endpoints inside the member set — the zero-copy
+    replacement for pickling ``block.graph`` across the process
+    boundary.  Node insertion order (kernel order, then sorted border,
+    then sorted visited) matches :func:`repro.core.blocks.build_blocks`.
+    """
+    member_ids = np.concatenate(
+        [descriptor.kernel_ids, descriptor.border_ids, descriptor.visited_ids]
+    )
+    member_set = set(member_ids.tolist())
+    graph = Graph(nodes=(labels[i] for i in member_ids.tolist()))
+    for u in member_ids.tolist():
+        row = indices[indptr[u] : indptr[u + 1]]
+        for v in row.tolist():
+            if v in member_set and u < v:
+                graph.add_edge(labels[u], labels[v])
+    return Block(
+        kernel=tuple(labels[i] for i in descriptor.kernel_ids.tolist()),
+        border=frozenset(labels[i] for i in descriptor.border_ids.tolist()),
+        visited=frozenset(labels[i] for i in descriptor.visited_ids.tolist()),
+        graph=graph,
     )
 
 

@@ -48,6 +48,7 @@ def find_max_cliques(
     fallback: str = "exact",
     min_adjacency: int = 1,
     collect_reports: bool = False,
+    executor=None,
 ) -> CliqueResult:
     """Enumerate every maximal clique of ``graph`` with block size ``m``.
 
@@ -75,6 +76,11 @@ def find_max_cliques(
         When true, keep every per-block :class:`BlockReport` (grouped by
         recursion level) on the result; the distributed simulator replays
         those measured costs.
+    executor:
+        An object with the executors' ``map_blocks`` interface (see
+        :mod:`repro.distributed.executor`) used to analyse each level's
+        blocks; ``None`` (the default) analyses them serially in-process.
+        The clique output is identical for every executor.
 
     Returns
     -------
@@ -152,7 +158,15 @@ def find_max_cliques(
         decomposition_seconds = time.perf_counter() - decomposition_start
 
         analysis_start = time.perf_counter()
-        cliques, reports = analyze_blocks(blocks, tree=selection_tree, combo=combo)
+        if executor is None:
+            cliques, reports = analyze_blocks(
+                blocks, tree=selection_tree, combo=combo
+            )
+        else:
+            reports = executor.map_blocks(
+                blocks, tree=selection_tree, combo=combo, graph=current
+            )
+            cliques = [clique for report in reports for clique in report.cliques]
         analysis_seconds = time.perf_counter() - analysis_start
         for report in reports:
             combo_counter[report.combo.name] += 1

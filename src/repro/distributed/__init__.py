@@ -2,9 +2,13 @@
 
 from repro.distributed.cluster import ClusterSpec, paper_cluster
 from repro.distributed.executor import (
+    EXECUTOR_NAMES,
     ProcessExecutor,
     SerialExecutor,
+    SharedMemoryExecutor,
     SimulatedExecutor,
+    build_executor,
+    pickled_block_bytes,
 )
 from repro.distributed.events import (
     CompletionRecord,
@@ -29,6 +33,7 @@ from repro.distributed.scheduler import (
     SCHEDULERS,
     Schedule,
     Task,
+    lpt_order,
     schedule_hash,
     schedule_lpt,
     schedule_round_robin,
@@ -54,9 +59,13 @@ __all__ = [
     "FailureRecord",
     "failure_overhead_curve",
     "simulate_events",
+    "EXECUTOR_NAMES",
     "ProcessExecutor",
     "SerialExecutor",
+    "SharedMemoryExecutor",
     "SimulatedExecutor",
+    "build_executor",
+    "pickled_block_bytes",
     "DistributedResult",
     "run_distributed",
     "Message",
@@ -69,6 +78,7 @@ __all__ = [
     "SCHEDULERS",
     "Schedule",
     "Task",
+    "lpt_order",
     "schedule_hash",
     "schedule_lpt",
     "schedule_round_robin",

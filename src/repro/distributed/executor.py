@@ -1,7 +1,7 @@
 """Execution strategies for independent block analyses.
 
 The decomposition's blocks are self-contained, so analysing them is an
-embarrassingly parallel map.  Three executors share one interface
+embarrassingly parallel map.  Four executors share one interface
 (``map_blocks``):
 
 * :class:`SerialExecutor` — the deterministic reference; used by the
@@ -9,22 +9,72 @@ embarrassingly parallel map.  Three executors share one interface
 * :class:`ProcessExecutor` — real parallelism on the local machine via
   ``concurrent.futures``; blocks and reports are pickled across the
   process boundary;
+* :class:`SharedMemoryExecutor` — real parallelism with zero-copy
+  dispatch: the level graph is published once as CSR arrays in POSIX
+  shared memory, workers attach to it, and each block travels as a
+  :class:`~repro.core.block_analysis.BlockDescriptor` of node-id arrays
+  instead of a pickled subgraph.  Blocks are dispatched in
+  decreasing-estimated-cost order (LPT) through the pool's shared queue
+  so the expensive blocks start first and workers self-balance;
 * :class:`SimulatedExecutor` — serial execution plus a replayed cluster
   schedule, reporting what the wall-clock *would be* on a cluster
   (the local stand-in for the paper's OpenMPI deployment).
+
+Both process-based executors raise :class:`repro.errors.ExecutorError`
+with the failing block id when a worker raises; the shared-memory
+executor can additionally retry blocks in the parent when a worker
+*dies* (SIGKILL, OOM), and always reaps its shared-memory segments.
+
+For the fault-tolerance tests, workers honour the
+``REPRO_FAULT_INJECT`` environment variable (``kill:<block_id>`` or
+``raise:<block_id>``); it only ever triggers inside a pool worker, never
+in the parent process.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+import pickle
+import resource
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from multiprocessing import parent_process
 
-from repro.core.block_analysis import BlockReport, analyze_block
+from repro.core.block_analysis import (
+    BlockDescriptor,
+    BlockReport,
+    analyze_block,
+    block_from_descriptor,
+)
 from repro.core.blocks import Block
 from repro.decision.tree import DecisionTree
 from repro.distributed.cluster import ClusterSpec
+from repro.distributed.scheduler import lpt_order
 from repro.distributed.simulation import SimulatedRun, simulate_level
+from repro.errors import ExecutorError
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph, SharedCSR, SharedCSRHandle
+from repro.mce.instrumentation import BlockTiming, ExecutionTrace
 from repro.mce.registry import Combo
+
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+
+def _maybe_inject_fault(block_id: int) -> None:
+    """Test hook: crash or raise on a chosen block, in pool workers only."""
+    spec = os.environ.get(FAULT_INJECT_ENV)
+    if not spec or parent_process() is None:
+        return
+    kind, _, target = spec.partition(":")
+    if target != str(block_id):
+        return
+    if kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if kind == "raise":
+        raise RuntimeError(f"injected failure on block {block_id}")
 
 
 class SerialExecutor:
@@ -35,6 +85,7 @@ class SerialExecutor:
         blocks: list[Block],
         tree: DecisionTree | None = None,
         combo: Combo | None = None,
+        graph: Graph | None = None,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order."""
         return [analyze_block(block, tree=tree, combo=combo) for block in blocks]
@@ -46,29 +97,268 @@ def _analyze_one(args: tuple[Block, DecisionTree | None, Combo | None]) -> Block
     return analyze_block(block, tree=tree, combo=combo)
 
 
+def _analyze_indexed(
+    args: tuple[int, Block, DecisionTree | None, Combo | None],
+) -> BlockReport:
+    """Worker wrapper that tags failures with the offending block id."""
+    index, block, tree, combo = args
+    try:
+        _maybe_inject_fault(index)
+        return analyze_block(block, tree=tree, combo=combo)
+    except Exception as exc:
+        raise ExecutorError(
+            f"block {index} failed in worker {os.getpid()}: "
+            f"{type(exc).__name__}: {exc}",
+            block_id=index,
+        ) from exc
+
+
 @dataclass
 class ProcessExecutor:
     """Analyse blocks in a local process pool.
 
     ``max_workers=None`` lets the pool size default to the CPU count.
-    Results are returned in block order regardless of completion order.
+    Submissions are chunked (``chunksize``; by default ``len(blocks)``
+    split four ways per worker) so small blocks amortise the per-task
+    IPC round-trip.  Results are returned in block order regardless of
+    completion order.
+
+    Raises
+    ------
+    ExecutorError
+        When a worker raises (the message names the failing block) or a
+        worker process dies.
     """
 
     max_workers: int | None = None
+    chunksize: int | None = None
 
     def map_blocks(
         self,
         blocks: list[Block],
         tree: DecisionTree | None = None,
         combo: Combo | None = None,
+        graph: Graph | None = None,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order."""
         if not blocks:
             return []
+        workers = self.max_workers or os.cpu_count() or 1
+        chunk = self.chunksize or max(1, len(blocks) // (workers * 4))
+        payloads = [(i, block, tree, combo) for i, block in enumerate(blocks)]
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(
-                pool.map(_analyze_one, [(block, tree, combo) for block in blocks])
+            try:
+                return list(pool.map(_analyze_indexed, payloads, chunksize=chunk))
+            except BrokenProcessPool as exc:
+                raise ExecutorError(
+                    "a worker process died while analysing blocks; "
+                    "use SharedMemoryExecutor for in-parent retry"
+                ) from exc
+
+
+# ----------------------------------------------------------------------
+# Shared-memory executor
+# ----------------------------------------------------------------------
+
+# Populated by _shm_worker_init in each pool worker; the attached
+# snapshot and the (tree, combo) selection travel once per worker, not
+# once per block.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _shm_worker_init(
+    handle: SharedCSRHandle, tree: DecisionTree | None, combo: Combo | None
+) -> None:
+    """Pool initializer: attach to the published CSR snapshot."""
+    shared = SharedCSR.attach(handle)
+    _WORKER_STATE["shared"] = shared
+    _WORKER_STATE["tree"] = tree
+    _WORKER_STATE["combo"] = combo
+
+
+def _shm_analyze(descriptor: BlockDescriptor) -> tuple[int, BlockReport]:
+    """Rebuild one block from the shared CSR views and analyse it."""
+    shared: SharedCSR = _WORKER_STATE["shared"]  # type: ignore[assignment]
+    try:
+        _maybe_inject_fault(descriptor.block_id)
+        block = block_from_descriptor(
+            descriptor, shared.indptr, shared.indices, shared.labels
+        )
+        report = analyze_block(
+            block,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+        )
+    except Exception as exc:
+        raise ExecutorError(
+            f"block {descriptor.block_id} failed in worker {os.getpid()}: "
+            f"{type(exc).__name__}: {exc}",
+            block_id=descriptor.block_id,
+        ) from exc
+    report.extra["dispatch_bytes"] = float(descriptor.nbytes())
+    report.extra["peak_rss_kb"] = float(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    )
+    report.extra["worker_pid"] = float(os.getpid())
+    return descriptor.block_id, report
+
+
+@dataclass
+class SharedMemoryExecutor:
+    """Zero-copy parallel block analysis over a shared CSR snapshot.
+
+    ``map_blocks`` publishes the level graph once (shared memory),
+    derives one :class:`BlockDescriptor` per block, and submits the
+    descriptors in decreasing estimated-cost order, one task each, so
+    idle workers always pull the largest remaining block (dynamic LPT).
+    Reports stream back as they complete; per-block wall-clock, worker
+    peak RSS and dispatched bytes are collected on :attr:`last_trace`.
+
+    ``retry_failed`` (default on) re-runs a block serially in the parent
+    when its worker dies mid-batch — block analyses are pure functions,
+    so plain re-execution is exactly correct — and raises
+    :class:`ExecutorError` only if the retry fails too.  The shared
+    segments are always unlinked, including on the failure paths.
+    """
+
+    max_workers: int | None = None
+    retry_failed: bool = True
+    last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
+
+    def map_blocks(
+        self,
+        blocks: list[Block],
+        tree: DecisionTree | None = None,
+        combo: Combo | None = None,
+        graph: Graph | None = None,
+    ) -> list[BlockReport]:
+        """Return one :class:`BlockReport` per block, in block order.
+
+        ``graph`` should be the level graph the blocks were cut from;
+        when omitted, the union of the block subgraphs is used (the
+        union contains every induced edge of every block, so the
+        reconstruction is still exact).
+        """
+        if not blocks:
+            self.last_trace = ExecutionTrace()
+            return []
+        publish_start = time.perf_counter()
+        csr = CSRGraph(graph if graph is not None else _union_graph(blocks))
+        index_of = {node: i for i, node in enumerate(csr.labels)}
+        descriptors = [
+            BlockDescriptor.from_block(i, block, index_of)
+            for i, block in enumerate(blocks)
+        ]
+        shared = SharedCSR.publish(csr)
+        trace = ExecutionTrace(
+            publish_bytes=shared.nbytes(),
+            publish_seconds=time.perf_counter() - publish_start,
+        )
+        self.last_trace = trace
+        order = lpt_order([descriptor.estimated_cost for descriptor in descriptors])
+        results: dict[int, BlockReport] = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_shm_worker_init,
+                initargs=(shared.handle, tree, combo),
+            ) as pool:
+                pending = {
+                    pool.submit(_shm_analyze, descriptors[i]): i for i in order
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        block_id = pending.pop(future)
+                        try:
+                            _, report = future.result()
+                        except BrokenProcessPool:
+                            report = self._retry(blocks[block_id], block_id, tree, combo)
+                        except ExecutorError:
+                            raise
+                        results[block_id] = report
+                        trace.record(_timing_of(block_id, report))
+        finally:
+            shared.close()
+            shared.unlink()
+        return [results[i] for i in range(len(blocks))]
+
+    def _retry(
+        self,
+        block: Block,
+        block_id: int,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+    ) -> BlockReport:
+        """Re-run a block whose worker died; in the parent, serially."""
+        if not self.retry_failed:
+            raise ExecutorError(
+                f"worker process died while analysing block {block_id}",
+                block_id=block_id,
             )
+        try:
+            report = analyze_block(block, tree=tree, combo=combo)
+        except Exception as exc:
+            raise ExecutorError(
+                f"block {block_id} failed again on in-parent retry: "
+                f"{type(exc).__name__}: {exc}",
+                block_id=block_id,
+            ) from exc
+        report.extra["retried"] = 1.0
+        return report
+
+
+def _union_graph(blocks: list[Block]) -> Graph:
+    """Union of the block subgraphs (fallback when no level graph given)."""
+    union = Graph()
+    for block in blocks:
+        for node in block.graph.nodes():
+            union.add_node(node)
+        for u, v in block.graph.edges():
+            union.add_edge(u, v)
+    return union
+
+
+def _timing_of(block_id: int, report: BlockReport) -> BlockTiming:
+    """Translate a finished report into its trace record."""
+    return BlockTiming(
+        block_id=block_id,
+        seconds=report.seconds,
+        cliques=len(report.cliques),
+        dispatch_bytes=int(report.extra.get("dispatch_bytes", 0.0)),
+        peak_rss_kb=int(report.extra.get("peak_rss_kb", 0.0)),
+        worker_pid=int(report.extra.get("worker_pid", 0.0)),
+        retried=bool(report.extra.get("retried", 0.0)),
+    )
+
+
+def pickled_block_bytes(block: Block) -> int:
+    """Bytes :class:`ProcessExecutor` ships for one block (benchmarking)."""
+    return len(pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process", "shared")
+
+
+def build_executor(
+    name: str, max_workers: int | None = None
+) -> "SerialExecutor | ProcessExecutor | SharedMemoryExecutor":
+    """Construct a local executor by CLI name.
+
+    Raises
+    ------
+    ExecutorError
+        On an unknown executor name.
+    """
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(max_workers=max_workers)
+    if name == "shared":
+        return SharedMemoryExecutor(max_workers=max_workers)
+    raise ExecutorError(
+        f"unknown executor {name!r}; known: {', '.join(EXECUTOR_NAMES)}"
+    )
 
 
 @dataclass
@@ -89,6 +379,7 @@ class SimulatedExecutor:
         blocks: list[Block],
         tree: DecisionTree | None = None,
         combo: Combo | None = None,
+        graph: Graph | None = None,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order."""
         reports = [

@@ -144,7 +144,9 @@ def run_distributed(
         decomposition_seconds = time.perf_counter() - decomposition_start
 
         analysis_start = time.perf_counter()
-        reports = executor.map_blocks(blocks, tree=selection_tree, combo=combo)
+        reports = executor.map_blocks(
+            blocks, tree=selection_tree, combo=combo, graph=current
+        )
         analysis_seconds = time.perf_counter() - analysis_start
         if isinstance(executor, SimulatedExecutor) and executor.last_run:
             runs.append(executor.last_run)

@@ -130,6 +130,20 @@ def schedule_hash(tasks: list[Task], cluster: ClusterSpec) -> Schedule:
     return Schedule(cluster=cluster, assignment=assignment, worker_loads=loads)
 
 
+def lpt_order(costs: list[float]) -> list[int]:
+    """Return task indices in longest-processing-time-first order.
+
+    This is the dispatch side of LPT for *dynamic* executors: when
+    workers pull tasks from a shared queue, feeding the queue in
+    decreasing-cost order is equivalent to the greedy least-loaded
+    placement of :func:`schedule_lpt` — each idle worker takes the next
+    (largest remaining) task, so the big blocks start first and the
+    small ones fill the tail.  Ties break by submission index, keeping
+    the order deterministic.
+    """
+    return sorted(range(len(costs)), key=lambda index: (-costs[index], index))
+
+
 SCHEDULERS = {
     "lpt": schedule_lpt,
     "round_robin": schedule_round_robin,

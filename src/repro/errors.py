@@ -82,3 +82,20 @@ class TrainingError(ReproError):
 
 class SchedulingError(ReproError):
     """A task could not be placed on the simulated cluster."""
+
+
+class ExecutorError(ReproError):
+    """A parallel executor failed to analyse a block.
+
+    Raised by the process-based executors when a worker raises or dies.
+    :attr:`block_id` identifies the failing block (the index into the
+    submitted block list), or is ``None`` when the failure could not be
+    attributed to a single block.
+    """
+
+    def __init__(self, message: str, block_id: int | None = None) -> None:
+        super().__init__(message)
+        self.block_id = block_id
+
+    def __reduce__(self):  # preserve block_id across process boundaries
+        return (type(self), (str(self), self.block_id))

@@ -1,7 +1,7 @@
 """Graph substrate: containers, properties, generators, serialisation."""
 
 from repro.graph.adjacency import Graph, Node
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, SharedCSR, SharedCSRHandle
 from repro.graph.cores import (
     core_numbers,
     degeneracy,
@@ -38,6 +38,8 @@ __all__ = [
     "Graph",
     "Node",
     "CSRGraph",
+    "SharedCSR",
+    "SharedCSRHandle",
     "core_numbers",
     "degeneracy",
     "degeneracy_ordering",

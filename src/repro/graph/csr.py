@@ -7,16 +7,31 @@ adjacency structure in two numpy arrays (``indptr``/``indices``), the
 standard CSR layout, with an explicit byte-count so the distributed
 layer can reason about memory footprints precisely instead of through
 the coarse triple-format estimate.
+
+:class:`SharedCSR` publishes one CSR snapshot into POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) so worker processes on the same
+machine can attach to the adjacency arrays zero-copy instead of
+receiving a pickled subgraph per block.  Lifetime rules: exactly one
+process — the publisher — owns the segments and must call
+:meth:`SharedCSR.unlink` (or use the instance as a context manager);
+every attached process only maps the existing segments and calls
+:meth:`SharedCSR.close` when done.
 """
 
 from __future__ import annotations
 
+import pickle
+import uuid
+from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import NodeNotFoundError
 from repro.graph.adjacency import Graph, Node
+
+SHARED_SEGMENT_PREFIX = "repro-csr-"
 
 
 class CSRGraph:
@@ -55,6 +70,21 @@ class CSRGraph:
     def num_edges(self) -> int:
         """Number of undirected edges."""
         return int(self._indptr[-1]) // 2
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """The CSR row-pointer array (length ``num_nodes + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """The CSR column-index array (length ``2 * num_edges``)."""
+        return self._indices
+
+    @property
+    def labels(self) -> list[Node]:
+        """Original node labels in dense-index order."""
+        return self._labels
 
     def label(self, index: int) -> Node:
         """Original label of dense index ``index``."""
@@ -111,4 +141,191 @@ class CSRGraph:
         return (
             f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
             f"memory_bytes={self.memory_bytes()})"
+        )
+
+
+@dataclass(frozen=True)
+class SharedCSRHandle:
+    """Everything a worker needs to attach to a published snapshot.
+
+    The handle is tiny and picklable; it travels to workers once (via a
+    pool initializer), after which block dispatch carries only node-id
+    arrays.
+    """
+
+    indptr_name: str
+    indices_name: str
+    labels_name: str
+    num_nodes: int
+    num_indices: int
+    labels_bytes: int
+
+
+def _open_existing(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment by name.
+
+    Pool workers inherit the publisher's resource tracker (its fd is
+    passed to children under both fork and spawn), and the tracker's
+    per-type cache is a set, so the worker-side registration collapses
+    into the publisher's — the segment is unregistered exactly once,
+    when the publisher unlinks it.  Attaching from an *unrelated*
+    process would start a second tracker that unlinks the segment at
+    its own exit; only attach from processes spawned by the publisher.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class SharedCSR:
+    """A CSR snapshot living in named POSIX shared-memory segments.
+
+    Three segments hold the row pointers, the column indices, and the
+    pickled label list.  :meth:`publish` creates them (the calling
+    process becomes the owner); :meth:`attach` maps existing segments
+    zero-copy in a worker.  The numpy views returned by :attr:`indptr`
+    and :attr:`indices` are read-only and borrow the segment buffers,
+    so the instance must stay alive while they are in use.
+    """
+
+    def __init__(
+        self,
+        handle: SharedCSRHandle,
+        segments: tuple[shared_memory.SharedMemory, ...],
+        owner: bool,
+    ) -> None:
+        self.handle = handle
+        self._segments = segments
+        self._owner = owner
+        indptr_shm, indices_shm, labels_shm = segments
+        self._indptr = np.ndarray(
+            (handle.num_nodes + 1,), dtype=np.int64, buffer=indptr_shm.buf
+        )
+        self._indptr.flags.writeable = False
+        self._indices = np.ndarray(
+            (handle.num_indices,), dtype=np.int64, buffer=indices_shm.buf
+        )
+        self._indices.flags.writeable = False
+        self._labels_shm = labels_shm
+        self._labels: list[Node] | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, csr: CSRGraph) -> "SharedCSR":
+        """Copy ``csr`` into fresh shared-memory segments and own them."""
+        token = uuid.uuid4().hex[:12]
+        labels_blob = pickle.dumps(csr.labels, protocol=pickle.HIGHEST_PROTOCOL)
+        names = tuple(
+            f"{SHARED_SEGMENT_PREFIX}{token}-{part}"
+            for part in ("indptr", "indices", "labels")
+        )
+        sizes = (csr.indptr.nbytes, max(1, csr.indices.nbytes), len(labels_blob))
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            for name, size in zip(names, sizes):
+                segments.append(
+                    shared_memory.SharedMemory(name=name, create=True, size=size)
+                )
+            handle = SharedCSRHandle(
+                indptr_name=names[0],
+                indices_name=names[1],
+                labels_name=names[2],
+                num_nodes=csr.num_nodes,
+                num_indices=len(csr.indices),
+                labels_bytes=len(labels_blob),
+            )
+            shared = cls(handle, tuple(segments), owner=True)
+            np.copyto(
+                np.ndarray(csr.indptr.shape, np.int64, buffer=segments[0].buf),
+                csr.indptr,
+            )
+            if len(csr.indices):
+                np.copyto(
+                    np.ndarray(csr.indices.shape, np.int64, buffer=segments[1].buf),
+                    csr.indices,
+                )
+            segments[2].buf[: len(labels_blob)] = labels_blob
+            return shared
+        except Exception:
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            raise
+
+    @classmethod
+    def attach(cls, handle: SharedCSRHandle) -> "SharedCSR":
+        """Map the published segments in this process (non-owning)."""
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            for name in (handle.indptr_name, handle.indices_name, handle.labels_name):
+                segments.append(_open_existing(name))
+            return cls(handle, tuple(segments), owner=False)
+        except Exception:
+            for segment in segments:
+                segment.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only row-pointer view into shared memory."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only column-index view into shared memory."""
+        return self._indices
+
+    @property
+    def labels(self) -> list[Node]:
+        """The label list (unpickled once per process, then cached)."""
+        if self._labels is None:
+            blob = bytes(self._labels_shm.buf[: self.handle.labels_bytes])
+            self._labels = pickle.loads(blob)
+        return self._labels
+
+    def neighbor_indices(self, index: int) -> np.ndarray:
+        """Sorted dense neighbour indices of dense index ``index``."""
+        return self._indices[self._indptr[index] : self._indptr[index + 1]]
+
+    def nbytes(self) -> int:
+        """Total bytes published across the three segments."""
+        return int(self._indptr.nbytes + self._indices.nbytes) + int(
+            self.handle.labels_bytes
+        )
+
+    # -- lifetime ----------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the segments from this process (safe to call twice)."""
+        self._indptr = None  # type: ignore[assignment] - drop buffer views first
+        self._indices = None  # type: ignore[assignment]
+        for segment in self._segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - a view still alive
+                pass
+
+    def unlink(self) -> None:
+        """Destroy the segments; only the publisher may call this."""
+        if not self._owner:
+            return
+        for segment in self._segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reaped
+                pass
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:
+        role = "owner" if self._owner else "attached"
+        return (
+            f"SharedCSR(num_nodes={self.handle.num_nodes}, "
+            f"num_indices={self.handle.num_indices}, {role})"
         )

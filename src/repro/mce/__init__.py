@@ -5,7 +5,9 @@ from repro.mce.bron_kerbosch import bk_pivot, bron_kerbosch
 from repro.mce.eppstein import eppstein
 from repro.mce.maximum import maximum_clique, maximum_clique_size
 from repro.mce.instrumentation import (
+    BlockTiming,
     CountingRule,
+    ExecutionTrace,
     RecursionProfile,
     collect_cliques_with_profile,
     profile_rule,
@@ -39,7 +41,9 @@ __all__ = [
     "eppstein",
     "maximum_clique",
     "maximum_clique_size",
+    "BlockTiming",
     "CountingRule",
+    "ExecutionTrace",
     "RecursionProfile",
     "collect_cliques_with_profile",
     "profile_rule",

@@ -1,4 +1,4 @@
-"""Instrumentation for the MCE recursion.
+"""Instrumentation for the MCE recursion and the parallel executors.
 
 The pivot-rule ablation needs the size of the recursion tree (how many
 internal expansion nodes a rule leaves after pruning).  Rather than
@@ -6,6 +6,11 @@ each caller hand-rolling a counting closure, :class:`CountingRule`
 wraps any pivot rule and tallies its invocations — exactly one per
 internal recursion node, since :func:`repro.mce.recursion.expand`
 consults the rule once per non-leaf call.
+
+The parallel executors record one :class:`BlockTiming` per analysed
+block (wall-clock, worker peak RSS, dispatched payload bytes) into an
+:class:`ExecutionTrace`, so benchmarks can attribute time to
+serialization versus Bron–Kerbosch work instead of guessing.
 """
 
 from __future__ import annotations
@@ -58,6 +63,61 @@ def profile_rule(
     native = build_backend(graph, backend)
     cliques = sum(1 for _ in enumerate_all(native, counting))
     return RecursionProfile(internal_nodes=counting.calls, cliques=cliques)
+
+
+@dataclass(frozen=True)
+class BlockTiming:
+    """Measured execution record of one block analysis."""
+
+    block_id: int
+    seconds: float
+    cliques: int
+    dispatch_bytes: int = 0
+    peak_rss_kb: int = 0
+    worker_pid: int = 0
+    retried: bool = False
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-batch instrumentation collected by a parallel executor.
+
+    ``publish_bytes``/``publish_seconds`` cover the one-time cost of
+    exporting the level graph (zero for executors that pickle blocks);
+    ``timings`` holds one record per block in completion order.
+    """
+
+    timings: list[BlockTiming] = field(default_factory=list)
+    publish_bytes: int = 0
+    publish_seconds: float = 0.0
+
+    def record(self, timing: BlockTiming) -> None:
+        """Append one per-block record."""
+        self.timings.append(timing)
+
+    @property
+    def total_dispatch_bytes(self) -> int:
+        """Bytes shipped to workers across all blocks (publish excluded)."""
+        return sum(timing.dispatch_bytes for timing in self.timings)
+
+    @property
+    def total_block_seconds(self) -> float:
+        """Serial-equivalent seconds of block analysis in this batch."""
+        return sum(timing.seconds for timing in self.timings)
+
+    @property
+    def max_peak_rss_kb(self) -> int:
+        """Largest worker peak RSS observed (kilobytes; 0 if unmeasured)."""
+        return max((timing.peak_rss_kb for timing in self.timings), default=0)
+
+    @property
+    def retried_blocks(self) -> list[int]:
+        """Ids of blocks that were re-executed after a worker failure."""
+        return [timing.block_id for timing in self.timings if timing.retried]
+
+    def slowest(self, count: int = 5) -> list[BlockTiming]:
+        """The ``count`` most expensive blocks, costliest first."""
+        return sorted(self.timings, key=lambda t: -t.seconds)[:count]
 
 
 def collect_cliques_with_profile(

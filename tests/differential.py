@@ -1,0 +1,82 @@
+"""Differential-testing harness for the block executors.
+
+Every executor must produce the *same cliques* for the same blocks, for
+every (algorithm × backend) combination the decision tree can choose —
+the executors differ only in where the work runs and how it is shipped.
+This module provides the canonical form used to compare outputs and the
+helpers that run one configuration end to end; the actual matrix lives
+in ``test_differential_executors.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.block_analysis import BlockReport
+from repro.core.blocks import Block, build_blocks
+from repro.core.driver import find_max_cliques
+from repro.core.feasibility import cut
+from repro.distributed.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+)
+from repro.graph.adjacency import Graph, Node
+from repro.mce.registry import Combo
+
+# Executor factories under differential test.  Two workers keep the
+# process-based executors honest (real cross-process traffic) without
+# oversubscribing CI machines.
+EXECUTOR_FACTORIES: dict[str, Callable[[], object]] = {
+    "serial": SerialExecutor,
+    "process": lambda: ProcessExecutor(max_workers=2),
+    "shared": lambda: SharedMemoryExecutor(max_workers=2),
+}
+
+Canonical = tuple[tuple[str, ...], ...]
+
+
+def canonical_cliques(cliques: Iterable[frozenset[Node]]) -> Canonical:
+    """Order-independent canonical form of a clique collection.
+
+    Each clique becomes a sorted tuple of ``repr`` strings (labels may be
+    of mixed types), and the cliques themselves are sorted — two clique
+    multisets are equal iff their canonical forms are equal.
+    """
+    return tuple(sorted(tuple(sorted(map(repr, clique))) for clique in cliques))
+
+
+def canonical_report_cliques(reports: Iterable[BlockReport]) -> Canonical:
+    """Canonical form of all cliques across a batch of block reports."""
+    return canonical_cliques(
+        clique for report in reports for clique in report.cliques
+    )
+
+
+def blocks_of(graph: Graph, m: int) -> list[Block]:
+    """First-level blocks of ``graph`` at block size ``m``."""
+    feasible, _ = cut(graph, m)
+    return build_blocks(graph, feasible, m)
+
+
+def run_blocks(
+    executor_name: str,
+    blocks: list[Block],
+    graph: Graph,
+    combo: Combo | None = None,
+) -> Canonical:
+    """Analyse ``blocks`` on the named executor; canonicalized output."""
+    executor = EXECUTOR_FACTORIES[executor_name]()
+    reports = executor.map_blocks(blocks, combo=combo, graph=graph)
+    return canonical_report_cliques(reports)
+
+
+def run_driver(
+    executor_name: str, graph: Graph, m: int, combo: Combo | None = None
+) -> Canonical:
+    """Full two-level enumeration through the named executor."""
+    executor = (
+        None if executor_name == "serial" else EXECUTOR_FACTORIES[executor_name]()
+    )
+    result = find_max_cliques(graph, m, combo=combo, executor=executor)
+    return canonical_cliques(result.cliques)

@@ -1,0 +1,77 @@
+"""Regenerate the golden regression fixtures.
+
+Run from the repository root after a *deliberate* recalibration (a
+generator change, a new dataset spec, a semantic change to the
+decomposition)::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Every quantity written here is deterministic for a given seed, so the
+fixtures are stable across runs and platforms; ``test_golden_regression``
+fails loudly whenever a code change moves any of them.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.core.driver import find_max_cliques
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+
+GOLDEN_DIR = Path(__file__).parent
+
+
+def golden_record(name: str) -> dict:
+    """Compute the frozen statistics for one dataset stand-in."""
+    graph = load_dataset(name)
+    m = max(2, graph.max_degree() // 2)
+    result = find_max_cliques(graph, m, collect_reports=True)
+    reports = [report for level in result.block_reports for report in level]
+    block_sizes = sorted(
+        (report.features.num_nodes for report in reports), reverse=True
+    )
+    size_histogram = Counter(len(clique) for clique in result.cliques)
+    return {
+        "dataset": name,
+        "m": m,
+        "graph": {
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "max_degree": graph.max_degree(),
+        },
+        "cliques": {
+            "count": result.num_cliques,
+            "max_size": result.max_clique_size(),
+            "size_histogram": {
+                str(size): count for size, count in sorted(size_histogram.items())
+            },
+        },
+        "recursion": {
+            "levels": len(result.levels),
+            "fallback_used": result.fallback_used,
+            "blocks_per_level": [stats.num_blocks for stats in result.levels],
+            "feasible_per_level": [stats.num_feasible for stats in result.levels],
+            "hubs_per_level": [stats.num_hubs for stats in result.levels],
+            "cliques_per_level": [stats.cliques_found for stats in result.levels],
+        },
+        "blocks": {
+            "count": len(reports),
+            "max_size": block_sizes[0] if block_sizes else 0,
+            "total_nodes": sum(block_sizes),
+            "total_kernel_nodes": sum(report.kernel_nodes for report in reports),
+        },
+    }
+
+
+def main() -> None:
+    for name in DATASET_NAMES:
+        record = golden_record(name)
+        path = GOLDEN_DIR / f"{name.replace('+', 'plus')}.json"
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {path} ({record['cliques']['count']} cliques)")
+
+
+if __name__ == "__main__":
+    main()

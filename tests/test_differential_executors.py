@@ -1,0 +1,114 @@
+"""Differential tests: every executor × algorithm × backend agrees.
+
+The harness (``differential.py``) canonicalizes clique output so the
+comparisons are order-independent; the serial executor is the reference
+everywhere.  Property tests sample random ER/BA/SBM graphs and check
+the shared-memory executor against both the serial path and the
+networkx oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from conftest import nx_cliques
+from differential import (
+    EXECUTOR_FACTORIES,
+    blocks_of,
+    canonical_cliques,
+    canonical_report_cliques,
+    run_blocks,
+    run_driver,
+)
+from repro.core.block_analysis import analyze_blocks
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    social_network,
+    stochastic_block_model,
+)
+from repro.mce.registry import ALL_COMBOS
+
+M = 16
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return social_network(70, attachment=3, planted_cliques=(6,), seed=11)
+
+
+@pytest.fixture(scope="module")
+def blocks(graph):
+    return blocks_of(graph, M)
+
+
+@pytest.fixture(scope="module")
+def references(graph, blocks):
+    """Serial reference output per combo (plus the tree default)."""
+    refs = {}
+    for combo in (None, *ALL_COMBOS):
+        cliques, _ = analyze_blocks(blocks, combo=combo)
+        refs[combo] = canonical_cliques(cliques)
+    return refs
+
+
+class TestExecutorMatrix:
+    """Same blocks, same combo, every executor: identical clique sets."""
+
+    @pytest.mark.parametrize("executor_name", sorted(EXECUTOR_FACTORIES))
+    @pytest.mark.parametrize("combo", ALL_COMBOS, ids=lambda c: c.name)
+    def test_combo_matrix(self, executor_name, combo, graph, blocks, references):
+        assert run_blocks(executor_name, blocks, graph, combo=combo) == references[combo]
+
+    @pytest.mark.parametrize("executor_name", sorted(EXECUTOR_FACTORIES))
+    def test_tree_selected_combos(self, executor_name, graph, blocks, references):
+        # No forced combo: the decision tree picks per block.
+        assert run_blocks(executor_name, blocks, graph) == references[None]
+
+
+class TestDriverMatrix:
+    """Full two-level runs agree with each other and with networkx."""
+
+    @pytest.mark.parametrize("executor_name", sorted(EXECUTOR_FACTORIES))
+    def test_driver_matches_oracle(self, executor_name, graph):
+        assert run_driver(executor_name, graph, M) == canonical_cliques(
+            nx_cliques(graph)
+        )
+
+
+def _random_graph(family: str, size: int, seed: int):
+    if family == "er":
+        return erdos_renyi(size, 0.15, seed=seed)
+    if family == "ba":
+        return barabasi_albert(size, 3, seed=seed)
+    sizes = [size // 3, size // 3, size - 2 * (size // 3)]
+    return stochastic_block_model(sizes, 0.6, 0.05, seed=seed)
+
+
+class TestPropertyDifferential:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        family=st.sampled_from(["er", "ba", "sbm"]),
+        size=st.integers(min_value=18, max_value=42),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_shared_matches_serial_and_oracle(self, family, size, seed):
+        graph = _random_graph(family, size, seed)
+        m = max(4, graph.max_degree() // 2 + 1)
+        blocks = blocks_of(graph, m)
+        serial = canonical_report_cliques(
+            EXECUTOR_FACTORIES["serial"]().map_blocks(blocks, graph=graph)
+        )
+        shared = canonical_report_cliques(
+            EXECUTOR_FACTORIES["shared"]().map_blocks(blocks, graph=graph)
+        )
+        assert shared == serial
+        oracle = canonical_cliques(nx_cliques(graph))
+        driver = run_driver("shared", graph, m)
+        assert driver == oracle

@@ -1,0 +1,47 @@
+"""Golden regression: frozen fixtures for the five dataset stand-ins.
+
+``tests/golden/<name>.json`` freezes the clique counts, maximum clique
+sizes, clique-size histograms, and block/recursion statistics of each
+calibrated stand-in (regenerate deliberately with
+``python tests/golden/regenerate.py``).  Unlike the spot checks in
+``test_golden_datasets.py``, these fixtures pin the *full shape* of
+each run, so performance work on the executors or the decomposition
+cannot silently drop or fabricate cliques, merge blocks, or change
+recursion depth without tripping a diff here.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from golden.regenerate import golden_record
+from repro.graph.datasets import DATASET_NAMES
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def fixture_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name.replace('+', 'plus')}.json"
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+def test_every_dataset_has_a_fixture(name):
+    assert fixture_path(name).is_file(), (
+        f"missing golden fixture for {name!r}; run "
+        "PYTHONPATH=src python tests/golden/regenerate.py"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_NAMES))
+def test_golden_regression(name):
+    frozen = json.loads(fixture_path(name).read_text())
+    current = golden_record(name)
+    for section in ("graph", "cliques", "recursion", "blocks"):
+        assert current[section] == frozen[section], (
+            f"{name}: golden section {section!r} drifted; if the change is "
+            "deliberate, regenerate tests/golden/ and record why"
+        )
+    assert current["m"] == frozen["m"]

@@ -2,19 +2,32 @@
 
 Mixed label types, very deep recursion, disconnected graphs, huge
 planted structures — the inputs a downstream user will eventually feed
-in.
+in.  Plus crash safety: a shared-memory worker killed mid-batch must
+never leak ``/dev/shm`` segments or lose cliques.
 """
 
 from __future__ import annotations
 
 import doctest
+import os
 import warnings
+from pathlib import Path
 
 import pytest
 
 from conftest import nx_cliques
+from repro.core.block_analysis import analyze_blocks
+from repro.core.blocks import build_blocks
 from repro.core.driver import find_max_cliques
+from repro.core.feasibility import cut
+from repro.distributed.executor import (
+    FAULT_INJECT_ENV,
+    ProcessExecutor,
+    SharedMemoryExecutor,
+)
+from repro.errors import ExecutorError
 from repro.graph.adjacency import Graph
+from repro.graph.csr import SHARED_SEGMENT_PREFIX
 from repro.graph.generators import disjoint_union, h_n, social_network
 
 
@@ -78,6 +91,89 @@ class TestLargePlantedStructure:
         result = find_max_cliques(g, 60)
         assert result.max_clique_size() == 40
         assert set(result.cliques) == nx_cliques(g)
+
+
+def _leaked_segments() -> list[str]:
+    """Shared-memory segments of ours still registered with the OS."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-POSIX platform
+        return []
+    return [
+        entry.name
+        for entry in shm_dir.iterdir()
+        if entry.name.startswith(SHARED_SEGMENT_PREFIX)
+    ]
+
+
+@pytest.fixture
+def crash_blocks():
+    g = social_network(110, attachment=3, planted_cliques=(7,), seed=13)
+    feasible, _ = cut(g, 20)
+    return g, build_blocks(g, feasible, 20)
+
+
+class TestSharedMemoryCrashSafety:
+    """A worker dying mid-batch must not leak segments or cliques."""
+
+    def test_killed_worker_is_retried_and_segments_reaped(
+        self, crash_blocks, monkeypatch
+    ):
+        graph, blocks = crash_blocks
+        assert len(blocks) > 4, "fixture must produce a real batch"
+        reference, _ = analyze_blocks(blocks)
+        monkeypatch.setenv(FAULT_INJECT_ENV, "kill:3")
+        executor = SharedMemoryExecutor(max_workers=2)
+        reports = executor.map_blocks(blocks, graph=graph)
+        assert [c for r in reports for c in r.cliques] == reference
+        assert executor.last_trace is not None
+        assert 3 in executor.last_trace.retried_blocks
+        assert _leaked_segments() == []
+
+    def test_killed_worker_without_retry_raises_cleanly(
+        self, crash_blocks, monkeypatch
+    ):
+        graph, blocks = crash_blocks
+        monkeypatch.setenv(FAULT_INJECT_ENV, "kill:0")
+        executor = SharedMemoryExecutor(max_workers=2, retry_failed=False)
+        with pytest.raises(ExecutorError, match="worker process died"):
+            executor.map_blocks(blocks, graph=graph)
+        assert _leaked_segments() == []
+
+    def test_worker_exception_names_the_block(self, crash_blocks, monkeypatch):
+        graph, blocks = crash_blocks
+        monkeypatch.setenv(FAULT_INJECT_ENV, "raise:2")
+        executor = SharedMemoryExecutor(max_workers=2)
+        with pytest.raises(ExecutorError, match="block 2") as excinfo:
+            executor.map_blocks(blocks, graph=graph)
+        assert excinfo.value.block_id == 2
+        assert _leaked_segments() == []
+
+    def test_fault_injection_never_fires_in_parent(self, monkeypatch):
+        # The hook must be inert outside pool workers, or the injected
+        # SIGKILL would take down the test process itself (and the
+        # in-parent retry of a killed block would re-trigger the fault).
+        from repro.distributed.executor import _maybe_inject_fault
+
+        monkeypatch.setenv(FAULT_INJECT_ENV, "kill:0")
+        _maybe_inject_fault(0)  # would SIGKILL this process if it fired
+        monkeypatch.setenv(FAULT_INJECT_ENV, "raise:0")
+        _maybe_inject_fault(0)  # would raise if it fired
+        assert os.environ[FAULT_INJECT_ENV] == "raise:0"
+
+
+class TestProcessExecutorFailures:
+    def test_worker_exception_names_the_block(self, crash_blocks, monkeypatch):
+        _, blocks = crash_blocks
+        monkeypatch.setenv(FAULT_INJECT_ENV, "raise:4")
+        with pytest.raises(ExecutorError, match="block 4") as excinfo:
+            ProcessExecutor(max_workers=2).map_blocks(blocks)
+        assert excinfo.value.block_id == 4
+
+    def test_killed_worker_raises_executor_error(self, crash_blocks, monkeypatch):
+        _, blocks = crash_blocks
+        monkeypatch.setenv(FAULT_INJECT_ENV, "kill:1")
+        with pytest.raises(ExecutorError, match="worker process died"):
+            ProcessExecutor(max_workers=2).map_blocks(blocks)
 
 
 class TestDoctests:
