@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Kernel benchmark — every backend on representative block shapes.
+
+Standalone script (not a pytest bench module): it seeds the perf
+trajectory for the packed-bitmap kernel by timing full maximal-clique
+enumeration with Tomita's pivot on each backend, over block shapes a
+worker actually sees, and writing a machine-readable ``BENCH_kernel.json``.
+
+The headline case is the dense block (n=200, p=0.3): the ``bitmatrix``
+batched kernel targets >=3x over ``bitsets`` there.  The script exits
+nonzero if ``bitmatrix`` is *slower* than ``bitsets`` on that case, so
+CI can run it as a regression smoke test (``--quick``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--quick]
+        [--output BENCH_kernel.json] [--target 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.graph.generators import erdos_renyi
+from repro.mce.backends import BACKEND_NAMES, build_backend
+from repro.mce.recursion import expand, tomita_pivot
+
+# (name, nodes, edge probability).  The dense case mirrors the issue's
+# target regime; the others cover the medium/sparse/small shapes the
+# decision tree routes between.
+SHAPES: tuple[tuple[str, int, float], ...] = (
+    ("dense", 200, 0.30),
+    ("medium", 300, 0.10),
+    ("sparse", 400, 0.02),
+    ("small-dense", 64, 0.50),
+)
+QUICK_SHAPES = ("dense", "small-dense")
+DENSE_CASE = "dense"
+SEED = 97
+
+
+def enumerate_once(graph, backend_name: str) -> tuple[float, int]:
+    """Time one full Tomita enumeration; return (seconds, clique count)."""
+    backend = build_backend(graph, backend_name)
+    start = time.perf_counter()
+    cliques = list(
+        expand(backend, [], backend.full(), backend.empty(), tomita_pivot)
+    )
+    elapsed = time.perf_counter() - start
+    return elapsed, len(cliques)
+
+
+def run_case(name: str, n: int, p: float, repeats: int) -> dict:
+    graph = erdos_renyi(n, p, seed=SEED)
+    timings: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for backend_name in BACKEND_NAMES:
+        best = float("inf")
+        for _ in range(repeats):
+            elapsed, count = enumerate_once(graph, backend_name)
+            best = min(best, elapsed)
+            counts[backend_name] = count
+        timings[backend_name] = best
+    if len(set(counts.values())) != 1:
+        raise SystemExit(
+            f"clique-count mismatch on {name!r}: {counts}"
+        )
+    bitsets = timings["bitsets"]
+    return {
+        "case": name,
+        "n": n,
+        "p": p,
+        "edges": graph.num_edges,
+        "cliques": counts["bitsets"],
+        "repeats": repeats,
+        "seconds": timings,
+        "speedup_vs_bitsets": {
+            backend: bitsets / timings[backend] for backend in timings
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: dense + small-dense shapes only, 2 repeats",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_kernel.json"),
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N timing repeats (default 3, or 2 with --quick)",
+    )
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=3.0,
+        help="dense-case bitmatrix-over-bitsets speedup target",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (2 if args.quick else 3)
+    shapes = [
+        shape
+        for shape in SHAPES
+        if not args.quick or shape[0] in QUICK_SHAPES
+    ]
+
+    cases = []
+    for name, n, p in shapes:
+        case = run_case(name, n, p, repeats)
+        cases.append(case)
+        speedups = case["speedup_vs_bitsets"]
+        print(f"{name} (n={n}, p={p}, {case['cliques']} cliques):")
+        for backend in BACKEND_NAMES:
+            print(
+                f"  {backend:<10} {case['seconds'][backend] * 1000:9.2f} ms"
+                f"   {speedups[backend]:5.2f}x vs bitsets"
+            )
+
+    dense = next(case for case in cases if case["case"] == DENSE_CASE)
+    dense_speedup = dense["speedup_vs_bitsets"]["bitmatrix"]
+    report = {
+        "benchmark": "kernel",
+        "mode": "quick" if args.quick else "full",
+        "pivot": "tomita",
+        "seed": SEED,
+        "cases": cases,
+        "dense_case": {
+            "name": DENSE_CASE,
+            "bitmatrix_speedup_vs_bitsets": dense_speedup,
+            "target": args.target,
+            "meets_target": dense_speedup >= args.target,
+            "regressed": dense_speedup < 1.0,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"dense case: bitmatrix {dense_speedup:.2f}x vs bitsets"
+        f" (target {args.target:.1f}x)"
+    )
+
+    if dense_speedup < 1.0:
+        print("FAIL: bitmatrix slower than bitsets on the dense case")
+        return 1
+    if not report["dense_case"]["meets_target"]:
+        print("note: below the speedup target (not a hard failure)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

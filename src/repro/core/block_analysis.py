@@ -10,12 +10,24 @@ member is "visited" there.
 The procedure anchors one enumeration per kernel node ``k``, restricted
 to ``N(k)``: candidates start as ``kernel ∪ border`` and excluded as
 ``visited``; after ``k`` is processed it moves from the candidate side to
-the excluded side, exactly as in the paper's pseudo-code.  Maximality
-against the *whole* network follows from the block invariant that every
-neighbour of a kernel node is inside the block.
+the excluded side, exactly as in the paper's pseudo-code.  Kernel nodes
+are anchored in **degeneracy order** (sparsest first): which kernel node
+reports a clique shifts with the order, but the per-block clique *set*
+is invariant — a clique is always reported at whichever of its kernel
+members is anchored first — and peeling-order anchors leave denser
+candidate sets to later anchors whose exclusion sets have already grown,
+so the pivot prunes harder.  Maximality against the *whole* network
+follows from the block invariant that every neighbour of a kernel node
+is inside the block.
 
 The enumeration combination (algorithm × data structure) is chosen per
 block by a decision tree over the block's features (``bestfit``, line 1).
+Two materialization paths produce identical results:
+:func:`analyze_block` consumes a :class:`~repro.core.blocks.Block`
+(subgraph as a ``Graph``), while :func:`analyze_block_csr` consumes a
+:class:`BlockDescriptor` plus CSR views and builds the chosen backend
+straight from a packed adjacency bitmap — no intermediate ``Graph`` —
+which is what shared-memory workers run.
 """
 
 from __future__ import annotations
@@ -26,12 +38,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.blocks import Block
-from repro.decision.features import BlockFeatures, estimate_analysis_cost
+from repro.decision.features import (
+    BlockFeatures,
+    estimate_analysis_cost,
+    features_from_bitmap,
+)
 from repro.decision.paper_tree import paper_tree, select_combo
 from repro.decision.tree import DecisionTree
 from repro.graph.adjacency import Graph, Node
+from repro.graph.csr import BitmapScratch, extract_block_bitmap
 from repro.mce.anchored import enumerate_anchored_native
-from repro.mce.backends import build_backend
+from repro.mce.backends import Backend, backend_from_bitmap, build_backend
+from repro.mce.bitmatrix import (
+    BitMatrixBackend,
+    degeneracy_order_packed,
+    enumerate_anchored_packed,
+)
 from repro.mce.registry import Combo, get_pivot_rule
 
 
@@ -80,10 +102,11 @@ def analyze_block(
 
     candidates = backend.make_from_labels(list(block.kernel) + list(block.border))
     excluded = backend.make_from_labels(block.visited)
+    kernel_order = _kernel_degeneracy_order(block)
     cliques: list[frozenset[Node]] = []
-    for kernel_node in block.kernel:
+    for kernel_node in kernel_order:
         anchor = backend.index_of(kernel_node)
-        for clique in enumerate_anchored_native(
+        for clique in _enumerate_anchored(
             backend, anchor, candidates, excluded, pivot_rule
         ):
             cliques.append(frozenset(backend.label(i) for i in clique))
@@ -95,6 +118,64 @@ def analyze_block(
         features=features,
         seconds=time.perf_counter() - start,
         kernel_nodes=len(block.kernel),
+    )
+
+
+def _kernel_degeneracy_order(block: Block) -> list[Node]:
+    """The block's kernel nodes in degeneracy (peeling) order.
+
+    Must match :func:`repro.mce.bitmatrix.degeneracy_order_packed` on the
+    descriptor's member ordering exactly — same smallest-index tie-break
+    among minimum-residual-degree nodes — so a block analysed in a
+    shared-memory worker (:func:`analyze_block_csr`) emits its cliques in
+    the same order as the serial path, including when a crashed worker's
+    block is retried in the parent.
+    """
+    if len(block.kernel) <= 1:
+        return list(block.kernel)
+    members = (
+        list(block.kernel)
+        + sorted(block.border, key=str)
+        + sorted(block.visited, key=str)
+    )
+    index_of = {node: i for i, node in enumerate(members)}
+    graph = block.graph
+    neighbor_ids = [
+        [index_of[other] for other in graph.neighbors(node)] for node in members
+    ]
+    degrees = [len(ids) for ids in neighbor_ids]
+    alive = [True] * len(members)
+    num_kernel = len(block.kernel)
+    order: list[Node] = []
+    for _ in range(len(members)):
+        v = -1
+        best = len(members) + 1
+        for i, degree in enumerate(degrees):
+            if alive[i] and degree < best:
+                v = i
+                best = degree
+        alive[v] = False
+        if v < num_kernel:
+            order.append(members[v])
+        for other in neighbor_ids[v]:
+            if alive[other]:
+                degrees[other] -= 1
+    return order
+
+
+def _enumerate_anchored(backend: Backend, anchor, candidates, excluded, pivot_rule):
+    """Dispatch one anchored run to the backend's best kernel.
+
+    The packed-bitmap backend gets the explicit-stack word-parallel
+    enumerator; every other backend runs the shared recursion.  Both
+    yield the same clique tuples for the same inputs.
+    """
+    if isinstance(backend, BitMatrixBackend):
+        return enumerate_anchored_packed(
+            backend, anchor, candidates, excluded, pivot_rule
+        )
+    return enumerate_anchored_native(
+        backend, anchor, candidates, excluded, pivot_rule
     )
 
 
@@ -180,6 +261,66 @@ def block_from_descriptor(
         border=frozenset(labels[i] for i in descriptor.border_ids.tolist()),
         visited=frozenset(labels[i] for i in descriptor.visited_ids.tolist()),
         graph=graph,
+    )
+
+
+def analyze_block_csr(
+    descriptor: BlockDescriptor,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    labels: list[Node],
+    tree: DecisionTree | None = None,
+    combo: Combo | None = None,
+    scratch: BitmapScratch | None = None,
+) -> BlockReport:
+    """Analyse one block directly from CSR views — no ``Graph`` rebuild.
+
+    The zero-copy fast path run inside shared-memory workers: the
+    block's induced subgraph is packed straight from the CSR rows into
+    an adjacency bitmap (:func:`~repro.graph.csr.extract_block_bitmap`,
+    optionally through a per-worker scratch cache), features and the
+    decision-tree choice are computed from the packed rows, and the
+    chosen backend is materialized from the bitmap via ``from_packed``.
+    Produces the same clique set as :func:`analyze_block` on the
+    corresponding :func:`block_from_descriptor` block — the differential
+    executor suite pins the two paths against each other.
+    """
+    start = time.perf_counter()
+    member_ids = np.concatenate(
+        [descriptor.kernel_ids, descriptor.border_ids, descriptor.visited_ids]
+    )
+    bitmap = extract_block_bitmap(indptr, indices, member_ids, scratch)
+    features = features_from_bitmap(bitmap)
+    if combo is None:
+        combo = select_combo(tree if tree is not None else paper_tree(), features)
+    member_labels = [labels[i] for i in member_ids.tolist()]
+    backend = backend_from_bitmap(combo.backend, member_labels, bitmap)
+    pivot_rule = get_pivot_rule(combo.algorithm)
+
+    num_kernel = len(descriptor.kernel_ids)
+    num_candidates = num_kernel + len(descriptor.border_ids)
+    candidates = backend.make(range(num_candidates))
+    excluded = backend.make(range(num_candidates, len(member_ids)))
+    if num_kernel > 1:
+        kernel_order = [
+            i for i in degeneracy_order_packed(bitmap) if i < num_kernel
+        ]
+    else:
+        kernel_order = list(range(num_kernel))
+    cliques: list[frozenset[Node]] = []
+    for anchor in kernel_order:
+        for clique in _enumerate_anchored(
+            backend, anchor, candidates, excluded, pivot_rule
+        ):
+            cliques.append(frozenset(backend.label(i) for i in clique))
+        candidates = backend.remove(candidates, anchor)
+        excluded = backend.add(excluded, anchor)
+    return BlockReport(
+        cliques=cliques,
+        combo=combo,
+        features=features,
+        seconds=time.perf_counter() - start,
+        kernel_nodes=num_kernel,
     )
 
 

@@ -1,7 +1,17 @@
 """Best-fit MCE algorithm selection via decision trees (Section 4)."""
 
-from repro.decision.features import FEATURE_NAMES, BlockFeatures, extract_features
-from repro.decision.paper_tree import combo_for_label, paper_tree, select_combo
+from repro.decision.features import (
+    FEATURE_NAMES,
+    BlockFeatures,
+    extract_features,
+    features_from_bitmap,
+)
+from repro.decision.paper_tree import (
+    combo_for_label,
+    extended_tree,
+    paper_tree,
+    select_combo,
+)
 from repro.decision.persistence import (
     load_tree,
     save_tree,
@@ -30,7 +40,9 @@ __all__ = [
     "FEATURE_NAMES",
     "BlockFeatures",
     "extract_features",
+    "features_from_bitmap",
     "combo_for_label",
+    "extended_tree",
     "paper_tree",
     "select_combo",
     "load_tree",

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+import numpy as np
+
 from repro.graph.adjacency import Graph
 from repro.graph.cores import degeneracy as graph_degeneracy
 from repro.graph.properties import d_star as graph_d_star
@@ -73,6 +75,42 @@ class BlockFeatures:
 def extract_features(graph: Graph) -> BlockFeatures:
     """Return :class:`BlockFeatures.of(graph)`; a readable free function."""
     return BlockFeatures.of(graph)
+
+
+def features_from_bitmap(bitmap: np.ndarray) -> BlockFeatures:
+    """Extract :class:`BlockFeatures` from a packed adjacency bitmap.
+
+    The bitmap-direct twin of :meth:`BlockFeatures.of` used by the
+    zero-copy worker path: all five parameters are computed from the
+    ``n × ceil(n/64)`` ``uint64`` adjacency rows (degrees by word
+    popcount, degeneracy by packed peeling, ``d*`` from the degree
+    sequence) and agree exactly with the ``Graph``-based extraction on
+    the same subgraph, so the decision tree selects the same combination
+    no matter which path materialized the block.
+    """
+    from repro.mce.bitmatrix import degeneracy_packed, popcount_rows
+
+    n = int(bitmap.shape[0])
+    degrees = popcount_rows(bitmap)
+    num_edges = int(degrees.sum()) // 2
+    density = 2.0 * num_edges / (n * (n - 1)) if n > 1 else 0.0
+    return BlockFeatures(
+        num_nodes=n,
+        num_edges=num_edges,
+        density=density,
+        degeneracy=degeneracy_packed(bitmap),
+        d_star=_d_star_of_degrees(degrees, n),
+    )
+
+
+def _d_star_of_degrees(degrees: np.ndarray, n: int) -> int:
+    """Degree h-index from a degree vector (same convention as ``d_star``)."""
+    if n == 0:
+        return 0
+    descending = np.sort(degrees)[::-1]
+    at_least = descending >= np.arange(1, n + 1)
+    hits = np.flatnonzero(at_least)
+    return int(hits[-1]) + 1 if len(hits) else 0
 
 
 def estimate_analysis_cost(num_nodes: int, num_edges: int) -> float:

@@ -24,24 +24,34 @@ the algorithm described in [34]").
 Because the tree predates any local training run, it gives the library a
 deterministic default selector; :func:`repro.decision.training.train`
 learns a fresh tree from local timings when preferred.
+
+:func:`extended_tree` is the representation-aware variant: same shape
+and thresholds as Figure 3, but the dense leaves select the packed
+``bitmatrix`` structure (this reproduction's fourth representation,
+absent from the paper) whose word-parallel kernel dominates
+``bitsets``/``matrix`` exactly where those leaves fire.
 """
 
 from __future__ import annotations
 
 from repro.decision.features import BlockFeatures
 from repro.decision.tree import DecisionTree, Leaf, Split
-from repro.mce.registry import Combo
+from repro.mce.registry import ALGORITHM_NAMES, Combo
+from repro.mce.backends import BACKEND_NAMES
 
 # Combo display names used as tree labels, in the paper's notation.
 LISTS_XPIVOT = Combo("xpivot", "lists").name
 MATRIX_XPIVOT = Combo("xpivot", "matrix").name
 BITSETS_TOMITA = Combo("tomita", "bitsets").name
 MATRIX_BKPIVOT = Combo("bkpivot", "matrix").name
+BITMATRIX_TOMITA = Combo("tomita", "bitmatrix").name
+BITMATRIX_XPIVOT = Combo("xpivot", "bitmatrix").name
+BITMATRIX_BKPIVOT = Combo("bkpivot", "bitmatrix").name
 
 _LABEL_TO_COMBO: dict[str, Combo] = {
     Combo(algorithm, backend).name: Combo(algorithm, backend)
-    for algorithm in ("bkpivot", "tomita", "eppstein", "xpivot")
-    for backend in ("lists", "bitsets", "matrix")
+    for algorithm in ALGORITHM_NAMES
+    for backend in BACKEND_NAMES
 }
 
 
@@ -63,6 +73,38 @@ def paper_tree() -> DecisionTree:
                 threshold=52,
                 if_true=Leaf(BITSETS_TOMITA),
                 if_false=Leaf(MATRIX_BKPIVOT),
+            ),
+        ),
+        if_false=Leaf(LISTS_XPIVOT),
+    )
+
+
+def extended_tree() -> DecisionTree:
+    """Return the Figure 3 tree rewired onto the packed-bitmap backend.
+
+    The paper's thresholds are kept verbatim — they classify block
+    *shape*, which has not changed — but every leaf that chose a dense
+    quadratic structure (``bitsets`` or ``matrix``) now selects
+    ``bitmatrix``: the same memory regime (8× smaller than ``matrix``,
+    see :func:`repro.mce.memory.estimate_backend_bytes`) with
+    word-parallel set algebra and vectorized pivots.  Sparse blocks
+    still route to ``[Lists/XPivot]``, where adjacency lists beat any
+    quadratic representation.  Not used by default — callers opt in via
+    ``analyze_block(..., tree=extended_tree())`` or the driver/executor
+    ``tree`` parameter — so paper-faithful runs stay bit-identical.
+    """
+    return Split(
+        feature="degeneracy",
+        threshold=25,
+        if_true=Split(
+            feature="num_nodes",
+            threshold=8557.5,
+            if_true=Leaf(BITMATRIX_XPIVOT),
+            if_false=Split(
+                feature="degeneracy",
+                threshold=52,
+                if_true=Leaf(BITMATRIX_TOMITA),
+                if_false=Leaf(BITMATRIX_BKPIVOT),
             ),
         ),
         if_false=Leaf(LISTS_XPIVOT),

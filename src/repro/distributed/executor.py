@@ -47,8 +47,9 @@ from repro.core.block_analysis import (
     BlockDescriptor,
     BlockReport,
     analyze_block,
-    block_from_descriptor,
+    analyze_block_csr,
 )
+from repro.graph.csr import BitmapScratch
 from repro.core.blocks import Block
 from repro.decision.tree import DecisionTree
 from repro.distributed.cluster import ClusterSpec
@@ -174,20 +175,30 @@ def _shm_worker_init(
     _WORKER_STATE["shared"] = shared
     _WORKER_STATE["tree"] = tree
     _WORKER_STATE["combo"] = combo
+    _WORKER_STATE["scratch"] = BitmapScratch()
 
 
 def _shm_analyze(descriptor: BlockDescriptor) -> tuple[int, BlockReport]:
-    """Rebuild one block from the shared CSR views and analyse it."""
+    """Analyse one block straight from the attached CSR views.
+
+    The block's backend is materialized from a packed bitmap extracted
+    directly out of the shared CSR rows (``analyze_block_csr``) — the
+    worker never rebuilds a ``Graph`` or a dict-of-sets adjacency, which
+    removes a silent O(edges) reconstruction per block.  The per-worker
+    :class:`BitmapScratch` reuses extraction buffers across same-sized
+    blocks.
+    """
     shared: SharedCSR = _WORKER_STATE["shared"]  # type: ignore[assignment]
     try:
         _maybe_inject_fault(descriptor.block_id)
-        block = block_from_descriptor(
-            descriptor, shared.indptr, shared.indices, shared.labels
-        )
-        report = analyze_block(
-            block,
+        report = analyze_block_csr(
+            descriptor,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
             tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
             combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
         )
     except Exception as exc:
         raise ExecutorError(

@@ -16,6 +16,13 @@ process — the publisher — owns the segments and must call
 :meth:`SharedCSR.unlink` (or use the instance as a context manager);
 every attached process only maps the existing segments and calls
 :meth:`SharedCSR.close` when done.
+
+:func:`extract_block_bitmap` turns a CSR slice (any member-id array over
+the snapshot) into the packed ``n × ceil(n/64)`` adjacency bitmap the
+``bitmatrix`` kernel and the ``from_packed`` backend constructors
+consume — the per-block materialization step of the zero-copy worker
+path, with a :class:`BitmapScratch` cache so repeated blocks of the
+same size reuse one buffer instead of allocating per block.
 """
 
 from __future__ import annotations
@@ -32,6 +39,84 @@ from repro.errors import NodeNotFoundError
 from repro.graph.adjacency import Graph, Node
 
 SHARED_SEGMENT_PREFIX = "repro-csr-"
+
+_ONE = np.uint64(1)
+
+
+class BitmapScratch:
+    """A per-process cache of packed-bitmap buffers, keyed by block size.
+
+    Block analyses are strictly sequential within one worker, so a
+    single buffer per distinct block size suffices: ``get(n)`` returns a
+    zeroed ``n × ceil(n/64)`` ``uint64`` view that stays valid until the
+    next ``get`` call with the same size.  Callers must finish with the
+    bitmap (or copy it) before requesting the next same-sized one; the
+    backends built via ``from_packed`` either copy out of it (lists /
+    bitsets / matrix) or are discarded before the next block
+    (bitmatrix), so the reuse is safe by construction.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[int, np.ndarray] = {}
+
+    def get(self, n: int) -> np.ndarray:
+        """Return a zeroed ``n × ceil(n/64)`` bitmap buffer for reuse."""
+        words = (n + 63) // 64
+        buffer = self._buffers.get(n)
+        if buffer is None:
+            buffer = np.zeros((n, words), dtype=np.uint64)
+            self._buffers[n] = buffer
+        else:
+            buffer[:] = 0
+        return buffer
+
+    def nbytes(self) -> int:
+        """Total bytes currently held across all cached buffers."""
+        return sum(int(buffer.nbytes) for buffer in self._buffers.values())
+
+
+def extract_block_bitmap(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    member_ids: np.ndarray,
+    scratch: BitmapScratch | None = None,
+) -> np.ndarray:
+    """Pack the subgraph induced by ``member_ids`` into an adjacency bitmap.
+
+    ``member_ids`` lists the block's members by their dense indices in
+    the CSR snapshot; the result is an ``n × ceil(n/64)`` ``uint64``
+    array where row ``i`` has bit ``j`` set iff members ``i`` and ``j``
+    (in ``member_ids`` order) are adjacent.  Each member's CSR row is
+    intersected with the member set via one vectorized ``searchsorted``
+    — no ``Graph``, no per-edge Python objects — so this is the direct
+    CSR → kernel-input path of the shared-memory executor.
+
+    With a ``scratch`` cache the bitmap is written into a reused buffer
+    (see :class:`BitmapScratch` for the lifetime contract); without one
+    a fresh array is allocated.
+    """
+    member_ids = np.asarray(member_ids, dtype=np.int64)
+    n = len(member_ids)
+    bitmap = scratch.get(n) if scratch is not None else np.zeros(
+        (n, (n + 63) // 64), dtype=np.uint64
+    )
+    if n == 0:
+        return bitmap
+    order = np.argsort(member_ids, kind="stable")
+    sorted_ids = member_ids[order]
+    for i in range(n):
+        u = int(member_ids[i])
+        row = indices[indptr[u] : indptr[u + 1]]
+        if not len(row):
+            continue
+        positions = np.searchsorted(sorted_ids, row)
+        positions[positions == n] = 0  # out-of-range probes; masked below
+        hits = sorted_ids[positions] == row
+        local = order[positions[hits]]
+        np.bitwise_or.at(
+            bitmap[i], local >> 6, _ONE << (local.astype(np.uint64) & np.uint64(63))
+        )
+    return bitmap
 
 
 class CSRGraph:

@@ -1,6 +1,16 @@
 """Maximal clique enumeration portfolio (Section 4 of the paper)."""
 
-from repro.mce.backends import BACKEND_NAMES, Backend, build_backend
+from repro.mce.backends import (
+    BACKEND_NAMES,
+    Backend,
+    backend_from_bitmap,
+    build_backend,
+)
+from repro.mce.bitmatrix import (
+    BitMatrixBackend,
+    enumerate_anchored_packed,
+    expand_stack,
+)
 from repro.mce.bron_kerbosch import bk_pivot, bron_kerbosch
 from repro.mce.eppstein import eppstein
 from repro.mce.maximum import maximum_clique, maximum_clique_size
@@ -15,6 +25,7 @@ from repro.mce.instrumentation import (
 from repro.mce.registry import (
     ALGORITHM_NAMES,
     ALL_COMBOS,
+    PAPER_COMBOS,
     Combo,
     get_algorithm,
     get_pivot_rule,
@@ -35,7 +46,11 @@ from repro.mce.xpivot import xpivot
 __all__ = [
     "BACKEND_NAMES",
     "Backend",
+    "BitMatrixBackend",
+    "backend_from_bitmap",
     "build_backend",
+    "enumerate_anchored_packed",
+    "expand_stack",
     "bk_pivot",
     "bron_kerbosch",
     "eppstein",
@@ -49,6 +64,7 @@ __all__ = [
     "profile_rule",
     "ALGORITHM_NAMES",
     "ALL_COMBOS",
+    "PAPER_COMBOS",
     "Combo",
     "get_algorithm",
     "get_pivot_rule",

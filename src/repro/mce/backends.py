@@ -12,10 +12,18 @@ operations in its native representation:
 * :class:`BitsetBackend` ("bitsets") — node sets are Python integers used
   as bitmasks, so intersection is a single ``&``;
 * :class:`MatrixBackend` ("matrix") — node sets are numpy boolean masks
-  over a dense adjacency matrix.
+  over a dense adjacency matrix;
+* :class:`repro.mce.bitmatrix.BitMatrixBackend` ("bitmatrix") — node sets
+  are packed ``uint64`` word vectors over an ``n × ceil(n/64)`` adjacency
+  bitmap with word-parallel set algebra and vectorized pivot scoring.
 
 All backends index nodes ``0..n-1`` internally and translate back to the
 original labels when cliques are reported.
+
+Besides construction from a :class:`~repro.graph.adjacency.Graph`, every
+backend can be materialized from a packed adjacency bitmap via
+:func:`backend_from_bitmap` — the zero-copy worker path that skips the
+``Graph`` round-trip entirely (see :mod:`repro.graph.csr`).
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ from repro.graph.adjacency import Graph, Node
 # A backend-native node set; the concrete type depends on the backend.
 NodeSet = Any
 
-BACKEND_NAMES: tuple[str, ...] = ("lists", "bitsets", "matrix")
+BACKEND_NAMES: tuple[str, ...] = ("lists", "bitsets", "matrix", "bitmatrix")
 
 
 class Backend(ABC):
@@ -48,6 +56,28 @@ class Backend(ABC):
             node: i for i, node in enumerate(self._labels)
         }
         self.n = len(self._labels)
+
+    @classmethod
+    def from_packed(cls, labels: list[Node], bitmap: np.ndarray) -> "Backend":
+        """Materialize a backend from a packed adjacency bitmap.
+
+        ``bitmap`` is an ``n × ceil(n/64)`` ``uint64`` array whose row
+        ``i`` has bit ``j`` set iff nodes ``i`` and ``j`` are adjacent
+        (see :func:`repro.graph.csr.extract_block_bitmap`).  This skips
+        the ``Graph`` constructor entirely, which is what lets
+        shared-memory workers build their per-block backend straight
+        from the attached CSR segment.
+        """
+        backend = cls.__new__(cls)
+        backend._labels = list(labels)
+        backend._index = {node: i for i, node in enumerate(backend._labels)}
+        backend.n = len(backend._labels)
+        backend._load_packed(bitmap)
+        return backend
+
+    @abstractmethod
+    def _load_packed(self, bitmap: np.ndarray) -> None:
+        """Populate the adjacency structure from a packed bitmap."""
 
     # -- label translation ------------------------------------------------
     def label(self, index: int) -> Node:
@@ -121,6 +151,15 @@ class Backend(ABC):
         return any(i == index for i in self.iterate(members))
 
 
+def _unpack_bitmap(bitmap: np.ndarray, n: int) -> np.ndarray:
+    """Expand an ``n × ceil(n/64)`` packed bitmap to an ``n × n`` bool matrix."""
+    if n == 0:
+        return np.zeros((0, 0), dtype=bool)
+    bitmap = np.ascontiguousarray(bitmap, dtype=np.uint64)
+    bits = np.unpackbits(bitmap.view(np.uint8), bitorder="little")
+    return bits.reshape(n, -1)[:, :n].astype(bool)
+
+
 class SetBackend(Backend):
     """Adjacency-list backend: native sets are ``frozenset[int]``."""
 
@@ -131,6 +170,12 @@ class SetBackend(Backend):
         self._neighbors: list[frozenset[int]] = [
             frozenset(self._index[v] for v in graph.neighbors(node))
             for node in self._labels
+        ]
+
+    def _load_packed(self, bitmap: np.ndarray) -> None:
+        rows = _unpack_bitmap(bitmap, self.n)
+        self._neighbors = [
+            frozenset(np.flatnonzero(rows[i]).tolist()) for i in range(self.n)
         ]
 
     def empty(self) -> frozenset[int]:
@@ -188,6 +233,13 @@ class BitsetBackend(Backend):
                 mask |= 1 << self._index[other]
             masks[i] = mask
         self._masks = masks
+        self._full = (1 << self.n) - 1 if self.n else 0
+
+    def _load_packed(self, bitmap: np.ndarray) -> None:
+        words = np.ascontiguousarray(bitmap, dtype="<u8")
+        self._masks = [
+            int.from_bytes(words[i].tobytes(), "little") for i in range(self.n)
+        ]
         self._full = (1 << self.n) - 1 if self.n else 0
 
     def empty(self) -> int:
@@ -251,6 +303,11 @@ class MatrixBackend(Backend):
         self._matrix = matrix
         self._degrees = matrix.sum(axis=1) if self.n else np.zeros(0, dtype=int)
 
+    def _load_packed(self, bitmap: np.ndarray) -> None:
+        matrix = _unpack_bitmap(bitmap, self.n)
+        self._matrix = matrix
+        self._degrees = matrix.sum(axis=1) if self.n else np.zeros(0, dtype=int)
+
     def empty(self) -> np.ndarray:
         return np.zeros(self.n, dtype=bool)
 
@@ -305,16 +362,51 @@ _BACKENDS: dict[str, type[Backend]] = {
 }
 
 
+def register_backend(backend_class: type[Backend]) -> None:
+    """Add a backend class to the registry under its ``name`` attribute."""
+    _BACKENDS[backend_class.name] = backend_class
+
+
+def _resolve(name: str) -> type[Backend]:
+    """Look up a backend class, importing late-registered modules once."""
+    if name not in _BACKENDS and name in BACKEND_NAMES:
+        # BitMatrixBackend lives in its own module (it needs numpy bit
+        # tricks this module doesn't); importing it registers it.
+        import repro.mce.bitmatrix  # noqa: F401  (registration side effect)
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise AlgorithmNotFoundError(name, BACKEND_NAMES) from None
+
+
 def build_backend(graph: Graph, name: str) -> Backend:
-    """Construct the backend called ``name`` ("lists"/"bitsets"/"matrix").
+    """Construct the backend called ``name`` over ``graph``.
+
+    Known names are listed in :data:`BACKEND_NAMES`
+    ("lists"/"bitsets"/"matrix"/"bitmatrix").
 
     Raises
     ------
     AlgorithmNotFoundError
         If ``name`` is not a known backend.
     """
-    try:
-        backend_class = _BACKENDS[name]
-    except KeyError:
-        raise AlgorithmNotFoundError(name, BACKEND_NAMES) from None
-    return backend_class(graph)
+    return _resolve(name)(graph)
+
+
+def backend_from_bitmap(
+    name: str, labels: list[Node], bitmap: np.ndarray
+) -> Backend:
+    """Construct the backend called ``name`` from a packed adjacency bitmap.
+
+    The bitmap-direct twin of :func:`build_backend`: ``labels`` supplies
+    the internal-index → label translation and ``bitmap`` the adjacency
+    (row ``i``, bit ``j`` set iff ``i ~ j``).  Used by shared-memory
+    workers to materialize per-block backends from the attached CSR
+    segment without reconstructing a :class:`~repro.graph.adjacency.Graph`.
+
+    Raises
+    ------
+    AlgorithmNotFoundError
+        If ``name`` is not a known backend.
+    """
+    return _resolve(name).from_packed(labels, bitmap)

@@ -37,6 +37,9 @@ def estimate_backend_bytes(graph: Graph, name: str) -> int:
     * ``matrix`` — ``n²`` bytes (numpy bool is one byte per cell);
     * ``bitsets`` — ``n`` Python ints of ``n`` bits each:
       ``n · (28 + 4·ceil(n/30))`` (CPython 30-bit digit layout);
+    * ``bitmatrix`` — ``n`` packed rows of ``ceil(n/64)`` 64-bit words:
+      ``n · 8·ceil(n/64)`` (the densest quadratic layout, 8× smaller
+      than ``matrix``);
     * ``lists`` — one frozenset per node: ``n · 216`` base (the empty
       frozenset) plus ~55 bytes per stored endpoint (hash-table slot,
       power-of-two resizing slack, and the entry reference, calibrated
@@ -54,6 +57,8 @@ def estimate_backend_bytes(graph: Graph, name: str) -> int:
     if name == "bitsets":
         digits = (n + 29) // 30
         return n * (28 + 4 * digits)
+    if name == "bitmatrix":
+        return n * 8 * ((n + 63) // 64)
     if name == "lists":
         return n * 216 + 2 * graph.num_edges * _SET_SLOT
     raise AlgorithmNotFoundError(name, BACKEND_NAMES)
@@ -66,6 +71,10 @@ def measured_backend_bytes(backend: Backend) -> int:
     ``sys.getsizeof``; container overheads are included, shared label
     maps are not (they are identical across backends).
     """
+    from repro.mce.bitmatrix import BitMatrixBackend
+
+    if isinstance(backend, BitMatrixBackend):
+        return int(backend._matrix.nbytes)  # noqa: SLF001 - deliberate introspection
     if isinstance(backend, MatrixBackend):
         return int(backend._matrix.nbytes)  # noqa: SLF001 - deliberate introspection
     if isinstance(backend, BitsetBackend):

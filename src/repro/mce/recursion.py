@@ -35,7 +35,18 @@ def expand(
     processed; the yielded tuples include the nodes of ``clique`` itself.
     The caller's ``clique`` list is used as a mutable stack and restored on
     return.
+
+    Backends may supply an ``expand_native`` whole-enumeration kernel
+    (the packed-bitmap backend's batched kernel); when it accepts the
+    pivot rule the recursion is bypassed entirely.  The clique *set* is
+    identical either way; emission order may differ.
     """
+    native = getattr(backend, "expand_native", None)
+    if native is not None:
+        fast = native(clique, candidates, excluded, pivot_rule)
+        if fast is not None:
+            yield from fast
+            return
     if backend.is_empty(candidates):
         if backend.is_empty(excluded):
             yield tuple(clique)
@@ -82,7 +93,14 @@ def max_degree_pivot(backend: Backend, candidates: NodeSet, _excluded: NodeSet) 
     highest degree in the candidate set P is chosen as the pivot"
     (Section 4).  Degree is taken in the whole (block) graph.  Ties break
     toward the smallest internal index for determinism.
+
+    Backends that can score all candidates at once (the packed-bitmap
+    backend vectorizes the scan) expose a ``pivot_max_degree`` method the
+    rule defers to; the selected pivot is identical either way.
     """
+    fast = getattr(backend, "pivot_max_degree", None)
+    if fast is not None:
+        return fast(candidates)
     best = -1
     best_degree = -1
     for v in backend.iterate(candidates):
@@ -99,7 +117,14 @@ def tomita_pivot(backend: Backend, candidates: NodeSet, excluded: NodeSet) -> in
     This is the pivot choice proved worst-case optimal by Tomita, Tanaka
     and Takahashi (reference [34] of the paper).  Ties break toward the
     smallest internal index, candidates before excluded, for determinism.
+
+    Defers to a backend-native ``pivot_tomita`` when one exists — the
+    packed-bitmap backend replaces this Python scoring loop with one
+    gather + popcount + argmax, same pivot returned.
     """
+    fast = getattr(backend, "pivot_tomita", None)
+    if fast is not None:
+        return fast(candidates, excluded)
     best = -1
     best_common = -1
     for v in backend.iterate(candidates):
@@ -122,8 +147,12 @@ def x_pivot(backend: Backend, candidates: NodeSet, excluded: NodeSet) -> int:
     N(u) ∩ P, but the node u is chosen from the set of already visited
     nodes" (Section 4, the paper's own variation).  When ``X`` is empty —
     e.g. at the root of the recursion — it falls back to Tomita's rule over
-    ``P`` so a pivot always exists.
+    ``P`` so a pivot always exists.  Defers to a backend-native
+    ``pivot_x`` when one exists (vectorized scoring, same pivot).
     """
+    fast = getattr(backend, "pivot_x", None)
+    if fast is not None:
+        return fast(candidates, excluded)
     best = -1
     best_common = -1
     for v in backend.iterate(excluded):

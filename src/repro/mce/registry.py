@@ -58,7 +58,12 @@ class Combo:
     @property
     def name(self) -> str:
         """Display name in the paper's ``[Structure/Algorithm]`` style."""
-        structure = {"lists": "Lists", "bitsets": "BitSets", "matrix": "Matrix"}
+        structure = {
+            "lists": "Lists",
+            "bitsets": "BitSets",
+            "matrix": "Matrix",
+            "bitmatrix": "BitMatrix",
+        }
         algorithm = {
             "bkpivot": "BKPivot",
             "tomita": "Tomita",
@@ -76,6 +81,13 @@ ALL_COMBOS: tuple[Combo, ...] = tuple(
     Combo(algorithm, backend)
     for algorithm in ALGORITHM_NAMES
     for backend in BACKEND_NAMES
+)
+
+# The twelve cells of the paper's Table 1 (its three structures only);
+# ALL_COMBOS additionally includes the packed-bitmap representation this
+# reproduction contributes.
+PAPER_COMBOS: tuple[Combo, ...] = tuple(
+    combo for combo in ALL_COMBOS if combo.backend != "bitmatrix"
 )
 
 

@@ -1,7 +1,8 @@
 """Cross-validation of every MCE algorithm on every backend.
 
 The oracle is networkx ``find_cliques`` (an implementation this library
-shares no code with).  Each of the 12 (algorithm × backend) combinations
+shares no code with).  Each of the 16 (algorithm × backend) combinations
+— the paper's Table 1 twelve plus the packed ``bitmatrix`` column —
 must produce exactly the same *set* of cliques with no duplicates, on
 every corpus graph.
 """
@@ -16,7 +17,7 @@ from repro.graph.generators import complete_graph, erdos_renyi
 from repro.mce.backends import BACKEND_NAMES
 from repro.mce.bron_kerbosch import bk_pivot, bron_kerbosch
 from repro.mce.eppstein import eppstein
-from repro.mce.registry import ALL_COMBOS, Combo, run_combo
+from repro.mce.registry import ALL_COMBOS, PAPER_COMBOS, Combo, run_combo
 from repro.mce.tomita import tomita
 from repro.mce.xpivot import xpivot
 
@@ -100,14 +101,19 @@ class TestDeterminism:
 
 
 class TestRegistry:
-    def test_twelve_combos(self):
-        assert len(ALL_COMBOS) == 12
+    def test_twelve_paper_combos(self):
+        # The paper's Table 1 has 12 cells; the portfolio adds a fourth
+        # structure (bitmatrix), giving 16 combinations overall.
+        assert len(PAPER_COMBOS) == 12
+        assert len(ALL_COMBOS) == 16
+        assert not any(c.backend == "bitmatrix" for c in PAPER_COMBOS)
 
     def test_combo_names(self):
         names = {combo.name for combo in ALL_COMBOS}
         assert "[BitSets/Tomita]" in names
         assert "[Lists/XPivot]" in names
         assert "[Matrix/BKPivot]" in names
+        assert "[BitMatrix/Tomita]" in names
 
     def test_unknown_algorithm(self):
         from repro.errors import AlgorithmNotFoundError
