@@ -1,0 +1,264 @@
+#!/usr/bin/env python
+"""Decomposition benchmark — dict path vs CSR-native path, plus pipeline.
+
+Standalone script (not a pytest bench module): it times the two-level
+decomposition (CUT + BLOCKS over every hub-recursion level, no block
+analysis) through the original dict-``Graph`` path
+(:func:`repro.core.driver.decompose_only`) and the CSR-native path
+(:func:`repro.core.driver.decompose_only_csr`, which includes the one
+``Graph`` → ``CSRGraph`` conversion), over scale-free (BA), ER, and SBM
+graphs, and writes a machine-readable ``BENCH_decomposition.json``.
+
+Peak memory is measured with :mod:`tracemalloc` (numpy buffers are
+tracked through the ``PyDataMem`` hooks), so the dict path's per-level
+``Graph`` reconstruction shows up directly against the CSR path's flat
+arrays.
+
+A second scenario times the full enumeration end-to-end — barrier mode
+(decompose a level, then analyse it) versus ``--pipeline`` streaming
+(descriptors dispatched to the shared-memory pool while growth of the
+level is still running) — on a multi-level hub-recursion social graph.
+
+The headline case is the largest scale-free graph in the run: the CSR
+path targets >=3x over the dict path there.  The script exits nonzero
+if the CSR path is *slower* than the dict path on that case, so CI can
+run it as a regression smoke test (``--quick``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_decomposition.py [--quick]
+        [--output BENCH_decomposition.json] [--target 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+from repro.core.driver import decompose_only, decompose_only_csr, find_max_cliques
+from repro.core.planner import recommend_block_size
+from repro.distributed.executor import SharedMemoryExecutor
+from repro.graph.cores import degeneracy
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    social_network,
+    stochastic_block_model,
+)
+
+SEED = 97
+
+# (name, family, factory).  The largest scale-free ("ba-*") case present
+# in a run is the headline comparison; ER and SBM cover the non-power-law
+# regimes so a regression that only helps hubs would still be visible.
+CASES: tuple[tuple[str, str, object], ...] = (
+    ("ba-small", "scale-free", lambda: barabasi_albert(2000, 5, seed=SEED)),
+    ("er-small", "uniform", lambda: erdos_renyi(2000, 0.005, seed=SEED)),
+    ("ba-medium", "scale-free", lambda: barabasi_albert(10000, 5, seed=SEED)),
+    ("er-medium", "uniform", lambda: erdos_renyi(6000, 0.003, seed=SEED)),
+    (
+        "sbm",
+        "community",
+        lambda: stochastic_block_model((2000, 2000, 2000), 0.004, 0.0005, seed=SEED),
+    ),
+    ("ba-large", "scale-free", lambda: barabasi_albert(40000, 5, seed=SEED)),
+)
+QUICK_CASES = ("ba-small", "er-small")
+
+
+def timed(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def traced_peak(fn) -> int:
+    """Peak tracemalloc bytes over one (separate, untimed) call of ``fn``.
+
+    tracemalloc instruments every allocation, slowing both paths by a
+    large and uneven factor — so memory is measured in its own run and
+    never mixed with the wall-clock numbers.
+    """
+    tracemalloc.start()
+    fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def run_case(name: str, family: str, factory, repeats: int) -> dict:
+    graph = factory()
+    m = recommend_block_size(graph).m
+    # Warm both paths once so allocator effects do not bias the first run.
+    decompose_only_csr(graph, m)
+    dict_best = timed(lambda: decompose_only(graph, m), repeats)
+    csr_best = timed(lambda: decompose_only_csr(graph, m), repeats)
+    dict_peak = traced_peak(lambda: decompose_only(graph, m))
+    csr_peak = traced_peak(lambda: decompose_only_csr(graph, m))
+    dict_levels, _ = decompose_only(graph, m)
+    csr_levels, _ = decompose_only_csr(graph, m)
+    if [level.num_feasible for level in dict_levels] != [
+        level.num_feasible for level in csr_levels
+    ]:
+        raise SystemExit(f"per-level feasible-count mismatch on {name!r}")
+    return {
+        "case": name,
+        "family": family,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "m": m,
+        "levels": len(dict_levels),
+        "repeats": repeats,
+        "dict_seconds": dict_best,
+        "csr_seconds": csr_best,
+        "dict_peak_bytes": dict_peak,
+        "csr_peak_bytes": csr_peak,
+        "csr_speedup": dict_best / csr_best,
+    }
+
+
+def run_pipeline_scenario(quick: bool, repeats: int) -> dict:
+    """Barrier vs pipeline end-to-end on a multi-level hub recursion."""
+    if quick:
+        graph = social_network(
+            500, attachment=4, closure_probability=0.3, planted_cliques=(7, 6), seed=5
+        )
+        workers = 2
+    else:
+        graph = social_network(
+            3000,
+            attachment=6,
+            closure_probability=0.3,
+            planted_cliques=(8, 7, 6),
+            seed=5,
+        )
+        workers = 4
+    m = degeneracy(graph) + 2  # just above Theorem 1's bound: many levels
+    barrier_best, pipeline_best = float("inf"), float("inf")
+    counts = set()
+    levels = 0
+    for _ in range(repeats):
+        for pipeline in (False, True):
+            executor = SharedMemoryExecutor(max_workers=workers)
+            start = time.perf_counter()
+            result = find_max_cliques(graph, m, executor=executor, pipeline=pipeline)
+            elapsed = time.perf_counter() - start
+            counts.add(result.num_cliques)
+            levels = result.recursion_depth
+            if pipeline:
+                pipeline_best = min(pipeline_best, elapsed)
+            else:
+                barrier_best = min(barrier_best, elapsed)
+    if len(counts) != 1:
+        raise SystemExit(f"barrier/pipeline clique-count mismatch: {counts}")
+    return {
+        "scenario": "multi-level-hub-recursion",
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "m": m,
+        "levels": levels,
+        "workers": workers,
+        "cliques": counts.pop(),
+        "repeats": repeats,
+        "barrier_seconds": barrier_best,
+        "pipeline_seconds": pipeline_best,
+        "pipeline_speedup": barrier_best / pipeline_best,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small graphs only, 1 repeat",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_decomposition.json"),
+        help="where to write the machine-readable results",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N timing repeats (default 2, or 1 with --quick)",
+    )
+    parser.add_argument(
+        "--target",
+        type=float,
+        default=3.0,
+        help="headline-case CSR-over-dict decomposition speedup target",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (1 if args.quick else 2)
+    cases = []
+    for name, family, factory in CASES:
+        if args.quick and name not in QUICK_CASES:
+            continue
+        case = run_case(name, family, factory, repeats)
+        cases.append(case)
+        print(
+            f"{name} (n={case['nodes']}, m={case['m']}, {case['levels']} levels): "
+            f"dict {case['dict_seconds'] * 1000:8.1f} ms / "
+            f"csr {case['csr_seconds'] * 1000:8.1f} ms  "
+            f"{case['csr_speedup']:5.2f}x  "
+            f"(peak {case['dict_peak_bytes'] // 1024} kB vs "
+            f"{case['csr_peak_bytes'] // 1024} kB)"
+        )
+
+    pipeline = run_pipeline_scenario(args.quick, repeats)
+    print(
+        f"pipeline scenario (n={pipeline['nodes']}, m={pipeline['m']}, "
+        f"{pipeline['levels']} levels, {pipeline['cliques']} cliques): "
+        f"barrier {pipeline['barrier_seconds']:.3f}s / "
+        f"pipeline {pipeline['pipeline_seconds']:.3f}s  "
+        f"{pipeline['pipeline_speedup']:5.2f}x"
+    )
+
+    headline = max(
+        (case for case in cases if case["family"] == "scale-free"),
+        key=lambda case: case["nodes"],
+    )
+    report = {
+        "benchmark": "decomposition",
+        "mode": "quick" if args.quick else "full",
+        "seed": SEED,
+        "memory_method": "tracemalloc",
+        "cases": cases,
+        "pipeline": pipeline,
+        "headline_case": {
+            "name": headline["case"],
+            "csr_speedup": headline["csr_speedup"],
+            "target": args.target,
+            "meets_target": headline["csr_speedup"] >= args.target,
+            "regressed": headline["csr_speedup"] < 1.0,
+        },
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"headline ({headline['case']}): csr {headline['csr_speedup']:.2f}x vs dict"
+        f" (target {args.target:.1f}x)"
+    )
+
+    if report["headline_case"]["regressed"]:
+        print("FAIL: CSR decomposition slower than the dict path")
+        return 1
+    if not report["headline_case"]["meets_target"]:
+        print("note: below the speedup target (not a hard failure)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

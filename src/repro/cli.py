@@ -124,6 +124,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for --executor process/shared (default: CPU count)",
     )
+    enumerate_.add_argument(
+        "--pipeline",
+        action="store_true",
+        help=(
+            "stream blocks to workers while later levels are still being "
+            "decomposed (requires --executor shared)"
+        ),
+    )
 
     compare = commands.add_parser(
         "compare", help="two-level decomposition vs the hub-oblivious baseline"
@@ -273,6 +281,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     tree = load_tree(args.tree) if args.tree else None
     from repro.distributed.executor import SharedMemoryExecutor, build_executor
 
+    if args.pipeline and args.executor != "shared":
+        raise ReproError("--pipeline requires --executor shared")
     executor = (
         None
         if args.executor == "serial"
@@ -280,7 +290,12 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     )
     start = time.perf_counter()
     result = find_max_cliques(
-        graph, m, tree=tree, fallback=args.fallback, executor=executor
+        graph,
+        m,
+        tree=tree,
+        fallback=args.fallback,
+        executor=executor,
+        pipeline=args.pipeline,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -291,11 +306,26 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     )
     if isinstance(executor, SharedMemoryExecutor) and executor.last_trace:
         trace = executor.last_trace
-        print(
-            f"shared-memory dispatch (last level): {trace.total_dispatch_bytes} descriptor "
-            f"bytes, {trace.publish_bytes} published bytes, peak worker RSS "
-            f"{trace.max_peak_rss_kb} kB"
-        )
+        if args.pipeline:
+            for record in trace.levels:
+                print(
+                    f"level {record.level}: {record.num_blocks} blocks "
+                    f"({record.num_feasible} feasible / {record.num_hubs} hubs), "
+                    f"decomposed in {record.decompose_seconds:.3f}s, "
+                    f"published {record.publish_bytes} bytes "
+                    f"in {record.publish_seconds:.3f}s"
+                )
+            print(
+                f"pipeline totals: {trace.total_decompose_seconds:.3f}s decomposition, "
+                f"{trace.total_block_seconds:.3f}s serial-equivalent analysis, "
+                f"peak worker RSS {trace.max_peak_rss_kb} kB"
+            )
+        else:
+            print(
+                f"shared-memory dispatch (last level): {trace.total_dispatch_bytes} "
+                f"descriptor bytes, {trace.publish_bytes} published bytes, "
+                f"peak worker RSS {trace.max_peak_rss_kb} kB"
+            )
     if result.fallback_used:
         print("note: fell back to exact enumeration on the residual core")
     if args.output:

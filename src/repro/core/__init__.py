@@ -11,12 +11,13 @@ from repro.core.block_analysis import (
 from repro.core.blocks import (
     SEED_ORDERS,
     Block,
+    blocks_csr,
     build_blocks,
     decomposition_overlap,
     validate_blocks,
 )
-from repro.core.driver import decompose_only, find_max_cliques
-from repro.core.feasibility import cut, is_feasible, is_feasible_node
+from repro.core.driver import decompose_only, decompose_only_csr, find_max_cliques
+from repro.core.feasibility import cut, cut_csr, is_feasible, is_feasible_node
 from repro.core.filtering import filter_contained, merge_level
 from repro.core.planner import BlockSizePlan, recommend_block_size
 from repro.core.result import CliqueResult, LevelStats
@@ -36,12 +37,15 @@ __all__ = [
     "block_from_descriptor",
     "SEED_ORDERS",
     "Block",
+    "blocks_csr",
     "build_blocks",
     "decomposition_overlap",
     "validate_blocks",
     "decompose_only",
+    "decompose_only_csr",
     "find_max_cliques",
     "cut",
+    "cut_csr",
     "is_feasible",
     "is_feasible_node",
     "filter_contained",

@@ -25,15 +25,16 @@ import warnings
 from collections import Counter
 
 from repro.core.block_analysis import analyze_blocks
-from repro.core.blocks import build_blocks
-from repro.core.feasibility import cut
+from repro.core.blocks import blocks_csr, build_blocks
+from repro.core.feasibility import cut, cut_csr
 from repro.core.filtering import filter_contained
 from repro.core.result import CliqueResult, LevelStats
 from repro.decision.features import BlockFeatures
 from repro.decision.paper_tree import paper_tree, select_combo
 from repro.decision.tree import DecisionTree
-from repro.errors import ConvergenceError
+from repro.errors import ConvergenceError, ExecutorError
 from repro.graph.adjacency import Graph, Node
+from repro.graph.csr import CSRGraph, induced_csr
 from repro.graph.views import induced_subgraph
 from repro.mce.registry import Combo
 
@@ -49,6 +50,7 @@ def find_max_cliques(
     min_adjacency: int = 1,
     collect_reports: bool = False,
     executor=None,
+    pipeline: bool = False,
 ) -> CliqueResult:
     """Enumerate every maximal clique of ``graph`` with block size ``m``.
 
@@ -81,6 +83,16 @@ def find_max_cliques(
         :mod:`repro.distributed.executor`) used to analyse each level's
         blocks; ``None`` (the default) analyses them serially in-process.
         The clique output is identical for every executor.
+    pipeline:
+        When true, run the CSR-native streaming decomposition instead of
+        the barrier loop: each level's graph lives as a CSR snapshot,
+        ``cut_csr``/``blocks_csr`` stream :class:`BlockDescriptor`\\ s
+        into the executor's worker pool while later levels are still
+        being decomposed, and no dict ``Graph`` is ever built for a
+        level or a block.  Requires a
+        :class:`~repro.distributed.executor.SharedMemoryExecutor` (one
+        is constructed when ``executor`` is ``None``).  The clique
+        output is identical to the barrier mode.
 
     Returns
     -------
@@ -103,6 +115,17 @@ def find_max_cliques(
             f"unknown fallback mode {fallback!r}; known: {', '.join(FALLBACK_MODES)}"
         )
     selection_tree = tree if tree is not None else paper_tree()
+    if pipeline:
+        return _pipeline_enumerate(
+            graph,
+            m,
+            selection_tree,
+            combo,
+            fallback,
+            min_adjacency,
+            collect_reports,
+            executor,
+        )
 
     level_cliques: list[list[frozenset[Node]]] = []
     level_stats: list[LevelStats] = []
@@ -255,6 +278,243 @@ def decompose_only(
         if not hubs:
             break
         current = induced_subgraph(current, hubs)
+        level += 1
+    return stats, len(stats)
+
+
+def _pipeline_enumerate(
+    graph: Graph,
+    m: int,
+    selection_tree: DecisionTree,
+    combo: Combo | None,
+    fallback: str,
+    min_adjacency: int,
+    collect_reports: bool,
+    executor,
+) -> CliqueResult:
+    """The streaming CSR-native twin of the barrier loop.
+
+    Decomposition (``cut_csr`` → ``blocks_csr`` → ``induced_csr``) runs
+    level by level in the parent while the
+    :class:`~repro.distributed.executor.PipelineSession` workers consume
+    descriptors concurrently; the single synchronization point is
+    ``session.finish()`` after the *last* level is decomposed.  Per-level
+    ``analysis_seconds`` is therefore the serial-equivalent sum of the
+    per-block times, not a wall-clock interval (blocks of different
+    levels overlap by design).
+    """
+    from repro.distributed.executor import SharedMemoryExecutor
+
+    if executor is None:
+        executor = SharedMemoryExecutor()
+    if not isinstance(executor, SharedMemoryExecutor):
+        raise ExecutorError(
+            "pipeline mode streams BlockDescriptors over shared memory and "
+            f"requires a SharedMemoryExecutor, got {type(executor).__name__}"
+        )
+
+    level_meta: list[tuple[int, int, int, int, int, int, float]] = []
+    fallback_level: tuple[int, int, int, float, float, list, Combo] | None = None
+    fallback_used = False
+
+    session = executor.open_pipeline(tree=selection_tree, combo=combo)
+    try:
+        current = CSRGraph(graph)
+        level = 0
+        while current.num_nodes > 0:
+            decomposition_start = time.perf_counter()
+            feasible_ids, hub_ids = cut_csr(current, m)
+            if not len(feasible_ids):
+                if fallback == "raise":
+                    raise ConvergenceError(
+                        f"no feasible node at recursion level {level}: block "
+                        f"size {m} does not exceed the degeneracy of the "
+                        f"residual graph ({current.num_nodes} nodes remain)",
+                        core_size=current.num_nodes,
+                    )
+                warnings.warn(
+                    f"FIND-MAX-CLIQUES did not converge at level {level} "
+                    f"(m={m} <= degeneracy of the residual core of "
+                    f"{current.num_nodes} nodes); falling back to exact "
+                    "enumeration on the core",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                decomposition_seconds = time.perf_counter() - decomposition_start
+                cliques, analysis_seconds, used = _exact_core(
+                    current.to_graph(), selection_tree, combo
+                )
+                fallback_level = (
+                    level,
+                    current.num_nodes,
+                    current.num_edges,
+                    decomposition_seconds,
+                    analysis_seconds,
+                    cliques,
+                    used,
+                )
+                fallback_used = True
+                break
+            session.publish_level(level, current)
+            num_blocks = 0
+            for descriptor in blocks_csr(
+                current, feasible_ids, m, min_adjacency=min_adjacency
+            ):
+                session.submit(level, descriptor)
+                num_blocks += 1
+            next_csr = induced_csr(current, hub_ids) if len(hub_ids) else None
+            decomposition_seconds = time.perf_counter() - decomposition_start
+            session.end_level(
+                level,
+                decomposition_seconds,
+                num_blocks,
+                len(feasible_ids),
+                len(hub_ids),
+            )
+            level_meta.append(
+                (
+                    level,
+                    current.num_nodes,
+                    current.num_edges,
+                    len(feasible_ids),
+                    len(hub_ids),
+                    num_blocks,
+                    decomposition_seconds,
+                )
+            )
+            if next_csr is None:
+                break
+            current = next_csr
+            level += 1
+        grouped = session.finish()
+    finally:
+        session.close()
+
+    level_cliques: list[list[frozenset[Node]]] = []
+    level_stats: list[LevelStats] = []
+    level_reports: list[list] = []
+    combo_counter: Counter[str] = Counter()
+    for level, nodes, edges, feasible, hubs, num_blocks, seconds in level_meta:
+        by_id = grouped.get(level, {})
+        reports = [by_id[i] for i in range(num_blocks)]
+        cliques = [clique for report in reports for clique in report.cliques]
+        for report in reports:
+            combo_counter[report.combo.name] += 1
+        if collect_reports:
+            level_reports.append(reports)
+        level_cliques.append(cliques)
+        level_stats.append(
+            LevelStats(
+                level=level,
+                num_nodes=nodes,
+                num_edges=edges,
+                num_feasible=feasible,
+                num_hubs=hubs,
+                num_blocks=num_blocks,
+                decomposition_seconds=seconds,
+                analysis_seconds=sum(report.seconds for report in reports),
+                cliques_found=len(cliques),
+            )
+        )
+    if fallback_level is not None:
+        level, nodes, edges, dec_seconds, ana_seconds, cliques, used = fallback_level
+        combo_counter[used.name] += 1
+        level_cliques.append(cliques)
+        level_stats.append(
+            LevelStats(
+                level=level,
+                num_nodes=nodes,
+                num_edges=edges,
+                num_feasible=0,
+                num_hubs=nodes,
+                num_blocks=0,
+                decomposition_seconds=dec_seconds,
+                analysis_seconds=ana_seconds,
+                cliques_found=len(cliques),
+                fallback_used=True,
+            )
+        )
+
+    merged, provenance = _merge_levels(level_cliques)
+    return CliqueResult(
+        cliques=merged,
+        provenance=provenance,
+        levels=level_stats,
+        m=m,
+        fallback_used=fallback_used,
+        block_combos=dict(combo_counter),
+        block_reports=level_reports,
+    )
+
+
+def decompose_only_csr(
+    graph: Graph | CSRGraph,
+    m: int,
+    min_adjacency: int = 1,
+    seed_order: str = "insertion",
+    fallback: str = "exact",
+) -> tuple[list[LevelStats], int]:
+    """CSR-native twin of :func:`decompose_only` (no clique analysis).
+
+    Runs ``cut_csr`` → ``blocks_csr`` → ``induced_csr`` per level,
+    consuming the descriptor stream without dispatching it.  Accepts a
+    dict ``Graph`` (converted once up front) or an existing
+    :class:`CSRGraph`; the per-level statistics mirror
+    :func:`decompose_only`, so the decomposition benchmark compares the
+    two paths like for like.
+
+    Raises
+    ------
+    ConvergenceError
+        With ``fallback="raise"`` on a non-convergent ``m``.
+    """
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    if fallback not in FALLBACK_MODES:
+        raise ValueError(
+            f"unknown fallback mode {fallback!r}; known: {', '.join(FALLBACK_MODES)}"
+        )
+    current = graph if isinstance(graph, CSRGraph) else CSRGraph(graph)
+    stats: list[LevelStats] = []
+    level = 0
+    while current.num_nodes > 0:
+        start = time.perf_counter()
+        feasible_ids, hub_ids = cut_csr(current, m)
+        if not len(feasible_ids):
+            if fallback == "raise":
+                raise ConvergenceError(
+                    f"no feasible node at recursion level {level}",
+                    core_size=current.num_nodes,
+                )
+            break
+        num_blocks = sum(
+            1
+            for _ in blocks_csr(
+                current,
+                feasible_ids,
+                m,
+                min_adjacency=min_adjacency,
+                seed_order=seed_order,
+            )
+        )
+        next_csr = induced_csr(current, hub_ids) if len(hub_ids) else None
+        seconds = time.perf_counter() - start
+        stats.append(
+            LevelStats(
+                level=level,
+                num_nodes=current.num_nodes,
+                num_edges=current.num_edges,
+                num_feasible=len(feasible_ids),
+                num_hubs=len(hub_ids),
+                num_blocks=num_blocks,
+                decomposition_seconds=seconds,
+                analysis_seconds=0.0,
+                cliques_found=0,
+            )
+        )
+        if next_csr is None:
+            break
+        current = next_csr
         level += 1
     return stats, len(stats)
 

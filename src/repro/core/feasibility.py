@@ -13,18 +13,31 @@ set ``Nh``; the driver recurses on the subgraph induced by ``Nh``.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Mapping
+
+import numpy as np
 
 from repro.graph.adjacency import Graph, Node
+from repro.graph.csr import CSRGraph
 
 
-def is_feasible(nodes: Iterable[Node], graph: Graph, m: int) -> bool:
+def is_feasible(
+    nodes: Iterable[Node],
+    graph: Graph,
+    m: int,
+    degrees: Mapping[Node, int] | None = None,
+) -> bool:
     """Return whether ``nodes`` plus all their neighbours fit in a block.
 
     Implements the paper's ``isfeasible`` procedure: "takes as input a set
     of nodes, the graph G and the maximum block size m and checks whether
     the union of the given nodes and all their neighborhoods in G has
     [at most] m elements".
+
+    A single-node query reduces to ``degree + 1 <= m`` and is answered in
+    O(1) — from ``degrees`` when the caller precomputed a degree lookup,
+    otherwise from the graph — without materializing the closed
+    neighbourhood; only multi-node queries take the set-union path.
 
     Raises
     ------
@@ -35,6 +48,12 @@ def is_feasible(nodes: Iterable[Node], graph: Graph, m: int) -> bool:
     """
     if m < 1:
         raise ValueError("block size m must be at least 1")
+    nodes = list(nodes)
+    if len(nodes) == 1:
+        node = nodes[0]
+        if degrees is not None and node in degrees:
+            return degrees[node] + 1 <= m
+        return graph.degree(node) + 1 <= m
     closed: set[Node] = set()
     for node in nodes:
         closed.add(node)
@@ -66,9 +85,36 @@ def cut(graph: Graph, m: int) -> tuple[list[Node], list[Node]]:
         raise ValueError("block size m must be at least 1")
     feasible: list[Node] = []
     hubs: list[Node] = []
-    for node in graph.nodes():
-        if graph.degree(node) + 1 <= m:
+    # One pass precomputes the degree lookup so the per-node feasibility
+    # check is a plain O(1) comparison (no closed-neighbourhood set).
+    degrees = {node: graph.degree(node) for node in graph.nodes()}
+    for node, degree in degrees.items():
+        if degree + 1 <= m:
             feasible.append(node)
         else:
             hubs.append(node)
     return feasible, hubs
+
+
+def cut_csr(csr: CSRGraph, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """``CUT`` straight off a CSR snapshot's degree array (no ``Graph``).
+
+    Returns ``(feasible_ids, hub_ids)`` as strictly increasing ``int64``
+    dense-index arrays over ``csr`` — ascending dense index is exactly
+    the snapshot's insertion order, so this is the id-space twin of
+    :func:`cut`.  The whole split is two vectorized comparisons on
+    ``np.diff(indptr)``.
+
+    Raises
+    ------
+    ValueError
+        If ``m`` is not positive.
+    """
+    if m < 1:
+        raise ValueError("block size m must be at least 1")
+    degrees = csr.degree_array()
+    feasible_mask = degrees + 1 <= m
+    return (
+        np.flatnonzero(feasible_mask).astype(np.int64),
+        np.flatnonzero(~feasible_mask).astype(np.int64),
+    )

@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from repro.distributed.cluster import ClusterSpec
 from repro.errors import ConvergenceError
 from repro.graph.adjacency import Graph
-from repro.graph.cores import degeneracy
+from repro.graph.cores import degeneracy, degeneracy_csr
+from repro.graph.csr import CSRGraph
 from repro.mce.memory import max_block_nodes_for_memory
 
 
@@ -46,7 +47,7 @@ class BlockSizePlan:
 
 
 def recommend_block_size(
-    graph: Graph,
+    graph: Graph | CSRGraph,
     cluster: ClusterSpec | None = None,
     backend: str = "bitsets",
     ratio: float = 0.5,
@@ -57,7 +58,12 @@ def recommend_block_size(
     Parameters
     ----------
     graph:
-        The network to be decomposed.
+        The network to be decomposed — either a dict :class:`Graph` or a
+        :class:`~repro.graph.csr.CSRGraph` snapshot.  A CSR snapshot is
+        planned natively (degrees from ``indptr``, degeneracy via
+        :func:`~repro.graph.cores.degeneracy_csr`), so the pipeline
+        driver can plan from the snapshot it will publish without
+        expanding a dict graph first.
     cluster:
         Worker description; defaults to the paper's 8 GB machines.
     backend:
@@ -95,8 +101,13 @@ def recommend_block_size(
     spec = cluster if cluster is not None else ClusterSpec()
     budget = max(1, int(spec.memory_bytes_per_machine * memory_fraction))
     memory_bound = max_block_nodes_for_memory(budget, backend)
-    lower = degeneracy(graph) + 1
-    max_degree = graph.max_degree()
+    if isinstance(graph, CSRGraph):
+        lower = degeneracy_csr(graph) + 1
+        degrees = graph.degree_array()
+        max_degree = int(degrees.max()) if len(degrees) else 0
+    else:
+        lower = degeneracy(graph) + 1
+        max_degree = graph.max_degree()
     target = max(2, int(ratio * max_degree))
 
     if lower > memory_bound:

@@ -3,6 +3,7 @@
 from repro.distributed.cluster import ClusterSpec, paper_cluster
 from repro.distributed.executor import (
     EXECUTOR_NAMES,
+    PipelineSession,
     ProcessExecutor,
     SerialExecutor,
     SharedMemoryExecutor,
@@ -32,6 +33,7 @@ from repro.distributed.runner import DistributedResult, run_distributed
 from repro.distributed.scheduler import (
     SCHEDULERS,
     Schedule,
+    StreamingLPTBuffer,
     Task,
     lpt_order,
     schedule_hash,
@@ -60,6 +62,7 @@ __all__ = [
     "failure_overhead_curve",
     "simulate_events",
     "EXECUTOR_NAMES",
+    "PipelineSession",
     "ProcessExecutor",
     "SerialExecutor",
     "SharedMemoryExecutor",
@@ -77,6 +80,7 @@ __all__ = [
     "shard_graph",
     "SCHEDULERS",
     "Schedule",
+    "StreamingLPTBuffer",
     "Task",
     "lpt_order",
     "schedule_hash",

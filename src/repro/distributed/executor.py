@@ -53,12 +53,16 @@ from repro.graph.csr import BitmapScratch
 from repro.core.blocks import Block
 from repro.decision.tree import DecisionTree
 from repro.distributed.cluster import ClusterSpec
-from repro.distributed.scheduler import lpt_order
+from repro.distributed.scheduler import StreamingLPTBuffer, lpt_order
 from repro.distributed.simulation import SimulatedRun, simulate_level
 from repro.errors import ExecutorError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph, SharedCSR, SharedCSRHandle
-from repro.mce.instrumentation import BlockTiming, ExecutionTrace
+from repro.mce.instrumentation import (
+    BlockTiming,
+    ExecutionTrace,
+    LevelDecomposition,
+)
 from repro.mce.registry import Combo
 
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
@@ -234,7 +238,31 @@ class SharedMemoryExecutor:
 
     max_workers: int | None = None
     retry_failed: bool = True
+    # Reorder-buffer depth for pipeline mode; None = max(4, workers).
+    pipeline_lookahead: int | None = None
     last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
+
+    def open_pipeline(
+        self, tree: DecisionTree | None = None, combo: Combo | None = None
+    ) -> "PipelineSession":
+        """Start a streaming decompose→dispatch session (pipeline mode).
+
+        The returned :class:`PipelineSession` owns one worker pool for
+        the whole multi-level run; the pipeline driver publishes each
+        level's CSR and streams descriptors into it while later levels
+        are still being decomposed.  The session's trace is installed as
+        :attr:`last_trace` immediately, so callers can inspect per-level
+        decomposition timing as soon as the run ends.
+        """
+        session = PipelineSession(
+            self.max_workers,
+            tree,
+            combo,
+            retry_failed=self.retry_failed,
+            lookahead=self.pipeline_lookahead,
+        )
+        self.last_trace = session.trace
+        return session
 
     def map_blocks(
         self,
@@ -317,6 +345,238 @@ class SharedMemoryExecutor:
             ) from exc
         report.extra["retried"] = 1.0
         return report
+
+
+def _pipeline_worker_init(tree: DecisionTree | None, combo: Combo | None) -> None:
+    """Pool initializer for pipeline mode: no snapshot yet, just state.
+
+    Unlike :func:`_shm_worker_init`, the worker does not attach to one
+    fixed snapshot — the pipeline publishes one CSR per recursion level
+    and each task names its level's handle, so workers attach lazily and
+    cache the attachment per segment name.
+    """
+    _WORKER_STATE["tree"] = tree
+    _WORKER_STATE["combo"] = combo
+    _WORKER_STATE["scratch"] = BitmapScratch()
+    _WORKER_STATE["attached"] = {}
+
+
+def _pipeline_analyze(
+    handle: SharedCSRHandle, descriptor: BlockDescriptor
+) -> tuple[int, BlockReport]:
+    """Analyse one streamed block against its level's shared snapshot."""
+    attached: dict[str, SharedCSR] = _WORKER_STATE["attached"]  # type: ignore[assignment]
+    shared = attached.get(handle.indptr_name)
+    if shared is None:
+        shared = SharedCSR.attach(handle)
+        attached[handle.indptr_name] = shared
+    try:
+        _maybe_inject_fault(descriptor.block_id)
+        report = analyze_block_csr(
+            descriptor,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+        )
+    except Exception as exc:
+        raise ExecutorError(
+            f"block {descriptor.block_id} failed in worker {os.getpid()}: "
+            f"{type(exc).__name__}: {exc}",
+            block_id=descriptor.block_id,
+        ) from exc
+    report.extra["dispatch_bytes"] = float(descriptor.nbytes())
+    report.extra["peak_rss_kb"] = float(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    )
+    report.extra["worker_pid"] = float(os.getpid())
+    return descriptor.block_id, report
+
+
+class PipelineSession:
+    """One streaming decompose→dispatch run over a shared worker pool.
+
+    The producer (the pipeline driver) interleaves three calls per
+    recursion level — :meth:`publish_level` (export the level CSR to
+    shared memory once), :meth:`submit` (hand over each
+    :class:`BlockDescriptor` the moment ``blocks_csr`` yields it), and
+    :meth:`end_level` (flush the reorder buffer and record the level's
+    decomposition timing) — then a single :meth:`finish` that waits for
+    every in-flight block and returns the reports grouped by level.
+    Workers start consuming level-0 blocks while later levels are still
+    being decomposed; a :class:`~repro.distributed.scheduler.StreamingLPTBuffer`
+    gives the dispatch order a bounded-lookahead LPT shape.
+
+    Lifetime rules: every published segment stays mapped in the parent
+    (retries read it) and alive for attached workers until
+    :meth:`close`, which shuts the pool down *before* unlinking — call
+    it from a ``finally`` block, as the pipeline driver does.  When a
+    worker dies mid-run the affected blocks are re-analysed in the
+    parent from the still-mapped segments (pure function, so plain
+    re-execution is exactly correct), matching ``map_blocks`` semantics.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        retry_failed: bool = True,
+        lookahead: int | None = None,
+    ) -> None:
+        workers = max_workers or os.cpu_count() or 1
+        self._tree = tree
+        self._combo = combo
+        self._retry_failed = retry_failed
+        self._pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_pipeline_worker_init,
+            initargs=(tree, combo),
+        )
+        self._buffer = StreamingLPTBuffer(
+            lookahead if lookahead is not None else max(4, workers)
+        )
+        self._published: dict[int, SharedCSR] = {}
+        self._publish_stats: dict[int, tuple[float, int]] = {}
+        self._futures: dict[object, tuple[int, BlockDescriptor]] = {}
+        self._results: dict[tuple[int, int], BlockReport] = {}
+        self._parent_scratch = BitmapScratch()
+        self._closed = False
+        self.trace = ExecutionTrace()
+
+    # -- producer side -----------------------------------------------------
+    def publish_level(self, level: int, csr: CSRGraph) -> None:
+        """Export one level's CSR snapshot to shared memory (once)."""
+        start = time.perf_counter()
+        shared = SharedCSR.publish(csr)
+        self._published[level] = shared
+        self._publish_stats[level] = (time.perf_counter() - start, shared.nbytes())
+        self.trace.publish_bytes += shared.nbytes()
+        self.trace.publish_seconds += self._publish_stats[level][0]
+
+    def submit(self, level: int, descriptor: BlockDescriptor) -> None:
+        """Queue one streamed block; may dispatch buffered blocks."""
+        for released in self._buffer.push(
+            descriptor.estimated_cost, (level, descriptor)
+        ):
+            self._dispatch(*released)  # type: ignore[misc]
+
+    def end_level(
+        self,
+        level: int,
+        decompose_seconds: float,
+        num_blocks: int,
+        num_feasible: int,
+        num_hubs: int,
+    ) -> None:
+        """Flush this level's buffered blocks and record its timing."""
+        for released in self._buffer.drain():
+            self._dispatch(*released)  # type: ignore[misc]
+        publish_seconds, publish_bytes = self._publish_stats.get(level, (0.0, 0))
+        self.trace.record_level(
+            LevelDecomposition(
+                level=level,
+                decompose_seconds=decompose_seconds,
+                publish_seconds=publish_seconds,
+                publish_bytes=publish_bytes,
+                num_blocks=num_blocks,
+                num_feasible=num_feasible,
+                num_hubs=num_hubs,
+            )
+        )
+
+    # -- consumer side -----------------------------------------------------
+    def finish(self) -> dict[int, dict[int, BlockReport]]:
+        """Wait for every in-flight block; reports by ``[level][block_id]``.
+
+        Raises
+        ------
+        ExecutorError
+            When a worker raised while analysing a block, or a died
+            worker's block failed again on the in-parent retry.
+        """
+        for released in self._buffer.drain():
+            self._dispatch(*released)  # type: ignore[misc]
+        while self._futures:
+            done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                level, descriptor = self._futures.pop(future)
+                try:
+                    _, report = future.result()
+                except BrokenProcessPool:
+                    report = self._parent_retry(level, descriptor)
+                self._record(level, descriptor, report)
+        grouped: dict[int, dict[int, BlockReport]] = {}
+        for (level, block_id), report in self._results.items():
+            grouped.setdefault(level, {})[block_id] = report
+        return grouped
+
+    def close(self) -> None:
+        """Shut the pool down, then unlink every published segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        for shared in self._published.values():
+            shared.close()
+            shared.unlink()
+
+    def __enter__(self) -> "PipelineSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+    def _dispatch(self, level: int, descriptor: BlockDescriptor) -> None:
+        handle = self._published[level].handle
+        try:
+            future = self._pool.submit(_pipeline_analyze, handle, descriptor)
+        except BrokenProcessPool:
+            # The pool died earlier in the run; analyse in the parent so
+            # the stream keeps flowing and no block is lost.
+            report = self._parent_retry(level, descriptor)
+            self._record(level, descriptor, report)
+            return
+        self._futures[future] = (level, descriptor)
+
+    def _parent_retry(
+        self, level: int, descriptor: BlockDescriptor
+    ) -> BlockReport:
+        if not self._retry_failed:
+            raise ExecutorError(
+                f"worker process died while analysing block "
+                f"{descriptor.block_id} of level {level}",
+                block_id=descriptor.block_id,
+            )
+        shared = self._published[level]
+        try:
+            report = analyze_block_csr(
+                descriptor,
+                shared.indptr,
+                shared.indices,
+                shared.labels,
+                tree=self._tree,
+                combo=self._combo,
+                scratch=self._parent_scratch,
+            )
+        except Exception as exc:
+            raise ExecutorError(
+                f"block {descriptor.block_id} of level {level} failed again "
+                f"on in-parent retry: {type(exc).__name__}: {exc}",
+                block_id=descriptor.block_id,
+            ) from exc
+        report.extra["retried"] = 1.0
+        report.extra["dispatch_bytes"] = float(descriptor.nbytes())
+        return report
+
+    def _record(
+        self, level: int, descriptor: BlockDescriptor, report: BlockReport
+    ) -> None:
+        self._results[(level, descriptor.block_id)] = report
+        self.trace.record(_timing_of(descriptor.block_id, report))
 
 
 def _union_graph(blocks: list[Block]) -> Graph:

@@ -144,6 +144,44 @@ def lpt_order(costs: list[float]) -> list[int]:
     return sorted(range(len(costs)), key=lambda index: (-costs[index], index))
 
 
+class StreamingLPTBuffer:
+    """Bounded-lookahead LPT reordering for *streamed* task dispatch.
+
+    :func:`lpt_order` needs the whole batch up front; a pipeline
+    producer only has the descriptors generated so far.  This buffer is
+    the compromise: hold up to ``lookahead`` tasks, and whenever the
+    buffer overflows release the costliest one — so the pool's queue is
+    continuously fed in locally-LPT order while growth of the remaining
+    blocks is still running.  ``drain()`` releases the tail (costliest
+    first) when the producer finishes.  Ties break by arrival order,
+    keeping dispatch deterministic.
+    """
+
+    def __init__(self, lookahead: int) -> None:
+        if lookahead < 0:
+            raise SchedulingError("lookahead must be non-negative")
+        self.lookahead = lookahead
+        self._heap: list[tuple[float, int, object]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, cost: float, item: object) -> list[object]:
+        """Buffer one task; return any tasks released by the overflow."""
+        heapq.heappush(self._heap, (-cost, self._seq, item))
+        self._seq += 1
+        released: list[object] = []
+        while len(self._heap) > self.lookahead:
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def drain(self) -> list[object]:
+        """Release every buffered task, costliest first."""
+        released = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
+        return released
+
+
 SCHEDULERS = {
     "lpt": schedule_lpt,
     "round_robin": schedule_round_robin,

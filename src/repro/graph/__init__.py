@@ -1,10 +1,12 @@
 """Graph substrate: containers, properties, generators, serialisation."""
 
 from repro.graph.adjacency import Graph, Node
-from repro.graph.csr import CSRGraph, SharedCSR, SharedCSRHandle
+from repro.graph.csr import CSRGraph, SharedCSR, SharedCSRHandle, induced_csr
 from repro.graph.cores import (
     core_numbers,
+    core_numbers_csr,
     degeneracy,
+    degeneracy_csr,
     degeneracy_ordering,
     k_core,
     peel_iterations,
@@ -40,8 +42,11 @@ __all__ = [
     "CSRGraph",
     "SharedCSR",
     "SharedCSRHandle",
+    "induced_csr",
     "core_numbers",
+    "core_numbers_csr",
     "degeneracy",
+    "degeneracy_csr",
     "degeneracy_ordering",
     "k_core",
     "peel_iterations",

@@ -17,7 +17,14 @@ quantities the rest of the library needs:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+import numpy as np
+
 from repro.graph.adjacency import Graph, Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (csr imports Graph)
+    from repro.graph.csr import CSRGraph
 
 
 def core_numbers(graph: Graph) -> dict[Node, int]:
@@ -76,6 +83,55 @@ def degeneracy(graph: Graph) -> int:
     if not numbers:
         return 0
     return max(numbers.values())
+
+
+def core_numbers_csr(csr: "CSRGraph") -> np.ndarray:
+    """Core numbers of a :class:`~repro.graph.csr.CSRGraph`, by dense index.
+
+    The same Batagelj–Zaversnik bucket peeling as :func:`core_numbers`,
+    but operating on the CSR arrays directly — degrees come from one
+    ``indptr`` difference and neighbour scans are array slices — so the
+    CSR-native planner never expands a snapshot back into a dict
+    ``Graph`` just to size its blocks.
+    """
+    n = csr.num_nodes
+    core = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return core
+    indptr, indices = csr.indptr, csr.indices
+    remaining = csr.degree_array().copy()
+    max_degree = int(remaining.max())
+    buckets: list[list[int]] = [[] for _ in range(max_degree + 1)]
+    for node, degree in enumerate(remaining.tolist()):
+        buckets[degree].append(node)
+    peeled = np.zeros(n, dtype=bool)
+    current = 0
+    processed = 0
+    while processed < n:
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        node = buckets[current].pop()
+        if peeled[node] or remaining[node] != current:
+            continue  # stale entry; the fresh one sits in a lower bucket
+        core[node] = current
+        peeled[node] = True
+        processed += 1
+        for other in indices[indptr[node] : indptr[node + 1]].tolist():
+            if peeled[other]:
+                continue
+            degree = int(remaining[other])
+            if degree > current:
+                remaining[other] = degree - 1
+                buckets[degree - 1].append(other)
+    return core
+
+
+def degeneracy_csr(csr: "CSRGraph") -> int:
+    """Degeneracy of a CSR snapshot (maximum core number; 0 if empty)."""
+    numbers = core_numbers_csr(csr)
+    if not len(numbers):
+        return 0
+    return int(numbers.max())
 
 
 def degeneracy_ordering(graph: Graph) -> list[Node]:

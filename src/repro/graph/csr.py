@@ -131,19 +131,58 @@ class CSRGraph:
         self._labels: list[Node] = list(graph.nodes())
         index = {node: i for i, node in enumerate(self._labels)}
         n = len(self._labels)
-        degrees = np.zeros(n + 1, dtype=np.int64)
-        for node in self._labels:
-            degrees[index[node] + 1] = graph.degree(node)
-        self._indptr = np.cumsum(degrees)
-        self._indices = np.empty(int(self._indptr[-1]), dtype=np.int64)
-        cursor = self._indptr[:-1].copy()
-        for node in self._labels:
-            i = index[node]
-            neighbors = sorted(index[other] for other in graph.neighbors(node))
-            for other in neighbors:
-                self._indices[cursor[i]] = other
-                cursor[i] += 1
+        counts = np.zeros(n + 1, dtype=np.int64)
+        flat: list[int] = []
+        for i, node in enumerate(self._labels):
+            row = sorted(index[other] for other in graph.neighbors(node))
+            counts[i + 1] = len(row)
+            flat.extend(row)
+        self._indptr = np.cumsum(counts)
+        self._indices = np.asarray(flat, dtype=np.int64)
         self._index = index
+
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Sequence[Node],
+    ) -> "CSRGraph":
+        """Wrap pre-built CSR arrays without round-tripping through ``Graph``.
+
+        ``indptr``/``indices`` must already be valid int64 CSR arrays with
+        sorted neighbour rows (the invariant every other method relies on);
+        :func:`induced_csr` and the CSR-native decomposition construct their
+        level graphs this way.
+
+        Raises
+        ------
+        ValueError
+            If the array shapes are inconsistent with ``labels``.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        labels = list(labels)
+        if len(indptr) != len(labels) + 1:
+            raise ValueError(
+                f"indptr length {len(indptr)} does not match "
+                f"{len(labels)} labels"
+            )
+        if len(indptr) and int(indptr[-1]) != len(indices):
+            raise ValueError(
+                f"indptr tail {int(indptr[-1])} does not match "
+                f"{len(indices)} indices"
+            )
+        snapshot = cls.__new__(cls)
+        snapshot._labels = labels
+        snapshot._indptr = indptr
+        snapshot._indices = indices
+        snapshot._index = {node: i for i, node in enumerate(labels)}
+        return snapshot
+
+    def degree_array(self) -> np.ndarray:
+        """Per-node degrees as one vectorized ``indptr`` difference."""
+        return np.diff(self._indptr)
 
     # ------------------------------------------------------------------
     @property
@@ -227,6 +266,55 @@ class CSRGraph:
             f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
             f"memory_bytes={self.memory_bytes()})"
         )
+
+
+def induced_csr(csr: CSRGraph, keep_ids: np.ndarray) -> CSRGraph:
+    """Materialize the subgraph induced by ``keep_ids`` as a new CSR.
+
+    ``keep_ids`` are dense indices into ``csr`` and must be strictly
+    increasing (the order :func:`repro.core.feasibility.cut_csr` emits),
+    which keeps the filtered neighbour rows sorted without a re-sort.
+    The whole extraction is flat numpy — one gather of the kept rows,
+    one membership mask, one ``bincount`` — so the hub recursion never
+    constructs a dict ``Graph`` between levels.
+
+    Raises
+    ------
+    ValueError
+        If ``keep_ids`` is not strictly increasing or out of range.
+    """
+    keep_ids = np.asarray(keep_ids, dtype=np.int64)
+    n = csr.num_nodes
+    if len(keep_ids):
+        if np.any(np.diff(keep_ids) <= 0):
+            raise ValueError("keep_ids must be strictly increasing")
+        if int(keep_ids[0]) < 0 or int(keep_ids[-1]) >= n:
+            raise ValueError("keep_ids out of range for this snapshot")
+    indptr, indices = csr.indptr, csr.indices
+    counts = indptr[keep_ids + 1] - indptr[keep_ids]
+    total = int(counts.sum())
+    # Gather every neighbour entry of the kept rows in one flat array.
+    row_starts = np.cumsum(counts) - counts
+    flat = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(row_starts, counts)
+        + np.repeat(indptr[keep_ids], counts)
+    )
+    neighbors = indices[flat]
+    keep_mask = np.zeros(n, dtype=bool)
+    keep_mask[keep_ids] = True
+    new_id = np.full(n, -1, dtype=np.int64)
+    new_id[keep_ids] = np.arange(len(keep_ids), dtype=np.int64)
+    inside = keep_mask[neighbors]
+    source_row = np.repeat(np.arange(len(keep_ids), dtype=np.int64), counts)
+    new_indices = new_id[neighbors[inside]]
+    new_counts = np.bincount(source_row[inside], minlength=len(keep_ids))
+    new_indptr = np.zeros(len(keep_ids) + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=new_indptr[1:])
+    labels = csr.labels
+    return CSRGraph.from_arrays(
+        new_indptr, new_indices, [labels[int(i)] for i in keep_ids]
+    )
 
 
 @dataclass(frozen=True)

@@ -78,22 +78,54 @@ class BlockTiming:
     retried: bool = False
 
 
+@dataclass(frozen=True)
+class LevelDecomposition:
+    """Measured decomposition of one recursion level (pipeline mode).
+
+    ``decompose_seconds`` covers ``cut_csr`` plus the streamed
+    ``blocks_csr`` growth (including the time spent handing descriptors
+    to the executor); ``publish_seconds``/``publish_bytes`` cover the
+    one-time shared-memory export of the level's CSR snapshot.
+    """
+
+    level: int
+    decompose_seconds: float
+    publish_seconds: float
+    publish_bytes: int
+    num_blocks: int
+    num_feasible: int
+    num_hubs: int
+
+
 @dataclass
 class ExecutionTrace:
     """Per-batch instrumentation collected by a parallel executor.
 
     ``publish_bytes``/``publish_seconds`` cover the one-time cost of
     exporting the level graph (zero for executors that pickle blocks);
-    ``timings`` holds one record per block in completion order.
+    ``timings`` holds one record per block in completion order.  In
+    pipeline mode one trace spans the whole run and ``levels`` holds one
+    :class:`LevelDecomposition` per recursion level, so benchmarks can
+    attribute wall-clock to decomposition versus enumeration per level.
     """
 
     timings: list[BlockTiming] = field(default_factory=list)
     publish_bytes: int = 0
     publish_seconds: float = 0.0
+    levels: list[LevelDecomposition] = field(default_factory=list)
 
     def record(self, timing: BlockTiming) -> None:
         """Append one per-block record."""
         self.timings.append(timing)
+
+    def record_level(self, level: LevelDecomposition) -> None:
+        """Append one per-level decomposition record (pipeline mode)."""
+        self.levels.append(level)
+
+    @property
+    def total_decompose_seconds(self) -> float:
+        """Decomposition wall-clock across all recorded levels."""
+        return sum(level.decompose_seconds for level in self.levels)
 
     @property
     def total_dispatch_bytes(self) -> int:

@@ -33,6 +33,11 @@ EXECUTOR_FACTORIES: dict[str, Callable[[], object]] = {
     "shared": lambda: SharedMemoryExecutor(max_workers=2),
 }
 
+# Full-driver configurations: every executor in barrier mode, plus the
+# streaming decompose→dispatch pipeline (a driver mode riding on the
+# shared-memory executor, not a separate executor class).
+DRIVER_MODES: tuple[str, ...] = (*sorted(EXECUTOR_FACTORIES), "shared-pipeline")
+
 Canonical = tuple[tuple[str, ...], ...]
 
 
@@ -72,11 +77,39 @@ def run_blocks(
 
 
 def run_driver(
-    executor_name: str, graph: Graph, m: int, combo: Combo | None = None
+    mode: str, graph: Graph, m: int, combo: Combo | None = None
 ) -> Canonical:
-    """Full two-level enumeration through the named executor."""
+    """Full two-level enumeration through the named driver mode."""
+    result = _driver_result(mode, graph, m, combo=combo)
+    return canonical_cliques(result.cliques)
+
+
+def run_driver_levels(
+    mode: str, graph: Graph, m: int, combo: Combo | None = None
+) -> dict[int, Canonical]:
+    """Per-recursion-level canonical clique sets of one driver run.
+
+    The clique→level provenance is invariant to the kernel partition (a
+    clique belongs to the first level where all its members are still
+    present and one is feasible), so these sets must agree between the
+    dict-path barrier driver and the CSR-native pipeline even though
+    their block shapes differ.
+    """
+    result = _driver_result(mode, graph, m, combo=combo)
+    by_level: dict[int, list] = {}
+    for clique in result.cliques:
+        by_level.setdefault(result.provenance[clique], []).append(clique)
+    return {
+        level: canonical_cliques(cliques) for level, cliques in by_level.items()
+    }
+
+
+def _driver_result(mode: str, graph: Graph, m: int, combo: Combo | None = None):
+    pipeline = mode == "shared-pipeline"
+    executor_name = "shared" if pipeline else mode
     executor = (
         None if executor_name == "serial" else EXECUTOR_FACTORIES[executor_name]()
     )
-    result = find_max_cliques(graph, m, combo=combo, executor=executor)
-    return canonical_cliques(result.cliques)
+    return find_max_cliques(
+        graph, m, combo=combo, executor=executor, pipeline=pipeline
+    )

@@ -38,6 +38,34 @@ class TestIsFeasible:
         assert not is_feasible([0], g, 5)
         assert is_feasible([0], g, 10)
 
+    def test_precomputed_degrees_fast_path(self):
+        g = star_graph(3)
+        degrees = {node: g.degree(node) for node in g.nodes()}
+        for m in range(1, 6):
+            for node in g.nodes():
+                assert is_feasible([node], g, m, degrees=degrees) == is_feasible(
+                    [node], g, m
+                )
+
+    def test_degrees_lookup_is_authoritative_when_present(self):
+        # The O(1) path must trust the caller's lookup, not re-query the
+        # graph: a deliberately wrong entry flips the answer.
+        g = star_graph(3)  # hub 0 has degree 3
+        assert is_feasible([0], g, 2, degrees={0: 1})
+        assert not is_feasible([0], g, 4, degrees={0: 9})
+
+    def test_missing_degrees_entry_falls_back_to_graph(self):
+        g = star_graph(3)
+        assert is_feasible([0], g, 4, degrees={})
+        assert not is_feasible([0], g, 3, degrees={})
+
+    def test_degrees_ignored_for_multi_node_queries(self):
+        g = star_graph(3)
+        # Bogus lookup entries must not affect the set-union path.
+        bogus = {node: 0 for node in g.nodes()}
+        assert is_feasible([1, 2], g, 3, degrees=bogus)
+        assert not is_feasible([1, 2, 3], g, 3, degrees=bogus)
+
 
 class TestIsFeasibleNode:
     def test_matches_degree_rule(self):

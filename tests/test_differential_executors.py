@@ -15,12 +15,14 @@ from hypothesis import strategies as st
 
 from conftest import nx_cliques
 from differential import (
+    DRIVER_MODES,
     EXECUTOR_FACTORIES,
     blocks_of,
     canonical_cliques,
     canonical_report_cliques,
     run_blocks,
     run_driver,
+    run_driver_levels,
 )
 from repro.core.block_analysis import analyze_blocks
 from repro.graph.generators import (
@@ -69,13 +71,36 @@ class TestExecutorMatrix:
 
 
 class TestDriverMatrix:
-    """Full two-level runs agree with each other and with networkx."""
+    """Full two-level runs agree with each other and with networkx.
 
-    @pytest.mark.parametrize("executor_name", sorted(EXECUTOR_FACTORIES))
-    def test_driver_matches_oracle(self, executor_name, graph):
-        assert run_driver(executor_name, graph, M) == canonical_cliques(
+    ``DRIVER_MODES`` crosses the executors with the streaming pipeline
+    (``shared-pipeline``), so the CSR-native decompose→dispatch path is
+    pinned to the same clique sets as every barrier-mode run.
+    """
+
+    @pytest.mark.parametrize("mode", DRIVER_MODES)
+    def test_driver_matches_oracle(self, mode, graph):
+        assert run_driver(mode, graph, M) == canonical_cliques(
             nx_cliques(graph)
         )
+
+    @pytest.mark.parametrize("combo", ALL_COMBOS, ids=lambda c: c.name)
+    def test_pipeline_combo_matrix(self, combo, graph):
+        """Pipeline mode agrees with the serial driver on every combo."""
+        assert run_driver("shared-pipeline", graph, M, combo=combo) == run_driver(
+            "serial", graph, M, combo=combo
+        )
+
+    def test_pipeline_levels_match_barrier(self, graph):
+        """Per-level clique sets are partition-invariant.
+
+        Block shapes differ between the dict and CSR decompositions
+        (their greedy tie-breaks see candidates in different orders),
+        but the level at which each clique is found may not.
+        """
+        barrier = run_driver_levels("shared", graph, M)
+        pipeline = run_driver_levels("shared-pipeline", graph, M)
+        assert barrier == pipeline
 
 
 def _random_graph(family: str, size: int, seed: int):

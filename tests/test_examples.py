@@ -12,6 +12,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 # script -> (argv suffix, expected stdout fragment)

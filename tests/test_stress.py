@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.audit import audit_result
 from repro.core.driver import find_max_cliques
 from repro.core.planner import recommend_block_size
