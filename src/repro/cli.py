@@ -132,6 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
             "decomposed (requires --executor shared)"
         ),
     )
+    enumerate_.add_argument(
+        "--split",
+        action="store_true",
+        help=(
+            "split straggler blocks into per-anchor subtasks dispatched "
+            "through a work-stealing queue (requires --executor shared; "
+            "works in barrier and --pipeline modes)"
+        ),
+    )
+    enumerate_.add_argument(
+        "--split-threshold",
+        type=float,
+        default=None,
+        help=(
+            "estimated-cost threshold above which a block is split; "
+            "default: adaptive, from the batch's cost distribution"
+        ),
+    )
 
     compare = commands.add_parser(
         "compare", help="two-level decomposition vs the hub-oblivious baseline"
@@ -283,6 +301,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
 
     if args.pipeline and args.executor != "shared":
         raise ReproError("--pipeline requires --executor shared")
+    if args.split and args.executor != "shared":
+        raise ReproError("--split requires --executor shared")
     executor = (
         None
         if args.executor == "serial"
@@ -296,6 +316,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         fallback=args.fallback,
         executor=executor,
         pipeline=args.pipeline,
+        split=args.split,
+        split_threshold=args.split_threshold,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -325,6 +347,13 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 f"shared-memory dispatch (last level): {trace.total_dispatch_bytes} "
                 f"descriptor bytes, {trace.publish_bytes} published bytes, "
                 f"peak worker RSS {trace.max_peak_rss_kb} kB"
+            )
+        if args.split:
+            print(
+                f"anchor-level splitting: {len(trace.splits)} blocks split "
+                f"into {len(trace.subtasks)} fragments, "
+                f"{trace.steal_count} stolen, "
+                f"{len(trace.retried_subtasks)} subtasks retried"
             )
     if result.fallback_used:
         print("note: fell back to exact enumeration on the residual core")

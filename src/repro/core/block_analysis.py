@@ -51,8 +51,11 @@ from repro.mce.anchored import enumerate_anchored_native
 from repro.mce.backends import Backend, backend_from_bitmap, build_backend
 from repro.mce.bitmatrix import (
     BitMatrixBackend,
+    bits_to_indices,
     degeneracy_order_packed,
     enumerate_anchored_packed,
+    pack_indices,
+    popcount_rows,
 )
 from repro.mce.registry import Combo, get_pivot_rule
 
@@ -286,27 +289,14 @@ def analyze_block_csr(
     executor suite pins the two paths against each other.
     """
     start = time.perf_counter()
-    member_ids = np.concatenate(
-        [descriptor.kernel_ids, descriptor.border_ids, descriptor.visited_ids]
+    bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
+        descriptor, indptr, indices, labels, tree, combo, scratch
     )
-    bitmap = extract_block_bitmap(indptr, indices, member_ids, scratch)
-    features = features_from_bitmap(bitmap)
-    if combo is None:
-        combo = select_combo(tree if tree is not None else paper_tree(), features)
-    member_labels = [labels[i] for i in member_ids.tolist()]
-    backend = backend_from_bitmap(combo.backend, member_labels, bitmap)
-    pivot_rule = get_pivot_rule(combo.algorithm)
-
     num_kernel = len(descriptor.kernel_ids)
     num_candidates = num_kernel + len(descriptor.border_ids)
     candidates = backend.make(range(num_candidates))
-    excluded = backend.make(range(num_candidates, len(member_ids)))
-    if num_kernel > 1:
-        kernel_order = [
-            i for i in degeneracy_order_packed(bitmap) if i < num_kernel
-        ]
-    else:
-        kernel_order = list(range(num_kernel))
+    excluded = backend.make(range(num_candidates, num_members))
+    kernel_order = _kernel_order_of(bitmap, num_kernel)
     cliques: list[frozenset[Node]] = []
     for anchor in kernel_order:
         for clique in _enumerate_anchored(
@@ -321,6 +311,426 @@ def analyze_block_csr(
         features=features,
         seconds=time.perf_counter() - start,
         kernel_nodes=num_kernel,
+    )
+
+
+def _materialize_csr(
+    descriptor: "BlockDescriptor | SubtaskDescriptor",
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    labels: list[Node],
+    tree: DecisionTree | None,
+    combo: Combo | None,
+    scratch: BitmapScratch | None,
+):
+    """Shared CSR→backend materialization for blocks and subtasks.
+
+    Returns ``(bitmap, features, combo, backend, pivot_rule, n)``.  The
+    member ordering (kernel, then border, then visited) is a pure
+    function of the descriptor's id arrays, so every fragment of a split
+    block sees the identical bitmap, features, and combo choice as an
+    unsplit analysis of the same block.
+    """
+    member_ids = np.concatenate(
+        [descriptor.kernel_ids, descriptor.border_ids, descriptor.visited_ids]
+    )
+    bitmap = extract_block_bitmap(indptr, indices, member_ids, scratch)
+    features = features_from_bitmap(bitmap)
+    if combo is None:
+        combo = select_combo(tree if tree is not None else paper_tree(), features)
+    member_labels = [labels[i] for i in member_ids.tolist()]
+    backend = backend_from_bitmap(combo.backend, member_labels, bitmap)
+    pivot_rule = get_pivot_rule(combo.algorithm)
+    return bitmap, features, combo, backend, pivot_rule, len(member_ids)
+
+
+def _kernel_order_of(bitmap: np.ndarray, num_kernel: int) -> list[int]:
+    """Kernel member positions in degeneracy (peeling) order."""
+    if num_kernel > 1:
+        return [i for i in degeneracy_order_packed(bitmap) if i < num_kernel]
+    return list(range(num_kernel))
+
+
+# ----------------------------------------------------------------------
+# Anchor-level splitting (intra-block parallelism)
+# ----------------------------------------------------------------------
+#
+# The anchored sweep of Algorithm 4 processes kernel nodes one at a
+# time, and the (candidates, excluded) state at anchor position t is a
+# *pure function* of the degeneracy order: candidates start as
+# kernel ∪ border minus the anchors already processed, excluded as
+# visited plus those anchors.  A contiguous range of anchor positions is
+# therefore an independently computable subtask — run anywhere, in any
+# order, the union over a partition of [0, K) is exactly the block's
+# clique set, each clique exactly once, because the exclusion-set
+# discipline that makes blocks non-overlapping also makes anchor ranges
+# within a block non-overlapping.
+
+
+@dataclass(frozen=True)
+class SubtaskDescriptor:
+    """A contiguous anchor range of one block's kernel sweep.
+
+    Carries the same id arrays as the parent :class:`BlockDescriptor`
+    (the worker re-extracts the identical bitmap from shared CSR) plus
+    the precomputed degeneracy order of the kernel positions and the
+    half-open range ``[start, stop)`` of that order this subtask owns.
+    Anchors in ``kernel_order[:start]`` are treated as already processed
+    (moved to the excluded side) so maximality and exact-once accounting
+    are preserved without any cross-subtask communication.
+    """
+
+    block_id: int
+    subtask_id: int
+    kernel_ids: np.ndarray
+    border_ids: np.ndarray
+    visited_ids: np.ndarray
+    kernel_order: np.ndarray
+    start: int
+    stop: int
+    estimated_cost: float = 0.0
+
+    def nbytes(self) -> int:
+        """Bytes of payload actually dispatched for this subtask."""
+        return int(
+            self.kernel_ids.nbytes
+            + self.border_ids.nbytes
+            + self.visited_ids.nbytes
+            + self.kernel_order.nbytes
+        )
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """A worker's answer when it split a block instead of finishing it.
+
+    ``partial`` holds the cliques of anchor positions ``[0, done)``
+    (empty for a pure probe, where the worker only computed the order
+    and the per-anchor costs); the parent turns the remaining positions
+    into :class:`SubtaskDescriptor` chunks via :func:`build_subtasks`.
+    """
+
+    block_id: int
+    partial: BlockReport
+    kernel_order: np.ndarray
+    done: int
+    anchor_costs: np.ndarray
+
+
+def anchor_cost_estimates(
+    bitmap: np.ndarray, kernel_order: list[int], num_candidates: int
+) -> np.ndarray:
+    """Estimated cost of each anchored enumeration, in sweep order.
+
+    Position ``t``'s subproblem is the anchor plus ``P_t = N(anchor) ∩
+    candidates_t``, where ``candidates_t`` excludes the anchors already
+    processed — the same shrinking-candidate-set effect that makes late
+    anchors cheap in degeneracy order.  Each estimate feeds
+    :func:`~repro.decision.features.estimate_analysis_cost` with the
+    subproblem's node and edge counts, so subtask chunking balances on
+    the same scale the block scheduler uses.
+    """
+    words = bitmap.shape[1] if bitmap.ndim == 2 else 0
+    costs = np.zeros(len(kernel_order), dtype=np.float64)
+    if words == 0 or not kernel_order:
+        return costs
+    cand = pack_indices(range(num_candidates), words)
+    anchor_bit = np.zeros(words, dtype=np.uint64)
+    for t, anchor in enumerate(kernel_order):
+        p = bitmap[anchor] & cand
+        members = bits_to_indices(p)
+        size = len(members)
+        edges_within = (
+            int(popcount_rows(bitmap[members] & p).sum()) // 2 if size else 0
+        )
+        costs[t] = estimate_analysis_cost(size + 1, edges_within + size)
+        anchor_bit[:] = 0
+        anchor_bit[anchor >> 6] = np.uint64(1) << np.uint64(anchor & 63)
+        cand &= ~anchor_bit
+    return costs
+
+
+def build_subtasks(
+    descriptor: BlockDescriptor,
+    kernel_order: np.ndarray,
+    anchor_costs: np.ndarray,
+    done: int,
+    target: int,
+) -> list[SubtaskDescriptor]:
+    """Chunk the unprocessed anchor positions into ``target`` subtasks.
+
+    Greedy contiguous chunking: walk positions ``[done, K)`` in sweep
+    order, closing a chunk once it accumulates its proportional share of
+    the remaining estimated cost.  Contiguity keeps the per-subtask
+    bitmap re-extraction overhead bounded by the chunk count (not the
+    anchor count) and makes the merged clique order equal to the serial
+    sweep.  Deterministic: same inputs, same chunks.
+    """
+    total_positions = len(kernel_order)
+    remaining = total_positions - done
+    if remaining <= 0:
+        return []
+    chunks = max(1, min(target, remaining))
+    remaining_cost = float(anchor_costs[done:].sum())
+    share = remaining_cost / chunks if remaining_cost > 0.0 else 0.0
+    subtasks: list[SubtaskDescriptor] = []
+    start = done
+    accumulated = 0.0
+    for position in range(done, total_positions):
+        accumulated += float(anchor_costs[position])
+        positions_left = total_positions - (position + 1)
+        chunks_left = chunks - len(subtasks) - 1
+        close = accumulated >= share and chunks_left > 0
+        if (close and position + 1 > start) or positions_left == chunks_left:
+            if position + 1 > start:
+                subtasks.append(
+                    _subtask_of(
+                        descriptor, kernel_order, start, position + 1, accumulated
+                    )
+                )
+                start = position + 1
+                accumulated = 0.0
+    if start < total_positions:
+        subtasks.append(
+            _subtask_of(
+                descriptor, kernel_order, start, total_positions, accumulated
+            )
+        )
+    return subtasks
+
+
+def _subtask_of(
+    descriptor: BlockDescriptor,
+    kernel_order: np.ndarray,
+    start: int,
+    stop: int,
+    cost: float,
+) -> SubtaskDescriptor:
+    return SubtaskDescriptor(
+        block_id=descriptor.block_id,
+        subtask_id=len_prefix_id(start),
+        kernel_ids=descriptor.kernel_ids,
+        border_ids=descriptor.border_ids,
+        visited_ids=descriptor.visited_ids,
+        kernel_order=np.asarray(kernel_order, dtype=np.int64),
+        start=start,
+        stop=stop,
+        estimated_cost=cost,
+    )
+
+
+def len_prefix_id(start: int) -> int:
+    """Subtask id of the chunk beginning at anchor position ``start``.
+
+    Using the start position itself (rather than a running counter)
+    keeps ids stable across re-splits and retries: the fragment covering
+    positions ``[s, t)`` is always subtask ``s`` of its block, which is
+    what the fault-injection spec ``kill:<block>.<subtask>`` targets.
+    """
+    return start
+
+
+def analyze_block_csr_splittable(
+    descriptor: BlockDescriptor,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    labels: list[Node],
+    tree: DecisionTree | None = None,
+    combo: Combo | None = None,
+    scratch: BitmapScratch | None = None,
+    probe: bool = False,
+    budget_seconds: float | None = None,
+) -> "BlockReport | SplitResult":
+    """Analyse a block, possibly yielding a split instead of a report.
+
+    With ``probe=True`` (the parent's cost threshold flagged the block
+    before dispatch) the worker computes the bitmap, features, kernel
+    degeneracy order, and per-anchor cost estimates, then returns a
+    :class:`SplitResult` immediately — all sweep work is delegated to
+    subtasks.  Otherwise the block is analysed normally, except that
+    when ``budget_seconds`` is set and the sweep overruns it with at
+    least two anchors still pending, the worker stops after the current
+    anchor and returns a :class:`SplitResult` carrying the cliques found
+    so far — the mid-run re-split that lets an under-estimated straggler
+    shed its tail onto idle workers.
+
+    Blocks with fewer than two kernel anchors never split.
+    """
+    start_time = time.perf_counter()
+    bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
+        descriptor, indptr, indices, labels, tree, combo, scratch
+    )
+    num_kernel = len(descriptor.kernel_ids)
+    num_candidates = num_kernel + len(descriptor.border_ids)
+    kernel_order = _kernel_order_of(bitmap, num_kernel)
+    splittable = len(kernel_order) >= 2
+    if probe and splittable:
+        costs = anchor_cost_estimates(bitmap, kernel_order, num_candidates)
+        partial = BlockReport(
+            cliques=[],
+            combo=combo,
+            features=features,
+            seconds=time.perf_counter() - start_time,
+            kernel_nodes=num_kernel,
+        )
+        return SplitResult(
+            block_id=descriptor.block_id,
+            partial=partial,
+            kernel_order=np.asarray(kernel_order, dtype=np.int64),
+            done=0,
+            anchor_costs=costs,
+        )
+    candidates = backend.make(range(num_candidates))
+    excluded = backend.make(range(num_candidates, num_members))
+    cliques: list[frozenset[Node]] = []
+    for position, anchor in enumerate(kernel_order):
+        for clique in _enumerate_anchored(
+            backend, anchor, candidates, excluded, pivot_rule
+        ):
+            cliques.append(frozenset(backend.label(i) for i in clique))
+        candidates = backend.remove(candidates, anchor)
+        excluded = backend.add(excluded, anchor)
+        done = position + 1
+        overrun = (
+            budget_seconds is not None
+            and splittable
+            and len(kernel_order) - done >= 2
+            and time.perf_counter() - start_time > budget_seconds
+        )
+        if overrun:
+            costs = anchor_cost_estimates(bitmap, kernel_order, num_candidates)
+            partial = BlockReport(
+                cliques=cliques,
+                combo=combo,
+                features=features,
+                seconds=time.perf_counter() - start_time,
+                kernel_nodes=num_kernel,
+            )
+            return SplitResult(
+                block_id=descriptor.block_id,
+                partial=partial,
+                kernel_order=np.asarray(kernel_order, dtype=np.int64),
+                done=done,
+                anchor_costs=costs,
+            )
+    return BlockReport(
+        cliques=cliques,
+        combo=combo,
+        features=features,
+        seconds=time.perf_counter() - start_time,
+        kernel_nodes=num_kernel,
+    )
+
+
+def analyze_subtask_csr(
+    subtask: SubtaskDescriptor,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    labels: list[Node],
+    tree: DecisionTree | None = None,
+    combo: Combo | None = None,
+    scratch: BitmapScratch | None = None,
+) -> BlockReport:
+    """Run one anchor range of a split block's kernel sweep.
+
+    The (candidates, excluded) state is reconstructed from the
+    precomputed degeneracy order: anchors before ``subtask.start`` are
+    excluded exactly as if this worker had processed them itself, so the
+    fragment reports precisely the cliques the serial sweep reports at
+    positions ``[start, stop)`` — no more, no fewer.
+    """
+    start_time = time.perf_counter()
+    bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
+        subtask, indptr, indices, labels, tree, combo, scratch
+    )
+    num_kernel = len(subtask.kernel_ids)
+    num_candidates = num_kernel + len(subtask.border_ids)
+    processed = [int(i) for i in subtask.kernel_order[: subtask.start]]
+    processed_set = set(processed)
+    candidates = backend.make(
+        i for i in range(num_candidates) if i not in processed_set
+    )
+    excluded = backend.make(
+        list(range(num_candidates, num_members)) + processed
+    )
+    cliques: list[frozenset[Node]] = []
+    for position in range(subtask.start, subtask.stop):
+        anchor = int(subtask.kernel_order[position])
+        for clique in _enumerate_anchored(
+            backend, anchor, candidates, excluded, pivot_rule
+        ):
+            cliques.append(frozenset(backend.label(i) for i in clique))
+        candidates = backend.remove(candidates, anchor)
+        excluded = backend.add(excluded, anchor)
+    return BlockReport(
+        cliques=cliques,
+        combo=combo,
+        features=features,
+        seconds=time.perf_counter() - start_time,
+        kernel_nodes=subtask.stop - subtask.start,
+    )
+
+
+def merge_fragment_reports(
+    block_id: int,
+    num_kernel: int,
+    total_positions: int,
+    fragments: list[tuple[int, int, BlockReport]],
+) -> BlockReport:
+    """Merge ``(start, stop, report)`` fragments into one block report.
+
+    Exact-once accounting is verified structurally: the fragment ranges
+    must tile ``[0, total_positions)`` with no gap and no overlap, which
+    — given that each fragment reports exactly its range's cliques — is
+    the per-block version of the paper's visited/exclusion-set argument.
+    Cliques concatenate in range order, reproducing the serial sweep's
+    emission order; ``seconds`` sums to the serial-equivalent time.
+
+    Raises
+    ------
+    ValueError
+        When the fragment ranges do not tile the sweep.
+    """
+    ordered = sorted(fragments, key=lambda fragment: fragment[0])
+    position = 0
+    for start, stop, _ in ordered:
+        if start != position or stop < start:
+            raise ValueError(
+                f"block {block_id}: fragment ranges do not tile the kernel "
+                f"sweep (expected start {position}, got [{start}, {stop}))"
+            )
+        position = stop
+    if position != total_positions:
+        raise ValueError(
+            f"block {block_id}: fragments cover {position} of "
+            f"{total_positions} anchor positions"
+        )
+    first = ordered[0][2]
+    cliques: list[frozenset[Node]] = []
+    seconds = 0.0
+    extra: dict[str, float] = {}
+    for _, _, report in ordered:
+        cliques.extend(report.cliques)
+        seconds += report.seconds
+        extra["dispatch_bytes"] = extra.get("dispatch_bytes", 0.0) + float(
+            report.extra.get("dispatch_bytes", 0.0)
+        )
+        extra["peak_rss_kb"] = max(
+            extra.get("peak_rss_kb", 0.0), float(report.extra.get("peak_rss_kb", 0.0))
+        )
+        if report.extra.get("retried"):
+            extra["retried"] = 1.0
+    extra["split"] = 1.0
+    extra["subtasks"] = float(len(ordered))
+    if "worker_pid" in first.extra:
+        extra["worker_pid"] = first.extra["worker_pid"]
+    return BlockReport(
+        cliques=cliques,
+        combo=first.combo,
+        features=first.features,
+        seconds=seconds,
+        kernel_nodes=num_kernel,
+        extra=extra,
     )
 
 

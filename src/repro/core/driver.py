@@ -51,6 +51,8 @@ def find_max_cliques(
     collect_reports: bool = False,
     executor=None,
     pipeline: bool = False,
+    split: bool = False,
+    split_threshold: float | None = None,
 ) -> CliqueResult:
     """Enumerate every maximal clique of ``graph`` with block size ``m``.
 
@@ -93,6 +95,15 @@ def find_max_cliques(
         :class:`~repro.distributed.executor.SharedMemoryExecutor` (one
         is constructed when ``executor`` is ``None``).  The clique
         output is identical to the barrier mode.
+    split:
+        Enable anchor-level splitting of straggler blocks (see
+        ``docs/scheduling.md``): blocks whose estimated cost exceeds the
+        split threshold are expanded into independently scheduled
+        subtasks.  Requires a shared-memory executor (barrier or
+        pipeline mode); the clique output is identical either way.
+    split_threshold:
+        Override the adaptive split threshold with a fixed cost value
+        (only meaningful with ``split=True``).
 
     Returns
     -------
@@ -115,6 +126,8 @@ def find_max_cliques(
             f"unknown fallback mode {fallback!r}; known: {', '.join(FALLBACK_MODES)}"
         )
     selection_tree = tree if tree is not None else paper_tree()
+    if split:
+        executor = _configure_split(executor, split_threshold, pipeline)
     if pipeline:
         return _pipeline_enumerate(
             graph,
@@ -280,6 +293,30 @@ def decompose_only(
         current = induced_subgraph(current, hubs)
         level += 1
     return stats, len(stats)
+
+
+def _configure_split(executor, split_threshold: float | None, pipeline: bool):
+    """Apply the driver's split settings to the executor.
+
+    Splitting happens inside the shared-memory dispatch loop, so it
+    needs a :class:`~repro.distributed.executor.SharedMemoryExecutor`
+    (in barrier or pipeline mode); asking for it on the serial or
+    process executor is an error rather than a silent no-op.
+    """
+    from repro.distributed.executor import SharedMemoryExecutor
+
+    if executor is None and pipeline:
+        executor = SharedMemoryExecutor()
+    if not isinstance(executor, SharedMemoryExecutor):
+        raise ExecutorError(
+            "anchor-level splitting (split=True) requires a "
+            "SharedMemoryExecutor; got "
+            f"{type(executor).__name__ if executor is not None else 'the serial in-process path'}"
+        )
+    executor.split = True
+    if split_threshold is not None:
+        executor.split_threshold = split_threshold
+    return executor
 
 
 def _pipeline_enumerate(

@@ -11,6 +11,7 @@ is the canonical feature-vector order used by the tree learner.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -119,13 +120,47 @@ def estimate_analysis_cost(num_nodes: int, num_edges: int) -> float:
     Moon–Moser bounds the clique count by ``3^(n/3)``, but within one
     decomposition the blocks share the size cap ``m``, so what separates
     cheap blocks from expensive ones is density; the estimate scales the
-    node count by an exponential in the *average degree*.  Only the
-    ordering matters (LPT dispatch feeds costly blocks to workers
-    first), so the constant factors are irrelevant — the estimate just
-    has to be monotone in size and density, and computable in O(1) from
-    counts the block graph already maintains.
+    node count by an exponential in the largest clique the edge count
+    can support — ``k(k-1)/2 ≤ e`` gives ``k = (1 + sqrt(1 + 8e)) / 2``
+    — capped at ``n``.  Only the ordering matters (LPT dispatch and the
+    split threshold feed costly blocks to workers first), so constant
+    factors are irrelevant; what the schedulers rely on is that the
+    estimate is non-negative, monotone non-decreasing in both node and
+    edge count, and computable in O(1) from counts the block graph
+    already maintains.  (The earlier ``n * 3^(avg_degree/3)`` form was
+    *not* monotone in ``n``: adding an isolated node to a dense block
+    lowered its estimate.)
     """
     if num_nodes <= 0:
         return 0.0
-    average_degree = 2.0 * num_edges / num_nodes
-    return num_nodes * 3.0 ** (average_degree / 3.0)
+    clique_bound = 0.5 * (1.0 + math.sqrt(1.0 + 8.0 * max(num_edges, 0)))
+    exponent = min(float(num_nodes), clique_bound)
+    return num_nodes * 3.0 ** (exponent / 3.0)
+
+
+def adaptive_split_threshold(costs: "list[float]", num_workers: int) -> float:
+    """Cost above which a block is worth splitting into anchor subtasks.
+
+    Derived from the batch's own cost distribution, not a hardcoded
+    constant: a block is a straggler when its estimated cost exceeds the
+    batch's *fair share* (total cost / workers) — by definition such a
+    block makes its worker the makespan even under a perfect assignment
+    of everything else.  On batches with more blocks than workers the
+    threshold is additionally floored at twice the median positive cost
+    so that a near-uniform batch (where every block sits close to the
+    fair share) is not shredded into subtasks for no makespan win.
+
+    Returns ``inf`` (never split) for serial execution or an
+    empty/zero-cost batch.
+    """
+    if num_workers <= 1:
+        return float("inf")
+    positive = sorted(cost for cost in costs if cost > 0.0)
+    if not positive:
+        return float("inf")
+    fair_share = sum(positive) / num_workers
+    if len(positive) < num_workers:
+        # Fewer tasks than workers: splitting is the only parallelism.
+        return fair_share
+    typical = positive[len(positive) // 2]
+    return max(fair_share, 2.0 * typical)

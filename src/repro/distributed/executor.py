@@ -46,14 +46,21 @@ from multiprocessing import parent_process
 from repro.core.block_analysis import (
     BlockDescriptor,
     BlockReport,
+    SplitResult,
+    SubtaskDescriptor,
     analyze_block,
     analyze_block_csr,
+    analyze_block_csr_splittable,
+    analyze_subtask_csr,
+    build_subtasks,
+    merge_fragment_reports,
 )
 from repro.graph.csr import BitmapScratch
 from repro.core.blocks import Block
+from repro.decision.features import adaptive_split_threshold
 from repro.decision.tree import DecisionTree
 from repro.distributed.cluster import ClusterSpec
-from repro.distributed.scheduler import StreamingLPTBuffer, lpt_order
+from repro.distributed.scheduler import StealDeque, StreamingLPTBuffer, lpt_order
 from repro.distributed.simulation import SimulatedRun, simulate_level
 from repro.errors import ExecutorError
 from repro.graph.adjacency import Graph
@@ -62,6 +69,8 @@ from repro.mce.instrumentation import (
     BlockTiming,
     ExecutionTrace,
     LevelDecomposition,
+    SplitDecision,
+    SubtaskTiming,
 )
 from repro.mce.registry import Combo
 
@@ -70,16 +79,31 @@ FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 def _maybe_inject_fault(block_id: int) -> None:
     """Test hook: crash or raise on a chosen block, in pool workers only."""
+    _inject_if_target(str(block_id), f"block {block_id}")
+
+
+def _maybe_inject_fault_subtask(block_id: int, subtask_id: int) -> None:
+    """Like :func:`_maybe_inject_fault`, targeting ``<block>.<subtask>``.
+
+    The spec ``kill:3.2`` (or ``raise:3.2``) fires only on subtask 2 of
+    block 3, so the crash-safety tests can kill a worker mid-subtask and
+    assert that *only that subtask* is re-executed — the whole-block
+    fragments completed before the crash are kept.
+    """
+    _inject_if_target(f"{block_id}.{subtask_id}", f"subtask {block_id}.{subtask_id}")
+
+
+def _inject_if_target(candidate: str, description: str) -> None:
     spec = os.environ.get(FAULT_INJECT_ENV)
     if not spec or parent_process() is None:
         return
     kind, _, target = spec.partition(":")
-    if target != str(block_id):
+    if target != candidate:
         return
     if kind == "kill":
         os.kill(os.getpid(), signal.SIGKILL)
     if kind == "raise":
-        raise RuntimeError(f"injected failure on block {block_id}")
+        raise RuntimeError(f"injected failure on {description}")
 
 
 class SerialExecutor:
@@ -172,14 +196,23 @@ _WORKER_STATE: dict[str, object] = {}
 
 
 def _shm_worker_init(
-    handle: SharedCSRHandle, tree: DecisionTree | None, combo: Combo | None
+    handle: SharedCSRHandle,
+    tree: DecisionTree | None,
+    combo: Combo | None,
+    split_budget: float | None = None,
 ) -> None:
-    """Pool initializer: attach to the published CSR snapshot."""
+    """Pool initializer: attach to the published CSR snapshot.
+
+    ``split_budget`` (split mode only) is the per-block time budget
+    after which a worker stops its kernel sweep and re-splits the rest
+    of the block into subtasks; ``None`` disables the mid-run trigger.
+    """
     shared = SharedCSR.attach(handle)
     _WORKER_STATE["shared"] = shared
     _WORKER_STATE["tree"] = tree
     _WORKER_STATE["combo"] = combo
     _WORKER_STATE["scratch"] = BitmapScratch()
+    _WORKER_STATE["split_budget"] = split_budget
 
 
 def _shm_analyze(descriptor: BlockDescriptor) -> tuple[int, BlockReport]:
@@ -218,6 +251,112 @@ def _shm_analyze(descriptor: BlockDescriptor) -> tuple[int, BlockReport]:
     return descriptor.block_id, report
 
 
+def _stamp_report(report: BlockReport, dispatch_bytes: int) -> None:
+    """Attach the per-task worker metrics every report variant carries."""
+    report.extra["dispatch_bytes"] = float(dispatch_bytes)
+    report.extra["peak_rss_kb"] = float(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    )
+    report.extra["worker_pid"] = float(os.getpid())
+
+
+def _shm_analyze_split(
+    descriptor: BlockDescriptor, probe: bool
+) -> "tuple[str, object, object]":
+    """Split-mode block worker: returns a report or a split.
+
+    ``("report", block_id, BlockReport)`` when the block ran to
+    completion, ``("split", SplitResult, trigger)`` when the worker
+    handed the (rest of the) kernel sweep back for subtask dispatch —
+    ``trigger`` is ``"cost"`` for a parent-requested probe and
+    ``"budget"`` for a mid-run overrun of the time budget.
+    """
+    shared: SharedCSR = _WORKER_STATE["shared"]  # type: ignore[assignment]
+    try:
+        _maybe_inject_fault(descriptor.block_id)
+        outcome = analyze_block_csr_splittable(
+            descriptor,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            probe=probe,
+            budget_seconds=_WORKER_STATE.get("split_budget"),  # type: ignore[arg-type]
+        )
+    except Exception as exc:
+        raise ExecutorError(
+            f"block {descriptor.block_id} failed in worker {os.getpid()}: "
+            f"{type(exc).__name__}: {exc}",
+            block_id=descriptor.block_id,
+        ) from exc
+    if isinstance(outcome, SplitResult):
+        _stamp_report(outcome.partial, descriptor.nbytes())
+        return ("split", outcome, "cost" if probe else "budget")
+    _stamp_report(outcome, descriptor.nbytes())
+    return ("report", descriptor.block_id, outcome)
+
+
+def _shm_analyze_subtask(
+    subtask: SubtaskDescriptor,
+) -> tuple[int, int, BlockReport]:
+    """Split-mode subtask worker: one anchor range of a split block."""
+    shared: SharedCSR = _WORKER_STATE["shared"]  # type: ignore[assignment]
+    try:
+        _maybe_inject_fault_subtask(subtask.block_id, subtask.subtask_id)
+        report = analyze_subtask_csr(
+            subtask,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+        )
+    except Exception as exc:
+        raise ExecutorError(
+            f"subtask {subtask.block_id}.{subtask.subtask_id} failed in "
+            f"worker {os.getpid()}: {type(exc).__name__}: {exc}",
+            block_id=subtask.block_id,
+        ) from exc
+    _stamp_report(report, subtask.nbytes())
+    return (subtask.block_id, subtask.subtask_id, report)
+
+
+def _item_name(item: tuple) -> str:
+    """Human-readable name of a steal-deque work item (for errors)."""
+    if item[0] == "block":
+        return f"block {item[1].block_id}"
+    return f"subtask {item[1].block_id}.{item[1].subtask_id}"
+
+
+def _item_block_id(item: tuple) -> int:
+    return int(item[1].block_id)
+
+
+@dataclass
+class _SplitState:
+    """Parent-side accumulator for one split block's fragments."""
+
+    descriptor: BlockDescriptor
+    total_positions: int
+    pending: set[int]
+    fragments: list[tuple[int, int, BlockReport]]
+    splitter_pid: int
+
+    def complete(self) -> bool:
+        return not self.pending
+
+    def merge(self) -> BlockReport:
+        return merge_fragment_reports(
+            self.descriptor.block_id,
+            len(self.descriptor.kernel_ids),
+            self.total_positions,
+            self.fragments,
+        )
+
+
 @dataclass
 class SharedMemoryExecutor:
     """Zero-copy parallel block analysis over a shared CSR snapshot.
@@ -234,12 +373,30 @@ class SharedMemoryExecutor:
     so plain re-execution is exactly correct — and raises
     :class:`ExecutorError` only if the retry fails too.  The shared
     segments are always unlinked, including on the failure paths.
+
+    ``split`` (default off) enables anchor-level splitting: blocks whose
+    estimated cost exceeds the split threshold are expanded into
+    per-anchor-range subtasks dispatched through a work-stealing deque
+    alongside whole blocks, so one straggler block no longer pins the
+    batch makespan to a single worker (see ``docs/scheduling.md``).
+    ``split_threshold=None`` derives the threshold adaptively from the
+    batch's cost distribution
+    (:func:`repro.decision.features.adaptive_split_threshold`); a float
+    forces it (``0.0`` splits every splittable block, ``inf`` none).
+    ``split_subtasks`` caps how many subtasks one block expands into
+    (default ``4 × workers``); ``resplit_after_seconds`` is the mid-run
+    budget after which a worker re-splits the unfinished tail of a block
+    the threshold *missed* (``None`` disables the trigger).
     """
 
     max_workers: int | None = None
     retry_failed: bool = True
     # Reorder-buffer depth for pipeline mode; None = max(4, workers).
     pipeline_lookahead: int | None = None
+    split: bool = False
+    split_threshold: float | None = None
+    split_subtasks: int | None = None
+    resplit_after_seconds: float | None = 1.0
     last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
 
     def open_pipeline(
@@ -260,6 +417,10 @@ class SharedMemoryExecutor:
             combo,
             retry_failed=self.retry_failed,
             lookahead=self.pipeline_lookahead,
+            split=self.split,
+            split_threshold=self.split_threshold,
+            split_subtasks=self.split_subtasks,
+            resplit_after_seconds=self.resplit_after_seconds,
         )
         self.last_trace = session.trace
         return session
@@ -294,33 +455,311 @@ class SharedMemoryExecutor:
             publish_seconds=time.perf_counter() - publish_start,
         )
         self.last_trace = trace
-        order = lpt_order([descriptor.estimated_cost for descriptor in descriptors])
         results: dict[int, BlockReport] = {}
         try:
-            with ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_shm_worker_init,
-                initargs=(shared.handle, tree, combo),
-            ) as pool:
-                pending = {
-                    pool.submit(_shm_analyze, descriptors[i]): i for i in order
-                }
-                while pending:
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        block_id = pending.pop(future)
-                        try:
-                            _, report = future.result()
-                        except BrokenProcessPool:
-                            report = self._retry(blocks[block_id], block_id, tree, combo)
-                        except ExecutorError:
-                            raise
-                        results[block_id] = report
-                        trace.record(_timing_of(block_id, report))
+            if self.split:
+                self._map_blocks_split(
+                    blocks, descriptors, shared, tree, combo, trace, results
+                )
+            else:
+                self._map_blocks_whole(
+                    blocks, descriptors, shared, tree, combo, trace, results
+                )
         finally:
             shared.close()
             shared.unlink()
         return [results[i] for i in range(len(blocks))]
+
+    def _map_blocks_whole(
+        self,
+        blocks: list[Block],
+        descriptors: list[BlockDescriptor],
+        shared: SharedCSR,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        trace: ExecutionTrace,
+        results: dict[int, BlockReport],
+    ) -> None:
+        """The original whole-block dispatch loop (``split=False``)."""
+        order = lpt_order([descriptor.estimated_cost for descriptor in descriptors])
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_shm_worker_init,
+            initargs=(shared.handle, tree, combo),
+        ) as pool:
+            pending = {
+                pool.submit(_shm_analyze, descriptors[i]): i for i in order
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    block_id = pending.pop(future)
+                    try:
+                        _, report = future.result()
+                    except BrokenProcessPool:
+                        report = self._retry(blocks[block_id], block_id, tree, combo)
+                    except ExecutorError:
+                        raise
+                    results[block_id] = report
+                    trace.record(_timing_of(block_id, report))
+
+    def _map_blocks_split(
+        self,
+        blocks: list[Block],
+        descriptors: list[BlockDescriptor],
+        shared: SharedCSR,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        trace: ExecutionTrace,
+        results: dict[int, BlockReport],
+    ) -> None:
+        """Work-stealing dispatch loop with anchor-level splitting.
+
+        Tasks live on a parent-side :class:`StealDeque`: whole blocks
+        enter at the cold end in LPT order, subtasks spawned by splits
+        enter at the hot end and dispatch first.  At most
+        ``workers + 2`` futures are in flight, so a freshly split
+        straggler's subtasks reach idle workers ahead of the queued
+        whole-block tail — the parent-mediated equivalent of idle
+        workers stealing from the busy worker's deque.  When the pool
+        breaks (a worker died), the failed task — and only it — is
+        re-executed in the parent, at subtask granularity for split
+        blocks, and the remaining queue drains in the parent.
+        """
+        workers = self.max_workers or os.cpu_count() or 1
+        costs = [descriptor.estimated_cost for descriptor in descriptors]
+        threshold = (
+            self.split_threshold
+            if self.split_threshold is not None
+            else adaptive_split_threshold(costs, workers)
+        )
+        target = self.split_subtasks or max(2, 4 * workers)
+        queue = StealDeque()
+        for i in lpt_order(costs):
+            descriptor = descriptors[i]
+            probe = (
+                descriptor.estimated_cost > threshold
+                and len(descriptor.kernel_ids) >= 2
+            )
+            queue.push_initial(("block", descriptor, probe))
+        states: dict[int, _SplitState] = {}
+        scratch = BitmapScratch()
+        futures: dict[object, tuple] = {}
+        in_flight_cap = workers + 2
+        pool_broken = False
+
+        def finish_block(block_id: int, report: BlockReport) -> None:
+            results[block_id] = report
+            trace.record(_timing_of(block_id, report))
+
+        def finish_subtask(
+            subtask: SubtaskDescriptor,
+            report: BlockReport,
+            splitter_pid: int,
+            retried: bool,
+        ) -> None:
+            state = states[subtask.block_id]
+            state.fragments.append((subtask.start, subtask.stop, report))
+            worker_pid = int(report.extra.get("worker_pid", 0.0))
+            trace.record_subtask(
+                SubtaskTiming(
+                    block_id=subtask.block_id,
+                    subtask_id=subtask.subtask_id,
+                    start=subtask.start,
+                    stop=subtask.stop,
+                    seconds=report.seconds,
+                    cliques=len(report.cliques),
+                    worker_pid=worker_pid,
+                    stolen=worker_pid != 0 and worker_pid != splitter_pid,
+                    retried=retried,
+                )
+            )
+            state.pending.discard(subtask.subtask_id)
+            if state.complete():
+                finish_block(subtask.block_id, state.merge())
+
+        def handle_split(
+            descriptor: BlockDescriptor, split: SplitResult, trigger: str
+        ) -> None:
+            splitter_pid = int(split.partial.extra.get("worker_pid", 0.0))
+            subtasks = build_subtasks(
+                descriptor, split.kernel_order, split.anchor_costs,
+                split.done, target,
+            )
+            state = _SplitState(
+                descriptor=descriptor,
+                total_positions=len(split.kernel_order),
+                pending={subtask.subtask_id for subtask in subtasks},
+                fragments=[(0, split.done, split.partial)],
+                splitter_pid=splitter_pid,
+            )
+            states[descriptor.block_id] = state
+            trace.record_split(
+                SplitDecision(
+                    block_id=descriptor.block_id,
+                    estimated_cost=descriptor.estimated_cost,
+                    threshold=threshold,
+                    num_subtasks=len(subtasks),
+                    splitter_pid=splitter_pid,
+                    trigger=trigger,
+                )
+            )
+            trace.record_subtask(
+                SubtaskTiming(
+                    block_id=descriptor.block_id,
+                    subtask_id=-1,
+                    start=0,
+                    stop=split.done,
+                    seconds=split.partial.seconds,
+                    cliques=len(split.partial.cliques),
+                    worker_pid=splitter_pid,
+                )
+            )
+            queue.push_spawned(
+                ("subtask", subtask, splitter_pid) for subtask in subtasks
+            )
+            if not subtasks and state.complete():
+                finish_block(descriptor.block_id, state.merge())
+
+        def run_in_parent(item: tuple, retried: bool) -> None:
+            if retried and not self.retry_failed:
+                raise ExecutorError(
+                    f"worker process died while analysing "
+                    f"{_item_name(item)}",
+                    block_id=_item_block_id(item),
+                )
+            if item[0] == "block":
+                descriptor = item[1]
+                report = self._analyze_in_parent(
+                    descriptor, shared, tree, combo, scratch, retried
+                )
+                finish_block(descriptor.block_id, report)
+            else:
+                _, subtask, splitter_pid = item
+                report = self._analyze_subtask_in_parent(
+                    subtask, shared, tree, combo, scratch, retried
+                )
+                finish_subtask(subtask, report, splitter_pid, retried)
+
+        def dispatch(pool: ProcessPoolExecutor) -> None:
+            nonlocal pool_broken
+            while queue and (pool_broken or len(futures) < in_flight_cap):
+                item = queue.take()
+                if pool_broken:
+                    run_in_parent(item, retried=True)
+                    continue
+                try:
+                    if item[0] == "block":
+                        future = pool.submit(_shm_analyze_split, item[1], item[2])
+                    else:
+                        future = pool.submit(_shm_analyze_subtask, item[1])
+                except BrokenProcessPool:
+                    pool_broken = True
+                    run_in_parent(item, retried=True)
+                    continue
+                futures[future] = item
+
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_shm_worker_init,
+            initargs=(shared.handle, tree, combo, self.resplit_after_seconds),
+        ) as pool:
+            dispatch(pool)
+            while futures or queue:
+                if not futures:
+                    dispatch(pool)
+                    continue
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    item = futures.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        run_in_parent(item, retried=True)
+                        continue
+                    except ExecutorError:
+                        raise
+                    if item[0] == "block":
+                        kind = outcome[0]
+                        if kind == "split":
+                            handle_split(item[1], outcome[1], outcome[2])
+                        else:
+                            finish_block(outcome[1], outcome[2])
+                    else:
+                        _, _, report = outcome
+                        finish_subtask(item[1], report, item[2], retried=False)
+                dispatch(pool)
+        missing = [
+            block_id for block_id, state in states.items() if not state.complete()
+        ]
+        if missing:
+            raise ExecutorError(
+                f"split blocks {missing} ended with unprocessed subtasks",
+                block_id=missing[0],
+            )
+
+    def _analyze_in_parent(
+        self,
+        descriptor: BlockDescriptor,
+        shared: SharedCSR,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        scratch: BitmapScratch,
+        retried: bool,
+    ) -> BlockReport:
+        """Run one whole block in the parent from the mapped segments."""
+        try:
+            report = analyze_block_csr(
+                descriptor,
+                shared.indptr,
+                shared.indices,
+                shared.labels,
+                tree=tree,
+                combo=combo,
+                scratch=scratch,
+            )
+        except Exception as exc:
+            raise ExecutorError(
+                f"block {descriptor.block_id} failed again on in-parent "
+                f"retry: {type(exc).__name__}: {exc}",
+                block_id=descriptor.block_id,
+            ) from exc
+        if retried:
+            report.extra["retried"] = 1.0
+        report.extra["dispatch_bytes"] = float(descriptor.nbytes())
+        return report
+
+    def _analyze_subtask_in_parent(
+        self,
+        subtask: SubtaskDescriptor,
+        shared: SharedCSR,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        scratch: BitmapScratch,
+        retried: bool,
+    ) -> BlockReport:
+        """Run one subtask in the parent from the mapped segments."""
+        try:
+            report = analyze_subtask_csr(
+                subtask,
+                shared.indptr,
+                shared.indices,
+                shared.labels,
+                tree=tree,
+                combo=combo,
+                scratch=scratch,
+            )
+        except Exception as exc:
+            raise ExecutorError(
+                f"subtask {subtask.block_id}.{subtask.subtask_id} failed "
+                f"again on in-parent retry: {type(exc).__name__}: {exc}",
+                block_id=subtask.block_id,
+            ) from exc
+        if retried:
+            report.extra["retried"] = 1.0
+        report.extra["dispatch_bytes"] = float(subtask.nbytes())
+        return report
 
     def _retry(
         self,
@@ -347,7 +786,11 @@ class SharedMemoryExecutor:
         return report
 
 
-def _pipeline_worker_init(tree: DecisionTree | None, combo: Combo | None) -> None:
+def _pipeline_worker_init(
+    tree: DecisionTree | None,
+    combo: Combo | None,
+    split_budget: float | None = None,
+) -> None:
     """Pool initializer for pipeline mode: no snapshot yet, just state.
 
     Unlike :func:`_shm_worker_init`, the worker does not attach to one
@@ -359,17 +802,24 @@ def _pipeline_worker_init(tree: DecisionTree | None, combo: Combo | None) -> Non
     _WORKER_STATE["combo"] = combo
     _WORKER_STATE["scratch"] = BitmapScratch()
     _WORKER_STATE["attached"] = {}
+    _WORKER_STATE["split_budget"] = split_budget
+
+
+def _pipeline_attach(handle: SharedCSRHandle) -> SharedCSR:
+    """Attach (or reuse) this worker's mapping of one level's snapshot."""
+    attached: dict[str, SharedCSR] = _WORKER_STATE["attached"]  # type: ignore[assignment]
+    shared = attached.get(handle.indptr_name)
+    if shared is None:
+        shared = SharedCSR.attach(handle)
+        attached[handle.indptr_name] = shared
+    return shared
 
 
 def _pipeline_analyze(
     handle: SharedCSRHandle, descriptor: BlockDescriptor
 ) -> tuple[int, BlockReport]:
     """Analyse one streamed block against its level's shared snapshot."""
-    attached: dict[str, SharedCSR] = _WORKER_STATE["attached"]  # type: ignore[assignment]
-    shared = attached.get(handle.indptr_name)
-    if shared is None:
-        shared = SharedCSR.attach(handle)
-        attached[handle.indptr_name] = shared
+    shared = _pipeline_attach(handle)
     try:
         _maybe_inject_fault(descriptor.block_id)
         report = analyze_block_csr(
@@ -387,12 +837,65 @@ def _pipeline_analyze(
             f"{type(exc).__name__}: {exc}",
             block_id=descriptor.block_id,
         ) from exc
-    report.extra["dispatch_bytes"] = float(descriptor.nbytes())
-    report.extra["peak_rss_kb"] = float(
-        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    )
-    report.extra["worker_pid"] = float(os.getpid())
+    _stamp_report(report, descriptor.nbytes())
     return descriptor.block_id, report
+
+
+def _pipeline_analyze_split(
+    handle: SharedCSRHandle, descriptor: BlockDescriptor, probe: bool
+) -> "tuple[str, object, object]":
+    """Split-mode pipeline block worker; see :func:`_shm_analyze_split`."""
+    shared = _pipeline_attach(handle)
+    try:
+        _maybe_inject_fault(descriptor.block_id)
+        outcome = analyze_block_csr_splittable(
+            descriptor,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            probe=probe,
+            budget_seconds=_WORKER_STATE.get("split_budget"),  # type: ignore[arg-type]
+        )
+    except Exception as exc:
+        raise ExecutorError(
+            f"block {descriptor.block_id} failed in worker {os.getpid()}: "
+            f"{type(exc).__name__}: {exc}",
+            block_id=descriptor.block_id,
+        ) from exc
+    if isinstance(outcome, SplitResult):
+        _stamp_report(outcome.partial, descriptor.nbytes())
+        return ("split", outcome, "cost" if probe else "budget")
+    _stamp_report(outcome, descriptor.nbytes())
+    return ("report", descriptor.block_id, outcome)
+
+
+def _pipeline_analyze_subtask(
+    handle: SharedCSRHandle, subtask: SubtaskDescriptor
+) -> tuple[int, int, BlockReport]:
+    """Split-mode pipeline subtask worker; see :func:`_shm_analyze_subtask`."""
+    shared = _pipeline_attach(handle)
+    try:
+        _maybe_inject_fault_subtask(subtask.block_id, subtask.subtask_id)
+        report = analyze_subtask_csr(
+            subtask,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+        )
+    except Exception as exc:
+        raise ExecutorError(
+            f"subtask {subtask.block_id}.{subtask.subtask_id} failed in "
+            f"worker {os.getpid()}: {type(exc).__name__}: {exc}",
+            block_id=subtask.block_id,
+        ) from exc
+    _stamp_report(report, subtask.nbytes())
+    return (subtask.block_id, subtask.subtask_id, report)
 
 
 class PipelineSession:
@@ -425,23 +928,34 @@ class PipelineSession:
         combo: Combo | None,
         retry_failed: bool = True,
         lookahead: int | None = None,
+        split: bool = False,
+        split_threshold: float | None = None,
+        split_subtasks: int | None = None,
+        resplit_after_seconds: float | None = 1.0,
     ) -> None:
         workers = max_workers or os.cpu_count() or 1
+        self._workers = workers
         self._tree = tree
         self._combo = combo
         self._retry_failed = retry_failed
+        self._split = split
+        self._split_threshold = split_threshold
+        self._split_target = split_subtasks or max(2, 4 * workers)
         self._pool = ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_pipeline_worker_init,
-            initargs=(tree, combo),
+            initargs=(tree, combo, resplit_after_seconds if split else None),
         )
         self._buffer = StreamingLPTBuffer(
             lookahead if lookahead is not None else max(4, workers)
         )
         self._published: dict[int, SharedCSR] = {}
         self._publish_stats: dict[int, tuple[float, int]] = {}
-        self._futures: dict[object, tuple[int, BlockDescriptor]] = {}
+        # future -> (level, descriptor, subtask-or-None, splitter_pid)
+        self._futures: dict[object, tuple] = {}
         self._results: dict[tuple[int, int], BlockReport] = {}
+        self._split_states: dict[tuple[int, int], _SplitState] = {}
+        self._costs_seen: list[float] = []
         self._parent_scratch = BitmapScratch()
         self._closed = False
         self.trace = ExecutionTrace()
@@ -458,6 +972,7 @@ class PipelineSession:
 
     def submit(self, level: int, descriptor: BlockDescriptor) -> None:
         """Queue one streamed block; may dispatch buffered blocks."""
+        self._costs_seen.append(descriptor.estimated_cost)
         for released in self._buffer.push(
             descriptor.estimated_cost, (level, descriptor)
         ):
@@ -502,12 +1017,48 @@ class PipelineSession:
         while self._futures:
             done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
             for future in done:
-                level, descriptor = self._futures.pop(future)
+                level, descriptor, subtask, splitter_pid = self._futures.pop(
+                    future
+                )
                 try:
-                    _, report = future.result()
+                    outcome = future.result()
                 except BrokenProcessPool:
-                    report = self._parent_retry(level, descriptor)
-                self._record(level, descriptor, report)
+                    if subtask is not None:
+                        report = self._parent_retry_subtask(level, subtask)
+                        self._finish_subtask(
+                            level, descriptor, subtask, report,
+                            splitter_pid, retried=True,
+                        )
+                    else:
+                        report = self._parent_retry(level, descriptor)
+                        self._record(level, descriptor, report)
+                    continue
+                if subtask is not None:
+                    _, _, report = outcome
+                    self._finish_subtask(
+                        level, descriptor, subtask, report,
+                        splitter_pid, retried=False,
+                    )
+                elif self._split:
+                    if outcome[0] == "split":
+                        self._handle_split(
+                            level, descriptor, outcome[1], outcome[2]
+                        )
+                    else:
+                        self._record(level, descriptor, outcome[2])
+                else:
+                    _, report = outcome
+                    self._record(level, descriptor, report)
+        incomplete = [
+            key
+            for key, state in self._split_states.items()
+            if not state.complete()
+        ]
+        if incomplete:
+            raise ExecutorError(
+                f"split blocks {incomplete} ended with unprocessed subtasks",
+                block_id=incomplete[0][1],
+            )
         grouped: dict[int, dict[int, BlockReport]] = {}
         for (level, block_id), report in self._results.items():
             grouped.setdefault(level, {})[block_id] = report
@@ -530,8 +1081,35 @@ class PipelineSession:
         self.close()
 
     # -- internals ---------------------------------------------------------
+    def _current_threshold(self) -> float:
+        """Split threshold from the cost stream observed so far.
+
+        An explicit ``split_threshold`` wins; otherwise the adaptive
+        heuristic is recomputed at each dispatch from every cost the
+        producer has submitted up to now — the streaming analogue of the
+        barrier executor's whole-batch distribution.
+        """
+        if self._split_threshold is not None:
+            return self._split_threshold
+        return adaptive_split_threshold(self._costs_seen, self._workers)
+
     def _dispatch(self, level: int, descriptor: BlockDescriptor) -> None:
         handle = self._published[level].handle
+        if self._split:
+            probe = (
+                descriptor.estimated_cost > self._current_threshold()
+                and len(descriptor.kernel_ids) >= 2
+            )
+            try:
+                future = self._pool.submit(
+                    _pipeline_analyze_split, handle, descriptor, probe
+                )
+            except BrokenProcessPool:
+                report = self._parent_retry(level, descriptor)
+                self._record(level, descriptor, report)
+                return
+            self._futures[future] = (level, descriptor, None, 0)
+            return
         try:
             future = self._pool.submit(_pipeline_analyze, handle, descriptor)
         except BrokenProcessPool:
@@ -540,7 +1118,105 @@ class PipelineSession:
             report = self._parent_retry(level, descriptor)
             self._record(level, descriptor, report)
             return
-        self._futures[future] = (level, descriptor)
+        self._futures[future] = (level, descriptor, None, 0)
+
+    def _handle_split(
+        self,
+        level: int,
+        descriptor: BlockDescriptor,
+        split: SplitResult,
+        trigger: str,
+    ) -> None:
+        """Expand a split response into subtask submissions.
+
+        In pipeline mode the pool's shared task queue *is* the steal
+        target: every idle worker pulls from it, so subtasks submitted
+        here are picked up by whichever workers free up first — ahead of
+        blocks still buffered in the :class:`StreamingLPTBuffer`, which
+        only release on later ``submit``/``drain`` calls.
+        """
+        splitter_pid = int(split.partial.extra.get("worker_pid", 0.0))
+        subtasks = build_subtasks(
+            descriptor,
+            split.kernel_order,
+            split.anchor_costs,
+            split.done,
+            self._split_target,
+        )
+        state = _SplitState(
+            descriptor=descriptor,
+            total_positions=len(split.kernel_order),
+            pending={subtask.subtask_id for subtask in subtasks},
+            fragments=[(0, split.done, split.partial)],
+            splitter_pid=splitter_pid,
+        )
+        self._split_states[(level, descriptor.block_id)] = state
+        self.trace.record_split(
+            SplitDecision(
+                block_id=descriptor.block_id,
+                estimated_cost=descriptor.estimated_cost,
+                threshold=self._current_threshold(),
+                num_subtasks=len(subtasks),
+                splitter_pid=splitter_pid,
+                trigger=trigger,
+            )
+        )
+        self.trace.record_subtask(
+            SubtaskTiming(
+                block_id=descriptor.block_id,
+                subtask_id=-1,
+                start=0,
+                stop=split.done,
+                seconds=split.partial.seconds,
+                cliques=len(split.partial.cliques),
+                worker_pid=splitter_pid,
+            )
+        )
+        handle = self._published[level].handle
+        for subtask in subtasks:
+            try:
+                future = self._pool.submit(
+                    _pipeline_analyze_subtask, handle, subtask
+                )
+            except BrokenProcessPool:
+                report = self._parent_retry_subtask(level, subtask)
+                self._finish_subtask(
+                    level, descriptor, subtask, report,
+                    splitter_pid, retried=True,
+                )
+                continue
+            self._futures[future] = (level, descriptor, subtask, splitter_pid)
+        if state.complete():
+            self._record(level, descriptor, state.merge())
+
+    def _finish_subtask(
+        self,
+        level: int,
+        descriptor: BlockDescriptor,
+        subtask: SubtaskDescriptor,
+        report: BlockReport,
+        splitter_pid: int,
+        retried: bool,
+    ) -> None:
+        state = self._split_states[(level, descriptor.block_id)]
+        state.fragments.append((subtask.start, subtask.stop, report))
+        worker_pid = int(report.extra.get("worker_pid", 0.0))
+        self.trace.record_subtask(
+            SubtaskTiming(
+                block_id=subtask.block_id,
+                subtask_id=subtask.subtask_id,
+                start=subtask.start,
+                stop=subtask.stop,
+                seconds=report.seconds,
+                cliques=len(report.cliques),
+                worker_pid=worker_pid,
+                stolen=worker_pid != 0 and worker_pid != splitter_pid,
+                retried=retried,
+            )
+        )
+        state.pending.discard(subtask.subtask_id)
+        if state.complete():
+            self._record(level, descriptor, state.merge())
 
     def _parent_retry(
         self, level: int, descriptor: BlockDescriptor
@@ -570,6 +1246,42 @@ class PipelineSession:
             ) from exc
         report.extra["retried"] = 1.0
         report.extra["dispatch_bytes"] = float(descriptor.nbytes())
+        return report
+
+    def _parent_retry_subtask(
+        self, level: int, subtask: SubtaskDescriptor
+    ) -> BlockReport:
+        """Re-run one subtask of a split block in the parent.
+
+        Only the failed anchor range is re-executed; the split block's
+        other fragments — completed before the worker died — are kept.
+        """
+        if not self._retry_failed:
+            raise ExecutorError(
+                f"worker process died while analysing subtask "
+                f"{subtask.block_id}.{subtask.subtask_id} of level {level}",
+                block_id=subtask.block_id,
+            )
+        shared = self._published[level]
+        try:
+            report = analyze_subtask_csr(
+                subtask,
+                shared.indptr,
+                shared.indices,
+                shared.labels,
+                tree=self._tree,
+                combo=self._combo,
+                scratch=self._parent_scratch,
+            )
+        except Exception as exc:
+            raise ExecutorError(
+                f"subtask {subtask.block_id}.{subtask.subtask_id} of level "
+                f"{level} failed again on in-parent retry: "
+                f"{type(exc).__name__}: {exc}",
+                block_id=subtask.block_id,
+            ) from exc
+        report.extra["retried"] = 1.0
+        report.extra["dispatch_bytes"] = float(subtask.nbytes())
         return report
 
     def _record(

@@ -17,7 +17,9 @@ cluster's parallelism is realised.  Three policies are provided:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import SchedulingError
 from repro.distributed.cluster import ClusterSpec
@@ -138,10 +140,16 @@ def lpt_order(costs: list[float]) -> list[int]:
     decreasing-cost order is equivalent to the greedy least-loaded
     placement of :func:`schedule_lpt` — each idle worker takes the next
     (largest remaining) task, so the big blocks start first and the
-    small ones fill the tail.  Ties break by submission index, keeping
-    the order deterministic.
+    small ones fill the tail.
+
+    Equal-cost tasks are ordered by submission index (Python's ``sorted``
+    is stable, and the explicit ``(cost, index)`` key pins it even if the
+    sort ever changes): split and unsplit runs of the same batch must
+    dispatch identically or their traces are not comparable.  The
+    tie-break is covered by a regression test in
+    ``tests/test_distributed_scheduler.py``.
     """
-    return sorted(range(len(costs)), key=lambda index: (-costs[index], index))
+    return sorted(range(len(costs)), key=lambda index: (-float(costs[index]), index))
 
 
 class StreamingLPTBuffer:
@@ -180,6 +188,61 @@ class StreamingLPTBuffer:
         """Release every buffered task, costliest first."""
         released = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
         return released
+
+
+class StealDeque:
+    """Double-ended work queue for anchor-level splitting (parent side).
+
+    The shared-memory executor drains this deque to keep its pool fed:
+    whole blocks enter at the *cold* end in LPT order
+    (:meth:`push_initial`), while subtasks spawned when a straggler
+    block splits mid-run enter at the *hot* end (:meth:`push_spawned`)
+    and are taken first.  That is the work-first half of classic work
+    stealing: the splitter keeps one chunk and publishes the rest where
+    idle workers grab them before any queued whole block — the freshly
+    split work is by construction the batch's critical path.
+
+    The deque lives in the parent (``multiprocessing`` queues cannot
+    cross a ``ProcessPoolExecutor``'s pickling boundary); workers
+    "steal" by completing their current task, which hands the parent a
+    free slot to fill from the hot end.  All ordering is deterministic:
+    spawned groups keep their given order, and successive spawns stack
+    LIFO so the most recently split block's subtasks run first.
+    """
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def push_initial(self, item: object) -> None:
+        """Append one task at the cold end (drained last)."""
+        self._items.append(item)
+
+    def push_spawned(self, items: Iterable[object]) -> None:
+        """Push a group of spawned subtasks at the hot end (drained next).
+
+        The group keeps its internal order: after
+        ``push_spawned([a, b])`` the next two :meth:`take` calls return
+        ``a`` then ``b``.
+        """
+        self._items.extendleft(reversed(list(items)))
+
+    def take(self) -> object:
+        """Remove and return the hottest task.
+
+        Raises
+        ------
+        SchedulingError
+            When the deque is empty.
+        """
+        if not self._items:
+            raise SchedulingError("take() from an empty StealDeque")
+        return self._items.popleft()
 
 
 SCHEDULERS = {

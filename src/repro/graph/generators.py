@@ -288,6 +288,29 @@ def stochastic_block_model(
     return graph
 
 
+def planted_straggler(
+    dense_nodes: int = 40,
+    dense_p: float = 0.5,
+    tiny_blocks: int = 30,
+    tiny_size: int = 6,
+    tiny_p: float = 0.4,
+    seed: int = 0,
+) -> Graph:
+    """One dense community plus many tiny sparse ones (disjoint).
+
+    The worst case for block-level parallelism: with a block size cap
+    above ``dense_nodes`` the decomposition packs the dense community
+    into a single block whose Bron–Kerbosch cost dwarfs every other
+    block's, so one worker grinds the straggler while the rest drain the
+    tiny blocks and idle.  Used by the anchor-level splitting
+    differential tests and ``benchmarks/bench_straggler.py``.
+    """
+    parts = [erdos_renyi(dense_nodes, dense_p, seed=seed)]
+    for index in range(tiny_blocks):
+        parts.append(erdos_renyi(tiny_size, tiny_p, seed=seed + index + 1))
+    return disjoint_union(parts)
+
+
 def disjoint_union(graphs: Iterable[Graph]) -> Graph:
     """Return the disjoint union, relabeling nodes as ``(index, node)``."""
     union = Graph()

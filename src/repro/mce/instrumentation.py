@@ -79,6 +79,48 @@ class BlockTiming:
 
 
 @dataclass(frozen=True)
+class SubtaskTiming:
+    """Measured execution record of one anchor-range subtask.
+
+    When a straggler block splits, each fragment of its kernel sweep is
+    timed separately: ``start``/``stop`` delimit the half-open range of
+    degeneracy-order anchor positions the fragment covered
+    (``subtask_id == -1`` marks the splitter's own inline fragment,
+    including the probe that computed the split).  ``stolen`` is true
+    when the fragment ran on a different worker than the one that split
+    the block — the steal actually happened rather than the splitter
+    draining its own spawn.
+    """
+
+    block_id: int
+    subtask_id: int
+    start: int
+    stop: int
+    seconds: float
+    cliques: int
+    worker_pid: int = 0
+    stolen: bool = False
+    retried: bool = False
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """Record of one block being expanded into anchor subtasks.
+
+    ``trigger`` is ``"cost"`` when the parent's adaptive threshold
+    flagged the block before dispatch, or ``"budget"`` when the worker
+    re-split its own block mid-run after overrunning the time budget.
+    """
+
+    block_id: int
+    estimated_cost: float
+    threshold: float
+    num_subtasks: int
+    splitter_pid: int = 0
+    trigger: str = "cost"
+
+
+@dataclass(frozen=True)
 class LevelDecomposition:
     """Measured decomposition of one recursion level (pipeline mode).
 
@@ -113,6 +155,8 @@ class ExecutionTrace:
     publish_bytes: int = 0
     publish_seconds: float = 0.0
     levels: list[LevelDecomposition] = field(default_factory=list)
+    subtasks: list[SubtaskTiming] = field(default_factory=list)
+    splits: list[SplitDecision] = field(default_factory=list)
 
     def record(self, timing: BlockTiming) -> None:
         """Append one per-block record."""
@@ -121,6 +165,14 @@ class ExecutionTrace:
     def record_level(self, level: LevelDecomposition) -> None:
         """Append one per-level decomposition record (pipeline mode)."""
         self.levels.append(level)
+
+    def record_subtask(self, timing: SubtaskTiming) -> None:
+        """Append one per-subtask record (split mode)."""
+        self.subtasks.append(timing)
+
+    def record_split(self, decision: SplitDecision) -> None:
+        """Append one split decision (split mode)."""
+        self.splits.append(decision)
 
     @property
     def total_decompose_seconds(self) -> float:
@@ -150,6 +202,48 @@ class ExecutionTrace:
     def slowest(self, count: int = 5) -> list[BlockTiming]:
         """The ``count`` most expensive blocks, costliest first."""
         return sorted(self.timings, key=lambda t: -t.seconds)[:count]
+
+    @property
+    def split_block_ids(self) -> list[int]:
+        """Ids of blocks that were expanded into anchor subtasks."""
+        return [decision.block_id for decision in self.splits]
+
+    @property
+    def steal_count(self) -> int:
+        """Subtask fragments that ran away from their splitter's worker."""
+        return sum(1 for timing in self.subtasks if timing.stolen)
+
+    @property
+    def retried_subtasks(self) -> list[tuple[int, int]]:
+        """``(block_id, subtask_id)`` of subtasks re-run after a failure."""
+        return [
+            (timing.block_id, timing.subtask_id)
+            for timing in self.subtasks
+            if timing.retried
+        ]
+
+    def worker_busy_seconds(self) -> dict[int, float]:
+        """Seconds of analysis each worker pid actually executed.
+
+        Split blocks are accounted through their fragments (the merged
+        :class:`BlockTiming` of a split block sums its fragments' time,
+        so counting both would double-book the splitter); unsplit blocks
+        are accounted through their block timing.  Benchmarks derive the
+        worker-idle fraction as
+        ``1 - sum(busy) / (workers * makespan)``.
+        """
+        split_ids = set(self.split_block_ids)
+        busy: dict[int, float] = {}
+        for timing in self.timings:
+            if timing.block_id not in split_ids:
+                busy[timing.worker_pid] = (
+                    busy.get(timing.worker_pid, 0.0) + timing.seconds
+                )
+        for subtask in self.subtasks:
+            busy[subtask.worker_pid] = (
+                busy.get(subtask.worker_pid, 0.0) + subtask.seconds
+            )
+        return busy
 
 
 def collect_cliques_with_profile(

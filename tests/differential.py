@@ -26,17 +26,28 @@ from repro.mce.registry import Combo
 
 # Executor factories under differential test.  Two workers keep the
 # process-based executors honest (real cross-process traffic) without
-# oversubscribing CI machines.
+# oversubscribing CI machines.  ``shared-split`` forces anchor-level
+# splitting on every splittable block (threshold 0, small chunks) so the
+# subtask/steal/merge machinery is exercised even on the small test
+# graphs whose blocks would never cross the adaptive threshold.
 EXECUTOR_FACTORIES: dict[str, Callable[[], object]] = {
     "serial": SerialExecutor,
     "process": lambda: ProcessExecutor(max_workers=2),
     "shared": lambda: SharedMemoryExecutor(max_workers=2),
+    "shared-split": lambda: SharedMemoryExecutor(
+        max_workers=2, split=True, split_threshold=0.0, split_subtasks=3
+    ),
 }
 
 # Full-driver configurations: every executor in barrier mode, plus the
 # streaming decompose→dispatch pipeline (a driver mode riding on the
-# shared-memory executor, not a separate executor class).
-DRIVER_MODES: tuple[str, ...] = (*sorted(EXECUTOR_FACTORIES), "shared-pipeline")
+# shared-memory executor, not a separate executor class), with and
+# without forced anchor-level splitting.
+DRIVER_MODES: tuple[str, ...] = (
+    *sorted(EXECUTOR_FACTORIES),
+    "shared-pipeline",
+    "shared-pipeline-split",
+)
 
 Canonical = tuple[tuple[str, ...], ...]
 
@@ -105,8 +116,11 @@ def run_driver_levels(
 
 
 def _driver_result(mode: str, graph: Graph, m: int, combo: Combo | None = None):
-    pipeline = mode == "shared-pipeline"
-    executor_name = "shared" if pipeline else mode
+    pipeline = mode.startswith("shared-pipeline")
+    if pipeline:
+        executor_name = "shared-split" if mode.endswith("-split") else "shared"
+    else:
+        executor_name = mode
     executor = (
         None if executor_name == "serial" else EXECUTOR_FACTORIES[executor_name]()
     )

@@ -1,12 +1,24 @@
-"""Unit tests for block feature extraction."""
+"""Unit tests for block feature extraction and cost estimation."""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
-from repro.decision.features import FEATURE_NAMES, BlockFeatures, extract_features
+from repro.core.blocks import build_blocks
+from repro.core.block_analysis import analyze_blocks
+from repro.core.feasibility import cut
+from repro.decision.features import (
+    FEATURE_NAMES,
+    BlockFeatures,
+    adaptive_split_threshold,
+    estimate_analysis_cost,
+    extract_features,
+)
 from repro.graph.adjacency import Graph
-from repro.graph.generators import complete_graph, cycle_graph
+from repro.graph.generators import complete_graph, cycle_graph, planted_straggler
+from repro.mce.instrumentation import BlockTiming, ExecutionTrace
 
 
 class TestBlockFeatures:
@@ -47,3 +59,115 @@ class TestBlockFeatures:
         features = BlockFeatures.of(Graph())
         with pytest.raises(AttributeError):
             features.num_nodes = 7  # type: ignore[misc]
+
+
+class TestEstimateAnalysisCost:
+    """Properties the dispatch and split heuristics rely on.
+
+    Only the *ordering* of estimates matters (LPT dispatch, split
+    threshold), so the contract is: non-negative, and monotone
+    non-decreasing in both node and edge count.  The earlier
+    ``n * 3^(avg_degree/3)`` form violated node-monotonicity.
+    """
+
+    nodes = st.integers(min_value=0, max_value=200)
+    edges = st.integers(min_value=0, max_value=5000)
+
+    @given(n=nodes, e=edges)
+    def test_never_negative(self, n, e):
+        assert estimate_analysis_cost(n, e) >= 0.0
+
+    @given(n=nodes, e=edges)
+    def test_monotone_in_nodes(self, n, e):
+        assert estimate_analysis_cost(n + 1, e) >= estimate_analysis_cost(n, e)
+
+    @given(n=nodes, e=edges)
+    def test_monotone_in_edges(self, n, e):
+        assert estimate_analysis_cost(n, e + 1) >= estimate_analysis_cost(n, e)
+
+    def test_empty_block_is_free(self):
+        assert estimate_analysis_cost(0, 0) == 0.0
+
+    def test_dense_beats_sparse_at_equal_size(self):
+        sparse = estimate_analysis_cost(30, 29)
+        dense = estimate_analysis_cost(30, 300)
+        assert dense > sparse
+
+    def test_matches_features_method(self):
+        features = BlockFeatures.of(complete_graph(8))
+        assert features.estimated_cost() == estimate_analysis_cost(8, 28)
+
+
+class TestAdaptiveSplitThreshold:
+    def test_serial_never_splits(self):
+        assert adaptive_split_threshold([100.0, 1.0], 1) == float("inf")
+
+    def test_empty_batch(self):
+        assert adaptive_split_threshold([], 4) == float("inf")
+
+    def test_zero_cost_batch(self):
+        assert adaptive_split_threshold([0.0, 0.0], 4) == float("inf")
+
+    def test_uniform_batch_not_shredded(self):
+        # Near-uniform costs: every block sits near the fair share, so
+        # none should cross the threshold.
+        costs = [10.0, 11.0, 9.0, 10.0, 10.5, 9.5, 10.0, 10.0]
+        threshold = adaptive_split_threshold(costs, 4)
+        assert all(cost < threshold for cost in costs)
+
+    def test_straggler_crosses_threshold(self):
+        costs = [100.0] + [1.0] * 20
+        threshold = adaptive_split_threshold(costs, 4)
+        assert costs[0] > threshold
+        assert all(cost < threshold for cost in costs[1:])
+
+    def test_fewer_tasks_than_workers_uses_fair_share(self):
+        # Two blocks, four workers: splitting is the only parallelism,
+        # so the threshold drops to the fair share.
+        costs = [40.0, 20.0]
+        assert adaptive_split_threshold(costs, 4) == pytest.approx(15.0)
+
+
+class TestCostCalibration:
+    """The estimate agrees with measured timings where it matters.
+
+    The heuristic cannot predict absolute seconds, but the straggler it
+    exists to catch — the one block whose measured time dominates the
+    batch — must also carry the largest estimate, or the split threshold
+    fires on the wrong block.  Measured per-block times come from an
+    :class:`ExecutionTrace` built over a generated corpus with strongly
+    separated block densities (one dense community, many tiny ones), so
+    the assertion is immune to scheduler jitter on CI machines.
+    """
+
+    def test_estimate_identifies_measured_straggler(self):
+        graph = planted_straggler(
+            dense_nodes=22, dense_p=0.6, tiny_blocks=8, tiny_size=5, seed=7
+        )
+        feasible, _ = cut(graph, 32)
+        blocks = build_blocks(graph, feasible, 32)
+        _, reports = analyze_blocks(blocks)
+        trace = ExecutionTrace()
+        for block_id, report in enumerate(reports):
+            trace.record(
+                BlockTiming(
+                    block_id=block_id,
+                    seconds=report.seconds,
+                    cliques=len(report.cliques),
+                )
+            )
+        measured = {t.block_id: t.seconds for t in trace.timings}
+        estimated = {
+            block_id: report.features.estimated_cost()
+            for block_id, report in enumerate(reports)
+        }
+        assert len(measured) > 1
+        slowest = max(measured, key=measured.get)
+        costliest = max(estimated, key=estimated.get)
+        assert slowest == costliest
+        # And the separation is real: the straggler dominates on both
+        # axes, not by a rounding hair.
+        others_measured = [s for b, s in measured.items() if b != slowest]
+        others_estimated = [c for b, c in estimated.items() if b != costliest]
+        assert measured[slowest] > 2.0 * max(others_measured)
+        assert estimated[costliest] > 2.0 * max(others_estimated)

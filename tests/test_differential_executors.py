@@ -25,9 +25,11 @@ from differential import (
     run_driver_levels,
 )
 from repro.core.block_analysis import analyze_blocks
+from repro.distributed.executor import SharedMemoryExecutor
 from repro.graph.generators import (
     barabasi_albert,
     erdos_renyi,
+    planted_straggler,
     social_network,
     stochastic_block_model,
 )
@@ -101,6 +103,52 @@ class TestDriverMatrix:
         barrier = run_driver_levels("shared", graph, M)
         pipeline = run_driver_levels("shared-pipeline", graph, M)
         assert barrier == pipeline
+
+
+class TestStragglerSplitting:
+    """The crafted straggler graph: one dense block among many tiny ones.
+
+    The dense community's block crosses the *adaptive* threshold (no
+    forced ``split_threshold=0.0`` here), so these tests pin the whole
+    production path — cost-based split decision, subtask dispatch
+    through the steal deque, and fragment merging — to the serial
+    oracle, clique for clique.
+    """
+
+    M = 32
+
+    @pytest.fixture(scope="class")
+    def straggler(self):
+        return planted_straggler(
+            dense_nodes=24, dense_p=0.5, tiny_blocks=12, tiny_size=5, seed=3
+        )
+
+    def test_split_blocks_match_serial(self, straggler):
+        blocks = blocks_of(straggler, self.M)
+        serial = canonical_report_cliques(
+            EXECUTOR_FACTORIES["serial"]().map_blocks(blocks, graph=straggler)
+        )
+        executor = SharedMemoryExecutor(max_workers=2, split=True)
+        split = canonical_report_cliques(
+            executor.map_blocks(blocks, graph=straggler)
+        )
+        assert split == serial
+        trace = executor.last_trace
+        assert trace.splits, "the dense block should cross the adaptive threshold"
+        split_ids = set(trace.split_block_ids)
+        merged = [t for t in trace.timings if t.block_id in split_ids]
+        assert merged and all(t.cliques > 0 for t in merged)
+        assert len(trace.subtasks) > len(trace.splits)
+
+    def test_split_driver_matches_oracle(self, straggler):
+        assert run_driver("shared-split", straggler, self.M) == canonical_cliques(
+            nx_cliques(straggler)
+        )
+
+    def test_split_pipeline_matches_serial(self, straggler):
+        assert run_driver("shared-pipeline-split", straggler, self.M) == run_driver(
+            "serial", straggler, self.M
+        )
 
 
 def _random_graph(family: str, size: int, seed: int):

@@ -6,7 +6,9 @@ import pytest
 
 from repro.distributed.cluster import ClusterSpec
 from repro.distributed.scheduler import (
+    StealDeque,
     Task,
+    lpt_order,
     schedule_hash,
     schedule_lpt,
     schedule_round_robin,
@@ -111,6 +113,75 @@ class TestHash:
         hashed = schedule_hash(tasks(costs), cluster(4))
         lpt = schedule_lpt(tasks(costs), cluster(4))
         assert lpt.makespan <= hashed.makespan
+
+
+class TestLPTOrder:
+    def test_decreasing_cost(self):
+        order = lpt_order([1.0, 5.0, 3.0])
+        assert order == [1, 2, 0]
+
+    def test_ties_break_by_submission_index(self):
+        # Equal costs must come out in submission order — split and
+        # unsplit runs of the same batch dispatch identically only if
+        # the tie-break is pinned.
+        order = lpt_order([2.0, 7.0, 2.0, 7.0, 2.0])
+        assert order == [1, 3, 0, 2, 4]
+
+    def test_all_equal_is_identity(self):
+        assert lpt_order([1.0] * 6) == list(range(6))
+
+    def test_empty(self):
+        assert lpt_order([]) == []
+
+    def test_matches_schedule_lpt_on_one_worker(self):
+        # On a single worker the dynamic-dispatch order and the static
+        # placement visit tasks identically (same sort key).
+        costs = [3.0, 1.0, 3.0, 5.0, 1.0]
+        order = lpt_order(costs)
+        static = sorted(
+            tasks(costs), key=lambda t: (-t.cost_seconds, t.task_id)
+        )
+        assert order == [t.task_id for t in static]
+
+
+class TestStealDeque:
+    def test_initial_tasks_fifo(self):
+        dq = StealDeque()
+        for item in ("a", "b", "c"):
+            dq.push_initial(item)
+        assert [dq.take() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_spawned_taken_before_initial(self):
+        dq = StealDeque()
+        dq.push_initial("block0")
+        dq.push_initial("block1")
+        dq.push_spawned(["sub0", "sub1"])
+        assert [dq.take() for _ in range(4)] == [
+            "sub0",
+            "sub1",
+            "block0",
+            "block1",
+        ]
+
+    def test_spawned_groups_stack_lifo(self):
+        # The most recently split block's subtasks run first, but each
+        # group keeps its internal order.
+        dq = StealDeque()
+        dq.push_spawned(["a1", "a2"])
+        dq.push_spawned(["b1", "b2"])
+        assert [dq.take() for _ in range(4)] == ["b1", "b2", "a1", "a2"]
+
+    def test_len_and_bool(self):
+        dq = StealDeque()
+        assert not dq and len(dq) == 0
+        dq.push_initial("x")
+        assert dq and len(dq) == 1
+        dq.take()
+        assert not dq
+
+    def test_take_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            StealDeque().take()
 
 
 class TestScheduleMetrics:

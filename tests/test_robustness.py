@@ -28,7 +28,12 @@ from repro.distributed.executor import (
 from repro.errors import ExecutorError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import SHARED_SEGMENT_PREFIX
-from repro.graph.generators import disjoint_union, h_n, social_network
+from repro.graph.generators import (
+    disjoint_union,
+    erdos_renyi,
+    h_n,
+    social_network,
+)
 
 
 class TestMixedLabelTypes:
@@ -159,6 +164,68 @@ class TestSharedMemoryCrashSafety:
         monkeypatch.setenv(FAULT_INJECT_ENV, "raise:0")
         _maybe_inject_fault(0)  # would raise if it fired
         assert os.environ[FAULT_INJECT_ENV] == "raise:0"
+
+
+class TestSubtaskCrashSafety:
+    """A worker dying mid-subtask retries only that subtask.
+
+    With anchor-level splitting on, the retry unit shrinks from the
+    whole block to the anchor range that was actually lost: fragments
+    completed before the crash keep their results, and the merged
+    report still tiles the block exactly once.
+    """
+
+    @pytest.fixture
+    def split_batch(self):
+        # One dense block, all kernel: the worst case where block-level
+        # retry would redo everything from scratch.
+        g = erdos_renyi(18, 0.5, seed=5)
+        feasible, _ = cut(g, 20)
+        blocks = build_blocks(g, feasible, 20)
+        assert len(blocks) == 1
+        return g, blocks
+
+    @staticmethod
+    def _executor(**kwargs):
+        return SharedMemoryExecutor(
+            max_workers=1, split=True, split_threshold=0.0, split_subtasks=4,
+            **kwargs,
+        )
+
+    def test_killed_subtask_is_retried_alone(self, split_batch, monkeypatch):
+        graph, blocks = split_batch
+        reference, _ = analyze_blocks(blocks)
+        # Subtask ids are start anchor positions — deterministic for a
+        # given graph — so a clean run discovers what to kill.
+        clean = self._executor()
+        clean.map_blocks(blocks, graph=graph)
+        ids = sorted(
+            t.subtask_id for t in clean.last_trace.subtasks if t.subtask_id >= 0
+        )
+        assert len(ids) >= 3, "fixture block must split into several subtasks"
+        target = ids[-2]
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"kill:0.{target}")
+        executor = self._executor()
+        reports = executor.map_blocks(blocks, graph=graph)
+        assert [c for r in reports for c in r.cliques] == reference
+        trace = executor.last_trace
+        retried = set(trace.retried_subtasks)
+        assert (0, target) in retried
+        # Fragments finished before the crash are never recomputed.
+        retried_ids = {subtask_id for _, subtask_id in retried}
+        assert all(sid not in retried_ids for sid in ids if sid < target)
+        assert reports[0].extra.get("retried") == 1.0
+        assert _leaked_segments() == []
+
+    def test_killed_subtask_without_retry_raises_cleanly(
+        self, split_batch, monkeypatch
+    ):
+        graph, blocks = split_batch
+        monkeypatch.setenv(FAULT_INJECT_ENV, "kill:0.0")
+        executor = self._executor(retry_failed=False)
+        with pytest.raises(ExecutorError, match="worker process died"):
+            executor.map_blocks(blocks, graph=graph)
+        assert _leaked_segments() == []
 
 
 class TestProcessExecutorFailures:
