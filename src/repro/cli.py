@@ -150,6 +150,34 @@ def build_parser() -> argparse.ArgumentParser:
             "default: adaptive, from the batch's cost distribution"
         ),
     )
+    enumerate_.add_argument(
+        "--spill-dir",
+        default=None,
+        help=(
+            "make the run durable: append finished blocks to CRC-checked "
+            "segment files in this directory and track progress in an "
+            "atomically updated manifest (see docs/durability.md)"
+        ),
+    )
+    enumerate_.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue a crashed (or finished) durable run from --spill-dir: "
+            "completed blocks are replayed from the segments instead of "
+            "re-analysed; the clique output is identical either way"
+        ),
+    )
+    enumerate_.add_argument(
+        "--no-retry",
+        action="store_true",
+        help=(
+            "fail the whole run when a worker dies instead of re-running "
+            "its block in the parent (--executor shared only); with "
+            "--spill-dir the error names the segment holding the progress "
+            "already made durable"
+        ),
+    )
 
     compare = commands.add_parser(
         "compare", help="two-level decomposition vs the hub-oblivious baseline"
@@ -303,11 +331,17 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         raise ReproError("--pipeline requires --executor shared")
     if args.split and args.executor != "shared":
         raise ReproError("--split requires --executor shared")
+    if args.no_retry and args.executor != "shared":
+        raise ReproError("--no-retry requires --executor shared")
+    if args.resume and not args.spill_dir:
+        raise ReproError("--resume requires --spill-dir")
     executor = (
         None
         if args.executor == "serial"
         else build_executor(args.executor, max_workers=args.workers)
     )
+    if args.no_retry:
+        executor.retry_failed = False
     start = time.perf_counter()
     result = find_max_cliques(
         graph,
@@ -318,6 +352,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         pipeline=args.pipeline,
         split=args.split,
         split_threshold=args.split_threshold,
+        spill_dir=args.spill_dir,
+        resume=args.resume,
     )
     elapsed = time.perf_counter() - start
     print(
@@ -355,6 +391,15 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 f"{trace.steal_count} stolen, "
                 f"{len(trace.retried_subtasks)} subtasks retried"
             )
+    if result.run_info:
+        info = result.run_info
+        print(
+            f"durable run in {info['spill_dir']}: "
+            f"{info['blocks_recorded']} blocks spilled "
+            f"({info['flush_bytes']} bytes, {info['flush_seconds']:.3f}s), "
+            f"{info['blocks_replayed']} replayed from "
+            f"{len(info['segments'])} segment(s)"
+        )
     if result.fallback_used:
         print("note: fell back to exact enumeration on the residual core")
     if args.output:

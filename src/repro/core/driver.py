@@ -37,6 +37,8 @@ from repro.graph.adjacency import Graph, Node
 from repro.graph.csr import CSRGraph, induced_csr
 from repro.graph.views import induced_subgraph
 from repro.mce.registry import Combo
+from repro.runs.manifest import fingerprint_run
+from repro.runs.runlog import RunLog
 
 FALLBACK_MODES: tuple[str, ...] = ("exact", "raise")
 
@@ -53,6 +55,8 @@ def find_max_cliques(
     pipeline: bool = False,
     split: bool = False,
     split_threshold: float | None = None,
+    spill_dir=None,
+    resume: bool = False,
 ) -> CliqueResult:
     """Enumerate every maximal clique of ``graph`` with block size ``m``.
 
@@ -104,6 +108,19 @@ def find_max_cliques(
     split_threshold:
         Override the adaptive split threshold with a fixed cost value
         (only meaningful with ``split=True``).
+    spill_dir:
+        Directory for a *durable* run (see ``docs/durability.md``): as
+        blocks finish, their reports are appended to CRC-checked segment
+        files and the completed block ids are recorded in an atomically
+        updated manifest, so a crash loses at most the blocks in flight.
+        Works with every executor, in barrier and pipeline modes.
+    resume:
+        Continue a durable run that crashed (or finished) in
+        ``spill_dir``: the manifest is validated against the current
+        graph/config fingerprint, every completed block is skipped and
+        its spilled report replayed, and a torn final record left by a
+        crash mid-write is truncated.  The clique output is identical to
+        an uninterrupted run.  Requires ``spill_dir``.
 
     Returns
     -------
@@ -125,11 +142,43 @@ def find_max_cliques(
         raise ValueError(
             f"unknown fallback mode {fallback!r}; known: {', '.join(FALLBACK_MODES)}"
         )
+    if resume and spill_dir is None:
+        raise ValueError("resume=True requires spill_dir")
     selection_tree = tree if tree is not None else paper_tree()
     if split:
         executor = _configure_split(executor, split_threshold, pipeline)
+    run_log: RunLog | None = None
+    if spill_dir is not None:
+        run_log = RunLog(
+            spill_dir,
+            fingerprint_run(
+                graph,
+                m,
+                min_adjacency,
+                mode="pipeline" if pipeline else "barrier",
+                combo=combo.name if combo is not None else None,
+            ),
+            resume=resume,
+        )
     if pipeline:
-        return _pipeline_enumerate(
+        try:
+            return _pipeline_enumerate(
+                graph,
+                m,
+                selection_tree,
+                combo,
+                fallback,
+                min_adjacency,
+                collect_reports,
+                executor,
+                run_log,
+            )
+        finally:
+            if run_log is not None:
+                run_log.close()
+
+    try:
+        return _barrier_enumerate(
             graph,
             m,
             selection_tree,
@@ -138,8 +187,25 @@ def find_max_cliques(
             min_adjacency,
             collect_reports,
             executor,
+            run_log,
         )
+    finally:
+        if run_log is not None:
+            run_log.close()
 
+
+def _barrier_enumerate(
+    graph: Graph,
+    m: int,
+    selection_tree: DecisionTree,
+    combo: Combo | None,
+    fallback: str,
+    min_adjacency: int,
+    collect_reports: bool,
+    executor,
+    run_log: RunLog | None,
+) -> CliqueResult:
+    """The original level-synchronous loop (every non-pipeline mode)."""
     level_cliques: list[list[frozenset[Node]]] = []
     level_stats: list[LevelStats] = []
     level_reports: list[list] = []
@@ -194,13 +260,24 @@ def find_max_cliques(
         decomposition_seconds = time.perf_counter() - decomposition_start
 
         analysis_start = time.perf_counter()
-        if executor is None:
+        if executor is None and run_log is None:
             cliques, reports = analyze_blocks(
                 blocks, tree=selection_tree, combo=combo
             )
         else:
+            if executor is None:
+                # A durable serial run routes through SerialExecutor,
+                # which already speaks the skip/replay/record protocol.
+                from repro.distributed.executor import SerialExecutor
+
+                executor = SerialExecutor()
             reports = executor.map_blocks(
-                blocks, tree=selection_tree, combo=combo, graph=current
+                blocks,
+                tree=selection_tree,
+                combo=combo,
+                graph=current,
+                run_log=run_log,
+                level=level,
             )
             cliques = [clique for report in reports for clique in report.cliques]
         analysis_seconds = time.perf_counter() - analysis_start
@@ -229,6 +306,10 @@ def find_max_cliques(
         level += 1
 
     merged, provenance = _merge_levels(level_cliques)
+    run_info = None
+    if run_log is not None:
+        run_log.finalize()
+        run_info = _run_info(run_log)
     return CliqueResult(
         cliques=merged,
         provenance=provenance,
@@ -237,7 +318,21 @@ def find_max_cliques(
         fallback_used=fallback_used,
         block_combos=dict(combo_counter),
         block_reports=level_reports,
+        run_info=run_info,
     )
+
+
+def _run_info(run_log: RunLog) -> dict:
+    """Durability digest attached to the result of a spill run."""
+    return {
+        "spill_dir": str(run_log.directory),
+        "resumed": run_log.resumed,
+        "blocks_replayed": run_log.num_recovered,
+        "blocks_recorded": len(run_log.flushes),
+        "flush_seconds": sum(flush.seconds for flush in run_log.flushes),
+        "flush_bytes": sum(flush.segment_bytes for flush in run_log.flushes),
+        "segments": list(run_log.manifest.segments),
+    }
 
 
 def decompose_only(
@@ -328,6 +423,7 @@ def _pipeline_enumerate(
     min_adjacency: int,
     collect_reports: bool,
     executor,
+    run_log: RunLog | None = None,
 ) -> CliqueResult:
     """The streaming CSR-native twin of the barrier loop.
 
@@ -354,7 +450,9 @@ def _pipeline_enumerate(
     fallback_level: tuple[int, int, int, float, float, list, Combo] | None = None
     fallback_used = False
 
-    session = executor.open_pipeline(tree=selection_tree, combo=combo)
+    session = executor.open_pipeline(
+        tree=selection_tree, combo=combo, run_log=run_log
+    )
     try:
         current = CSRGraph(graph)
         level = 0
@@ -473,6 +571,10 @@ def _pipeline_enumerate(
         )
 
     merged, provenance = _merge_levels(level_cliques)
+    run_info = None
+    if run_log is not None:
+        run_log.finalize()
+        run_info = _run_info(run_log)
     return CliqueResult(
         cliques=merged,
         provenance=provenance,
@@ -481,6 +583,7 @@ def _pipeline_enumerate(
         fallback_used=fallback_used,
         block_combos=dict(combo_counter),
         block_reports=level_reports,
+        run_info=run_info,
     )
 
 

@@ -46,6 +46,10 @@ class CliqueResult:
     # driver is called with collect_reports=True (used by the distributed
     # simulator, which replays the measured per-block costs).
     block_reports: list = field(default_factory=list)
+    # Durability digest of a spill-to-disk run (spill_dir=...): spill
+    # directory, blocks recorded vs replayed, flush cost, segment names.
+    # None for in-memory runs.
+    run_info: dict | None = None
 
     # ------------------------------------------------------------------
     # Provenance splits (Figures 9–11)
@@ -144,6 +148,7 @@ class CliqueResult:
             "decomposition_seconds": self.total_decomposition_seconds(),
             "analysis_seconds": self.total_analysis_seconds(),
             "block_combos": dict(self.block_combos),
+            "run_info": dict(self.run_info) if self.run_info else None,
             "levels": [
                 {
                     "level": level.level,

@@ -28,7 +28,15 @@ executor can additionally retry blocks in the parent when a worker
 For the fault-tolerance tests, workers honour the
 ``REPRO_FAULT_INJECT`` environment variable (``kill:<block_id>`` or
 ``raise:<block_id>``); it only ever triggers inside a pool worker, never
-in the parent process.
+in the parent process.  The same variable carries the parent-side spill
+targets (``kill:spill-pre:<level>.<block>`` etc.) interpreted by
+:mod:`repro.runs.segments` — one hook, one grammar, two processes.
+
+Every executor accepts an optional :class:`~repro.runs.runlog.RunLog`
+(plus the recursion ``level`` the batch belongs to): blocks already
+completed by a previous run are *skipped* and their stored reports
+replayed, and every freshly finished block is durably recorded the
+moment it completes — see ``docs/durability.md``.
 """
 
 from __future__ import annotations
@@ -73,8 +81,8 @@ from repro.mce.instrumentation import (
     SubtaskTiming,
 )
 from repro.mce.registry import Combo
-
-FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+from repro.runs.runlog import RunLog
+from repro.runs.segments import FAULT_INJECT_ENV  # shared fault hook (one grammar)
 
 
 def _maybe_inject_fault(block_id: int) -> None:
@@ -106,6 +114,21 @@ def _inject_if_target(candidate: str, description: str) -> None:
         raise RuntimeError(f"injected failure on {description}")
 
 
+def _segment_path_of(run_log: RunLog | None) -> str | None:
+    """Spill-segment context for executor errors (None without spilling)."""
+    return run_log.segment_path if run_log is not None else None
+
+
+def _replayed_timing(block_id: int, report: BlockReport) -> BlockTiming:
+    """Trace record of a block replayed from a spill segment (no work)."""
+    return BlockTiming(
+        block_id=block_id,
+        seconds=0.0,
+        cliques=len(report.cliques),
+        replayed=True,
+    )
+
+
 class SerialExecutor:
     """Analyse blocks one after another in the calling process."""
 
@@ -115,9 +138,20 @@ class SerialExecutor:
         tree: DecisionTree | None = None,
         combo: Combo | None = None,
         graph: Graph | None = None,
+        run_log: RunLog | None = None,
+        level: int = 0,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order."""
-        return [analyze_block(block, tree=tree, combo=combo) for block in blocks]
+        reports: list[BlockReport] = []
+        for block_id, block in enumerate(blocks):
+            if run_log is not None and run_log.is_completed(level, block_id):
+                reports.append(run_log.replay_report(level, block_id))
+                continue
+            report = analyze_block(block, tree=tree, combo=combo)
+            if run_log is not None:
+                run_log.record(level, block_id, report)
+            reports.append(report)
+        return reports
 
 
 def _analyze_one(args: tuple[Block, DecisionTree | None, Combo | None]) -> BlockReport:
@@ -168,21 +202,39 @@ class ProcessExecutor:
         tree: DecisionTree | None = None,
         combo: Combo | None = None,
         graph: Graph | None = None,
+        run_log: RunLog | None = None,
+        level: int = 0,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order."""
         if not blocks:
             return []
-        workers = self.max_workers or os.cpu_count() or 1
-        chunk = self.chunksize or max(1, len(blocks) // (workers * 4))
-        payloads = [(i, block, tree, combo) for i, block in enumerate(blocks)]
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            try:
-                return list(pool.map(_analyze_indexed, payloads, chunksize=chunk))
-            except BrokenProcessPool as exc:
-                raise ExecutorError(
-                    "a worker process died while analysing blocks; "
-                    "use SharedMemoryExecutor for in-parent retry"
-                ) from exc
+        results: dict[int, BlockReport] = {}
+        pending: list[int] = []
+        for block_id in range(len(blocks)):
+            if run_log is not None and run_log.is_completed(level, block_id):
+                results[block_id] = run_log.replay_report(level, block_id)
+            else:
+                pending.append(block_id)
+        if pending:
+            workers = self.max_workers or os.cpu_count() or 1
+            chunk = self.chunksize or max(1, len(pending) // (workers * 4))
+            payloads = [(i, blocks[i], tree, combo) for i in pending]
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                try:
+                    for block_id, report in zip(
+                        pending,
+                        pool.map(_analyze_indexed, payloads, chunksize=chunk),
+                    ):
+                        if run_log is not None:
+                            run_log.record(level, block_id, report)
+                        results[block_id] = report
+                except BrokenProcessPool as exc:
+                    raise ExecutorError(
+                        "a worker process died while analysing blocks; "
+                        "use SharedMemoryExecutor for in-parent retry",
+                        segment_path=_segment_path_of(run_log),
+                    ) from exc
+        return [results[i] for i in range(len(blocks))]
 
 
 # ----------------------------------------------------------------------
@@ -400,7 +452,10 @@ class SharedMemoryExecutor:
     last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
 
     def open_pipeline(
-        self, tree: DecisionTree | None = None, combo: Combo | None = None
+        self,
+        tree: DecisionTree | None = None,
+        combo: Combo | None = None,
+        run_log: RunLog | None = None,
     ) -> "PipelineSession":
         """Start a streaming decompose→dispatch session (pipeline mode).
 
@@ -409,7 +464,10 @@ class SharedMemoryExecutor:
         level's CSR and streams descriptors into it while later levels
         are still being decomposed.  The session's trace is installed as
         :attr:`last_trace` immediately, so callers can inspect per-level
-        decomposition timing as soon as the run ends.
+        decomposition timing as soon as the run ends.  With a
+        ``run_log``, already-completed blocks are replayed at submit
+        time and every finished block is spilled the moment its report
+        lands in the parent.
         """
         session = PipelineSession(
             self.max_workers,
@@ -421,6 +479,7 @@ class SharedMemoryExecutor:
             split_threshold=self.split_threshold,
             split_subtasks=self.split_subtasks,
             resplit_after_seconds=self.resplit_after_seconds,
+            run_log=run_log,
         )
         self.last_trace = session.trace
         return session
@@ -431,6 +490,8 @@ class SharedMemoryExecutor:
         tree: DecisionTree | None = None,
         combo: Combo | None = None,
         graph: Graph | None = None,
+        run_log: RunLog | None = None,
+        level: int = 0,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order.
 
@@ -456,15 +517,26 @@ class SharedMemoryExecutor:
         )
         self.last_trace = trace
         results: dict[int, BlockReport] = {}
-        try:
-            if self.split:
-                self._map_blocks_split(
-                    blocks, descriptors, shared, tree, combo, trace, results
-                )
+        pending_ids = []
+        for block_id in range(len(blocks)):
+            if run_log is not None and run_log.is_completed(level, block_id):
+                report = run_log.replay_report(level, block_id)
+                results[block_id] = report
+                trace.record(_replayed_timing(block_id, report))
             else:
-                self._map_blocks_whole(
-                    blocks, descriptors, shared, tree, combo, trace, results
-                )
+                pending_ids.append(block_id)
+        try:
+            if pending_ids:
+                if self.split:
+                    self._map_blocks_split(
+                        blocks, descriptors, pending_ids, shared, tree, combo,
+                        trace, results, run_log, level,
+                    )
+                else:
+                    self._map_blocks_whole(
+                        blocks, descriptors, pending_ids, shared, tree, combo,
+                        trace, results, run_log, level,
+                    )
         finally:
             shared.close()
             shared.unlink()
@@ -474,14 +546,21 @@ class SharedMemoryExecutor:
         self,
         blocks: list[Block],
         descriptors: list[BlockDescriptor],
+        pending_ids: list[int],
         shared: SharedCSR,
         tree: DecisionTree | None,
         combo: Combo | None,
         trace: ExecutionTrace,
         results: dict[int, BlockReport],
+        run_log: RunLog | None,
+        level: int,
     ) -> None:
         """The original whole-block dispatch loop (``split=False``)."""
-        order = lpt_order([descriptor.estimated_cost for descriptor in descriptors])
+        costs = {i: descriptors[i].estimated_cost for i in pending_ids}
+        order = [
+            pending_ids[rank]
+            for rank in lpt_order([costs[i] for i in pending_ids])
+        ]
         with ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_shm_worker_init,
@@ -497,9 +576,16 @@ class SharedMemoryExecutor:
                     try:
                         _, report = future.result()
                     except BrokenProcessPool:
-                        report = self._retry(blocks[block_id], block_id, tree, combo)
-                    except ExecutorError:
+                        report = self._retry(
+                            blocks[block_id], block_id, tree, combo, run_log
+                        )
+                    except ExecutorError as exc:
+                        exc.segment_path = _segment_path_of(run_log)
                         raise
+                    if run_log is not None:
+                        trace.record_flush(
+                            run_log.record(level, block_id, report)
+                        )
                     results[block_id] = report
                     trace.record(_timing_of(block_id, report))
 
@@ -507,11 +593,14 @@ class SharedMemoryExecutor:
         self,
         blocks: list[Block],
         descriptors: list[BlockDescriptor],
+        pending_ids: list[int],
         shared: SharedCSR,
         tree: DecisionTree | None,
         combo: Combo | None,
         trace: ExecutionTrace,
         results: dict[int, BlockReport],
+        run_log: RunLog | None,
+        level: int,
     ) -> None:
         """Work-stealing dispatch loop with anchor-level splitting.
 
@@ -525,9 +614,13 @@ class SharedMemoryExecutor:
         breaks (a worker died), the failed task — and only it — is
         re-executed in the parent, at subtask granularity for split
         blocks, and the remaining queue drains in the parent.
+
+        A split block is spilled to the run log only when its merged
+        report is assembled — fragments are an execution detail; the
+        durable unit is the whole block, recorded exactly once.
         """
         workers = self.max_workers or os.cpu_count() or 1
-        costs = [descriptor.estimated_cost for descriptor in descriptors]
+        costs = [descriptors[i].estimated_cost for i in pending_ids]
         threshold = (
             self.split_threshold
             if self.split_threshold is not None
@@ -535,8 +628,8 @@ class SharedMemoryExecutor:
         )
         target = self.split_subtasks or max(2, 4 * workers)
         queue = StealDeque()
-        for i in lpt_order(costs):
-            descriptor = descriptors[i]
+        for rank in lpt_order(costs):
+            descriptor = descriptors[pending_ids[rank]]
             probe = (
                 descriptor.estimated_cost > threshold
                 and len(descriptor.kernel_ids) >= 2
@@ -549,6 +642,8 @@ class SharedMemoryExecutor:
         pool_broken = False
 
         def finish_block(block_id: int, report: BlockReport) -> None:
+            if run_log is not None:
+                trace.record_flush(run_log.record(level, block_id, report))
             results[block_id] = report
             trace.record(_timing_of(block_id, report))
 
@@ -627,6 +722,7 @@ class SharedMemoryExecutor:
                     f"worker process died while analysing "
                     f"{_item_name(item)}",
                     block_id=_item_block_id(item),
+                    segment_path=_segment_path_of(run_log),
                 )
             if item[0] == "block":
                 descriptor = item[1]
@@ -678,7 +774,8 @@ class SharedMemoryExecutor:
                         pool_broken = True
                         run_in_parent(item, retried=True)
                         continue
-                    except ExecutorError:
+                    except ExecutorError as exc:
+                        exc.segment_path = _segment_path_of(run_log)
                         raise
                     if item[0] == "block":
                         kind = outcome[0]
@@ -697,6 +794,7 @@ class SharedMemoryExecutor:
             raise ExecutorError(
                 f"split blocks {missing} ended with unprocessed subtasks",
                 block_id=missing[0],
+                segment_path=_segment_path_of(run_log),
             )
 
     def _analyze_in_parent(
@@ -767,12 +865,14 @@ class SharedMemoryExecutor:
         block_id: int,
         tree: DecisionTree | None,
         combo: Combo | None,
+        run_log: RunLog | None = None,
     ) -> BlockReport:
         """Re-run a block whose worker died; in the parent, serially."""
         if not self.retry_failed:
             raise ExecutorError(
                 f"worker process died while analysing block {block_id}",
                 block_id=block_id,
+                segment_path=_segment_path_of(run_log),
             )
         try:
             report = analyze_block(block, tree=tree, combo=combo)
@@ -932,12 +1032,14 @@ class PipelineSession:
         split_threshold: float | None = None,
         split_subtasks: int | None = None,
         resplit_after_seconds: float | None = 1.0,
+        run_log: RunLog | None = None,
     ) -> None:
         workers = max_workers or os.cpu_count() or 1
         self._workers = workers
         self._tree = tree
         self._combo = combo
         self._retry_failed = retry_failed
+        self._run_log = run_log
         self._split = split
         self._split_threshold = split_threshold
         self._split_target = split_subtasks or max(2, 4 * workers)
@@ -971,7 +1073,19 @@ class PipelineSession:
         self.trace.publish_seconds += self._publish_stats[level][0]
 
     def submit(self, level: int, descriptor: BlockDescriptor) -> None:
-        """Queue one streamed block; may dispatch buffered blocks."""
+        """Queue one streamed block; may dispatch buffered blocks.
+
+        A block already completed by a previous run never enters the
+        dispatch buffer: its stored report is replayed immediately, so a
+        resumed run spends zero worker time on it.
+        """
+        if self._run_log is not None and self._run_log.is_completed(
+            level, descriptor.block_id
+        ):
+            report = self._run_log.replay_report(level, descriptor.block_id)
+            self._results[(level, descriptor.block_id)] = report
+            self.trace.record(_replayed_timing(descriptor.block_id, report))
+            return
         self._costs_seen.append(descriptor.estimated_cost)
         for released in self._buffer.push(
             descriptor.estimated_cost, (level, descriptor)
@@ -1033,6 +1147,9 @@ class PipelineSession:
                         report = self._parent_retry(level, descriptor)
                         self._record(level, descriptor, report)
                     continue
+                except ExecutorError as exc:
+                    exc.segment_path = _segment_path_of(self._run_log)
+                    raise
                 if subtask is not None:
                     _, _, report = outcome
                     self._finish_subtask(
@@ -1058,6 +1175,7 @@ class PipelineSession:
             raise ExecutorError(
                 f"split blocks {incomplete} ended with unprocessed subtasks",
                 block_id=incomplete[0][1],
+                segment_path=_segment_path_of(self._run_log),
             )
         grouped: dict[int, dict[int, BlockReport]] = {}
         for (level, block_id), report in self._results.items():
@@ -1226,6 +1344,7 @@ class PipelineSession:
                 f"worker process died while analysing block "
                 f"{descriptor.block_id} of level {level}",
                 block_id=descriptor.block_id,
+                segment_path=_segment_path_of(self._run_log),
             )
         shared = self._published[level]
         try:
@@ -1261,6 +1380,7 @@ class PipelineSession:
                 f"worker process died while analysing subtask "
                 f"{subtask.block_id}.{subtask.subtask_id} of level {level}",
                 block_id=subtask.block_id,
+                segment_path=_segment_path_of(self._run_log),
             )
         shared = self._published[level]
         try:
@@ -1287,6 +1407,10 @@ class PipelineSession:
     def _record(
         self, level: int, descriptor: BlockDescriptor, report: BlockReport
     ) -> None:
+        if self._run_log is not None:
+            self.trace.record_flush(
+                self._run_log.record(level, descriptor.block_id, report)
+            )
         self._results[(level, descriptor.block_id)] = report
         self.trace.record(_timing_of(descriptor.block_id, report))
 
@@ -1363,11 +1487,13 @@ class SimulatedExecutor:
         tree: DecisionTree | None = None,
         combo: Combo | None = None,
         graph: Graph | None = None,
+        run_log: RunLog | None = None,
+        level: int = 0,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order."""
-        reports = [
-            analyze_block(block, tree=tree, combo=combo) for block in blocks
-        ]
+        reports = SerialExecutor().map_blocks(
+            blocks, tree=tree, combo=combo, run_log=run_log, level=level
+        )
         self.last_run = simulate_level(
             blocks, reports, self.cluster, policy=self.policy
         )

@@ -90,12 +90,56 @@ class ExecutorError(ReproError):
     Raised by the process-based executors when a worker raises or dies.
     :attr:`block_id` identifies the failing block (the index into the
     submitted block list), or is ``None`` when the failure could not be
-    attributed to a single block.
+    attributed to a single block.  When the run was spilling to disk,
+    :attr:`segment_path` names the segment file the failed block's report
+    would have been appended to, so an operator inspecting a crashed run
+    knows exactly which segment to audit before resuming.
     """
 
-    def __init__(self, message: str, block_id: int | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        block_id: int | None = None,
+        segment_path: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.block_id = block_id
+        self.segment_path = segment_path
 
-    def __reduce__(self):  # preserve block_id across process boundaries
-        return (type(self), (str(self), self.block_id))
+    def __reduce__(self):  # preserve context across process boundaries
+        return (type(self), (str(self), self.block_id, self.segment_path))
+
+
+class RunLogError(ReproError):
+    """A durable spill-to-disk run could not be written or resumed."""
+
+
+class CorruptSegmentError(RunLogError):
+    """A spill segment failed its integrity checks.
+
+    Raised when a record's CRC does not match its payload, a length
+    prefix is inconsistent with the file, or the segment magic is wrong.
+    A torn *tail* (the final record cut short by a crash) is recoverable
+    and handled by :func:`repro.runs.segments.recover_segment`; anything
+    invalid *before* the tail means real corruption, and the library
+    refuses to replay the segment rather than risk returning wrong
+    cliques.  :attr:`path` names the offending file and :attr:`offset`
+    the byte position of the first invalid record.
+    """
+
+    def __init__(
+        self, message: str, path: str | None = None, offset: int | None = None
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class ResumeMismatchError(RunLogError):
+    """A resume was requested against an incompatible run directory.
+
+    Raised when the manifest's fingerprint (graph hash, block size,
+    decomposition mode, ...) does not match the resuming call, when no
+    manifest exists to resume from, or when a fresh run targets a
+    directory that already holds one.
+    """

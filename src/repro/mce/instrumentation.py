@@ -67,7 +67,14 @@ def profile_rule(
 
 @dataclass(frozen=True)
 class BlockTiming:
-    """Measured execution record of one block analysis."""
+    """Measured execution record of one block analysis.
+
+    ``replayed`` marks a block that was *not* analysed in this run at
+    all: its report was recovered from a spill segment of an earlier
+    (crashed or completed) run and replayed during a resume.  The
+    crash-resume tests assert that a resumed run re-analyses zero
+    already-completed blocks by checking this flag.
+    """
 
     block_id: int
     seconds: float
@@ -76,6 +83,23 @@ class BlockTiming:
     peak_rss_kb: int = 0
     worker_pid: int = 0
     retried: bool = False
+    replayed: bool = False
+
+
+@dataclass(frozen=True)
+class SegmentFlush:
+    """Measured durability cost of spilling one finished block.
+
+    ``seconds`` covers encoding the record, the ``write``/``fsync`` into
+    the segment file, and the atomic manifest update — the full price of
+    making the block's cliques crash-proof.  ``segment_bytes`` is the
+    record size on disk (header included).
+    """
+
+    level: int
+    block_id: int
+    segment_bytes: int
+    seconds: float
 
 
 @dataclass(frozen=True)
@@ -157,10 +181,15 @@ class ExecutionTrace:
     levels: list[LevelDecomposition] = field(default_factory=list)
     subtasks: list[SubtaskTiming] = field(default_factory=list)
     splits: list[SplitDecision] = field(default_factory=list)
+    flushes: list[SegmentFlush] = field(default_factory=list)
 
     def record(self, timing: BlockTiming) -> None:
         """Append one per-block record."""
         self.timings.append(timing)
+
+    def record_flush(self, flush: SegmentFlush) -> None:
+        """Append one per-block spill record (durable runs only)."""
+        self.flushes.append(flush)
 
     def record_level(self, level: LevelDecomposition) -> None:
         """Append one per-level decomposition record (pipeline mode)."""
@@ -198,6 +227,28 @@ class ExecutionTrace:
     def retried_blocks(self) -> list[int]:
         """Ids of blocks that were re-executed after a worker failure."""
         return [timing.block_id for timing in self.timings if timing.retried]
+
+    @property
+    def replayed_blocks(self) -> list[int]:
+        """Ids of blocks replayed from spill segments instead of analysed."""
+        return [timing.block_id for timing in self.timings if timing.replayed]
+
+    @property
+    def analyzed_blocks(self) -> list[int]:
+        """Ids of blocks actually analysed in this run (replays excluded)."""
+        return [
+            timing.block_id for timing in self.timings if not timing.replayed
+        ]
+
+    @property
+    def total_flush_seconds(self) -> float:
+        """Wall-clock spent making finished blocks durable (spill runs)."""
+        return sum(flush.seconds for flush in self.flushes)
+
+    @property
+    def total_flush_bytes(self) -> int:
+        """Record bytes appended to spill segments (spill runs)."""
+        return sum(flush.segment_bytes for flush in self.flushes)
 
     def slowest(self, count: int = 5) -> list[BlockTiming]:
         """The ``count`` most expensive blocks, costliest first."""

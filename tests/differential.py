@@ -10,6 +10,8 @@ in ``test_differential_executors.py``.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from typing import Callable, Iterable
 
 from repro.core.block_analysis import BlockReport
@@ -42,11 +44,16 @@ EXECUTOR_FACTORIES: dict[str, Callable[[], object]] = {
 # Full-driver configurations: every executor in barrier mode, plus the
 # streaming decompose→dispatch pipeline (a driver mode riding on the
 # shared-memory executor, not a separate executor class), with and
-# without forced anchor-level splitting.
+# without forced anchor-level splitting.  The ``-spill`` variants run
+# the same configuration as a durable run (spill_dir into a throwaway
+# directory), proving the record/replay plumbing changes nothing about
+# the cliques produced.
 DRIVER_MODES: tuple[str, ...] = (
     *sorted(EXECUTOR_FACTORIES),
     "shared-pipeline",
     "shared-pipeline-split",
+    "shared-spill",
+    "shared-pipeline-split-spill",
 )
 
 Canonical = tuple[tuple[str, ...], ...]
@@ -116,6 +123,9 @@ def run_driver_levels(
 
 
 def _driver_result(mode: str, graph: Graph, m: int, combo: Combo | None = None):
+    spill = mode.endswith("-spill")
+    if spill:
+        mode = mode[: -len("-spill")]
     pipeline = mode.startswith("shared-pipeline")
     if pipeline:
         executor_name = "shared-split" if mode.endswith("-split") else "shared"
@@ -124,6 +134,16 @@ def _driver_result(mode: str, graph: Graph, m: int, combo: Combo | None = None):
     executor = (
         None if executor_name == "serial" else EXECUTOR_FACTORIES[executor_name]()
     )
-    return find_max_cliques(
-        graph, m, combo=combo, executor=executor, pipeline=pipeline
-    )
+    spill_dir = tempfile.mkdtemp(prefix="repro-spill-") if spill else None
+    try:
+        return find_max_cliques(
+            graph,
+            m,
+            combo=combo,
+            executor=executor,
+            pipeline=pipeline,
+            spill_dir=spill_dir,
+        )
+    finally:
+        if spill_dir is not None:
+            shutil.rmtree(spill_dir, ignore_errors=True)

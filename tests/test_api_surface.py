@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.decision",
     "repro.core",
     "repro.distributed",
+    "repro.runs",
     "repro.baselines",
     "repro.relaxed",
     "repro.incremental",

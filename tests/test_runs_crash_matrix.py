@@ -1,0 +1,74 @@
+"""The crash-resume matrix: kill points × durable driver modes.
+
+Every cell forks a durable run, SIGKILLs it at a parameterized point
+(the parent around the spill boundary, or a pool worker mid-block),
+then resumes in-process and asserts the cliques are identical to an
+uninterrupted golden run.  The full matrix is ``slow``; the smoke class
+runs two representative kill points per mode on every CI run.
+
+The harness itself — kill points, the forked child, orphan/shm sweep,
+artifact preservation — lives in :mod:`faults`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from faults import (
+    CRASH_MODES,
+    KILL_POINTS,
+    SMOKE_KILL_POINTS,
+    assert_crash_resume_identical,
+    assert_full_replay,
+    crash_graph,
+    golden_cliques,
+)
+
+
+def matrix(points):
+    """Parameter cells (mode, kill) with readable ids."""
+    return [
+        pytest.param(mode, kill, id=f"{mode}-{kill.name}")
+        for mode in CRASH_MODES
+        for kill in points
+        if kill.applies_to(mode)
+    ]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return crash_graph()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_golden(graph):
+    # Computed once per module; assert_crash_resume_identical recomputes
+    # per call, so warming the serial path keeps per-cell cost honest.
+    golden_cliques(graph)
+
+
+class TestCrashResumeSmoke:
+    """The fast subset: one torn-write parent death, one worker death."""
+
+    @pytest.mark.parametrize(("mode", "kill"), matrix(SMOKE_KILL_POINTS))
+    def test_crash_then_resume_matches_golden(
+        self, mode, kill, graph, tmp_path
+    ):
+        assert_crash_resume_identical(mode, kill, tmp_path, graph=graph)
+        # Second resume of the now-complete run: everything replays,
+        # nothing is re-analysed (the instrumentation-trace form of the
+        # acceptance criterion).
+        assert_full_replay(mode, tmp_path, graph=graph)
+
+
+@pytest.mark.slow
+class TestCrashResumeMatrix:
+    """Every kill point against every durable driver mode."""
+
+    @pytest.mark.parametrize(("mode", "kill"), matrix(KILL_POINTS))
+    def test_crash_then_resume_matches_golden(
+        self, mode, kill, graph, tmp_path
+    ):
+        result = assert_crash_resume_identical(mode, kill, tmp_path, graph=graph)
+        assert result.run_info["spill_dir"] == str(tmp_path)
+        assert_full_replay(mode, tmp_path, graph=graph)
