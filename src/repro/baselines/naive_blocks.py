@@ -18,6 +18,7 @@ fabricates (the paper's motivating claim, Figures 9–11).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.graph.adjacency import Graph, Node
@@ -106,9 +107,9 @@ def _build_naive_blocks(graph: Graph, m: int) -> list[NaiveBlock]:
         kernel: list[Node] = []
         members: set[Node] = set()
         truncated = False
-        queue: list[Node] = [seed]
+        queue: deque[Node] = deque([seed])
         while queue and len(members) < m:
-            node = queue.pop(0)
+            node = queue.popleft()
             if node in unassigned:
                 del unassigned[node]
                 kernel.append(node)

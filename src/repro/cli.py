@@ -151,6 +151,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     enumerate_.add_argument(
+        "--batch-blocks",
+        action="store_true",
+        help=(
+            "pack small same-shape blocks into buckets and run each bucket "
+            "as one fused multi-block kernel (requires --executor serial "
+            "or shared; see docs/batching.md)"
+        ),
+    )
+    enumerate_.add_argument(
+        "--batch-cutoff",
+        type=int,
+        default=None,
+        help=(
+            "node-count cutoff below which blocks are batched; "
+            "default: adaptive, from the batch's size distribution"
+        ),
+    )
+    enumerate_.add_argument(
         "--spill-dir",
         default=None,
         help=(
@@ -333,6 +351,10 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         raise ReproError("--split requires --executor shared")
     if args.no_retry and args.executor != "shared":
         raise ReproError("--no-retry requires --executor shared")
+    if args.batch_blocks and args.executor == "process":
+        raise ReproError("--batch-blocks requires --executor serial or shared")
+    if args.batch_cutoff is not None and not args.batch_blocks:
+        raise ReproError("--batch-cutoff requires --batch-blocks")
     if args.resume and not args.spill_dir:
         raise ReproError("--resume requires --spill-dir")
     executor = (
@@ -352,6 +374,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         pipeline=args.pipeline,
         split=args.split,
         split_threshold=args.split_threshold,
+        batch_blocks=args.batch_blocks,
+        batch_cutoff=args.batch_cutoff,
         spill_dir=args.spill_dir,
         resume=args.resume,
     )
@@ -390,6 +414,12 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 f"into {len(trace.subtasks)} fragments, "
                 f"{trace.steal_count} stolen, "
                 f"{len(trace.retried_subtasks)} subtasks retried"
+            )
+        if args.batch_blocks:
+            print(
+                f"batched dispatch: {trace.batched_block_count} blocks fused "
+                f"into {len(trace.batches)} buckets "
+                f"({sum(batch.sweeps for batch in trace.batches)} kernel sweeps)"
             )
     if result.run_info:
         info = result.run_info

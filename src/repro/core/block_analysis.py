@@ -53,9 +53,13 @@ from repro.mce.bitmatrix import (
     BitMatrixBackend,
     bits_to_indices,
     degeneracy_order_packed,
+    degeneracy_orders_many,
     enumerate_anchored_packed,
+    expand_batched_many,
     pack_indices,
+    pivot_kind_of,
     popcount_rows,
+    words_for,
 )
 from repro.mce.registry import Combo, get_pivot_rule
 
@@ -349,6 +353,281 @@ def _kernel_order_of(bitmap: np.ndarray, num_kernel: int) -> list[int]:
     if num_kernel > 1:
         return [i for i in degeneracy_order_packed(bitmap) if i < num_kernel]
     return list(range(num_kernel))
+
+
+# ----------------------------------------------------------------------
+# Multi-block batched dispatch (bucket formation + demux)
+# ----------------------------------------------------------------------
+#
+# Thousands of tiny blocks each pay a full per-block round-trip —
+# bitmap extraction, two degeneracy peels, backend construction, and a
+# batched-kernel launch per anchor — even though each launch advances
+# only a handful of states.  Bucketing groups small blocks by padded
+# shape so the whole group shares ONE lockstep peel and ONE multi-block
+# kernel run (:func:`repro.mce.bitmatrix.expand_batched_many`): the
+# per-sweep numpy dispatch cost is amortized over every block in the
+# bucket.  The demux reproduces exactly the per-block clique sets and
+# report structure of :func:`analyze_block_csr`, so buckets are a pure
+# execution strategy — invisible to everything downstream.
+
+# Blocks are padded to the next multiple of this quantum; buckets are
+# keyed by the padded size, bounding padding waste below 1/PAD_QUANTUM
+# of the bucket's rows in the worst case.
+PAD_QUANTUM = 8
+
+
+def padded_size(size: int) -> int:
+    """Bucket key of a block: its size rounded up to the padding quantum."""
+    return max(PAD_QUANTUM, ((size + PAD_QUANTUM - 1) // PAD_QUANTUM) * PAD_QUANTUM)
+
+
+@dataclass(frozen=True)
+class BlockBucket:
+    """A group of same-padded-shape small blocks dispatched as one unit."""
+
+    n_pad: int
+    descriptors: tuple[BlockDescriptor, ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.descriptors)
+
+    @property
+    def estimated_cost(self) -> float:
+        """Summed cost estimate — buckets schedule like one big block."""
+        return float(sum(d.estimated_cost for d in self.descriptors))
+
+    def nbytes(self) -> int:
+        """Bytes of descriptor payload dispatched for this bucket."""
+        return int(sum(d.nbytes() for d in self.descriptors))
+
+    @property
+    def padding_waste(self) -> float:
+        """Fraction of padded adjacency rows that hold no real node."""
+        total = self.num_blocks * self.n_pad
+        if total == 0:
+            return 0.0
+        used = sum(d.size for d in self.descriptors)
+        return 1.0 - used / total
+
+
+def form_buckets(
+    descriptors: "list[BlockDescriptor]",
+    cutoff: int,
+    max_bucket: int | None = None,
+) -> "tuple[list[BlockBucket], list[BlockDescriptor]]":
+    """Partition descriptors into shape buckets and pass-through blocks.
+
+    Blocks of at most ``cutoff`` nodes are grouped by padded size
+    (:func:`padded_size`); everything larger — the blocks where
+    split/steal parallelism matters and one kernel launch is already
+    well amortized — is returned unchanged for the per-block path.
+    ``max_bucket`` (parallel executors) chunks each shape group so one
+    popular shape does not collapse into a single giant work unit.
+    Bucket membership preserves the input (LPT/stream) order within
+    each bucket, and buckets are emitted smallest shape first, so the
+    partition is deterministic.
+    """
+    by_shape: dict[int, list[BlockDescriptor]] = {}
+    large: list[BlockDescriptor] = []
+    for descriptor in descriptors:
+        if descriptor.size > cutoff:
+            large.append(descriptor)
+        else:
+            by_shape.setdefault(padded_size(descriptor.size), []).append(descriptor)
+    buckets: list[BlockBucket] = []
+    for n_pad, group in sorted(by_shape.items()):
+        step = max_bucket if max_bucket is not None else len(group)
+        for lo in range(0, len(group), max(step, 1)):
+            buckets.append(
+                BlockBucket(n_pad=n_pad, descriptors=tuple(group[lo : lo + step]))
+            )
+    return buckets, large
+
+
+def analyze_bucket_csr(
+    bucket: BlockBucket,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    labels: list[Node],
+    tree: DecisionTree | None = None,
+    combo: Combo | None = None,
+    scratch: BitmapScratch | None = None,
+    batch_stats: dict | None = None,
+) -> list[BlockReport]:
+    """Analyse a whole bucket through one multi-block kernel run.
+
+    Produces one :class:`BlockReport` per descriptor, in bucket order,
+    with exactly the clique set :func:`analyze_block_csr` would report
+    for the same block (the anchored sweep's root states are
+    reconstructed per anchor from the lockstep degeneracy peel, so
+    exact-once accounting is untouched).  Features, tree selection, and
+    report fields match the per-block path; ``seconds`` is the bucket's
+    wall-clock split evenly across its blocks (per-block attribution
+    inside one fused kernel run is not observable), and ``extra``
+    carries ``batched``/``bucket_blocks`` markers.
+
+    A forced ``combo`` whose pivot rule the batched kernel cannot
+    vectorize falls back to per-block analysis (identical output,
+    per-block speed).  ``batch_stats`` (optional dict) receives the
+    bucket-level counters the executor turns into a
+    :class:`~repro.mce.instrumentation.BatchDispatch` record.
+    """
+    start = time.perf_counter()
+    descriptors = bucket.descriptors
+    num_blocks = len(descriptors)
+    if num_blocks == 0:
+        return []
+    if combo is not None and pivot_kind_of(get_pivot_rule(combo.algorithm)) is None:
+        return [
+            analyze_block_csr(
+                descriptor, indptr, indices, labels, tree, combo, scratch
+            )
+            for descriptor in descriptors
+        ]
+    n_pad = bucket.n_pad
+    words = words_for(n_pad)
+    sizes = np.fromiter(
+        (d.size for d in descriptors), dtype=np.int64, count=num_blocks
+    )
+    stacked = np.zeros((num_blocks, n_pad, words), dtype=np.uint64)
+    member_ids_of: list[np.ndarray] = []
+    for b, descriptor in enumerate(descriptors):
+        member_ids = np.concatenate(
+            [descriptor.kernel_ids, descriptor.border_ids, descriptor.visited_ids]
+        )
+        member_ids_of.append(member_ids)
+        bitmap = extract_block_bitmap(indptr, indices, member_ids, scratch)
+        stacked[b, : bitmap.shape[0], : bitmap.shape[1]] = bitmap
+    # One lockstep peel yields every block's degeneracy (a feature) AND
+    # its kernel anchor order — the per-block path pays two Python-loop
+    # peels for the same information.
+    degrees = popcount_rows(stacked.reshape(-1, words)).reshape(num_blocks, n_pad)
+    orders, degeneracies = degeneracy_orders_many(stacked, sizes)
+    num_edges = degrees.sum(axis=1) // 2
+    d_stars = _d_stars_of_degree_matrix(degrees, n_pad)
+    features_of: list[BlockFeatures] = []
+    combos_of: list[Combo] = []
+    for b in range(num_blocks):
+        n = int(sizes[b])
+        e = int(num_edges[b])
+        features = BlockFeatures(
+            num_nodes=n,
+            num_edges=e,
+            density=2.0 * e / (n * (n - 1)) if n > 1 else 0.0,
+            degeneracy=int(degeneracies[b]),
+            d_star=int(d_stars[b]),
+        )
+        features_of.append(features)
+        combos_of.append(
+            combo
+            if combo is not None
+            else select_combo(tree if tree is not None else paper_tree(), features)
+        )
+    # One vectorizable pivot kind drives the whole bucket (the clique
+    # set is pivot-invariant); a unanimous recognized selection keeps
+    # its kind, mixed selections default to tomita.
+    kinds = {pivot_kind_of(get_pivot_rule(c.algorithm)) for c in combos_of}
+    kind = kinds.pop() if len(kinds) == 1 and None not in kinds else "tomita"
+    # Root (P, X) states, one per kernel anchor in degeneracy order:
+    # anchors already processed move from the candidate to the excluded
+    # side, reconstructed with a cumulative-OR over anchor bits exactly
+    # as the serial sweep does incrementally.
+    task_block_parts: list[np.ndarray] = []
+    roots_p_parts: list[np.ndarray] = []
+    roots_x_parts: list[np.ndarray] = []
+    anchors_of: list[np.ndarray] = []
+    one = np.uint64(1)
+    for b, descriptor in enumerate(descriptors):
+        num_kernel = len(descriptor.kernel_ids)
+        num_candidates = num_kernel + len(descriptor.border_ids)
+        num_members = int(sizes[b])
+        order_row = orders[b, :num_members]
+        kernel_order = order_row[order_row < num_kernel]
+        anchors_of.append(kernel_order)
+        k = len(kernel_order)
+        if k == 0:
+            continue
+        rows = stacked[b][kernel_order]
+        anchor_bits = np.zeros((k, words), dtype=np.uint64)
+        anchor_bits[np.arange(k), kernel_order >> 6] = one << (
+            kernel_order.astype(np.uint64) & np.uint64(63)
+        )
+        previous = np.zeros_like(anchor_bits)
+        if k > 1:
+            np.bitwise_or.accumulate(anchor_bits[:-1], axis=0, out=previous[1:])
+        cand0 = pack_indices(range(num_candidates), words)
+        excl0 = pack_indices(range(num_candidates, num_members), words)
+        roots_p_parts.append(rows & cand0 & ~previous)
+        roots_x_parts.append(rows & (excl0 | previous))
+        task_block_parts.append(np.full(k, b, dtype=np.int64))
+    if task_block_parts:
+        task_blocks = np.concatenate(task_block_parts)
+        roots_p = np.vstack(roots_p_parts)
+        roots_x = np.vstack(roots_x_parts)
+    else:
+        task_blocks = np.empty(0, dtype=np.int64)
+        roots_p = np.empty((0, words), dtype=np.uint64)
+        roots_x = np.empty((0, words), dtype=np.uint64)
+    kernel_stats: dict = {}
+    extensions = expand_batched_many(
+        stacked.reshape(-1, words),
+        task_blocks,
+        roots_p,
+        roots_x,
+        n_pad,
+        kind,
+        stats=kernel_stats,
+    )
+    elapsed = time.perf_counter() - start
+    if batch_stats is not None:
+        batch_stats["num_blocks"] = float(num_blocks)
+        batch_stats["num_tasks"] = float(len(task_blocks))
+        batch_stats["n_pad"] = float(n_pad)
+        batch_stats["padding_waste"] = bucket.padding_waste
+        batch_stats["sweeps"] = float(kernel_stats.get("sweeps", 0))
+        batch_stats["seconds"] = elapsed
+    reports: list[BlockReport] = []
+    per_block_seconds = elapsed / num_blocks
+    cursor = 0
+    for b, descriptor in enumerate(descriptors):
+        member_labels = [labels[i] for i in member_ids_of[b].tolist()]
+        cliques: list[frozenset[Node]] = []
+        for j, anchor in enumerate(anchors_of[b].tolist()):
+            for extension in extensions[cursor + j]:
+                cliques.append(
+                    frozenset(member_labels[i] for i in (anchor, *extension))
+                )
+        cursor += len(anchors_of[b])
+        reports.append(
+            BlockReport(
+                cliques=cliques,
+                combo=combos_of[b],
+                features=features_of[b],
+                seconds=per_block_seconds,
+                kernel_nodes=len(descriptor.kernel_ids),
+                extra={
+                    "batched": 1.0,
+                    "bucket_blocks": float(num_blocks),
+                },
+            )
+        )
+    return reports
+
+
+def _d_stars_of_degree_matrix(degrees: np.ndarray, n_pad: int) -> np.ndarray:
+    """Per-row degree h-index of a padded degree matrix.
+
+    Padding entries are zero-degree, which cannot satisfy ``degree >=
+    rank`` for any rank ≥ 1, so the extra columns never change the
+    h-index — each row agrees with :func:`_d_star_of_degrees` on the
+    block's true degree sequence.
+    """
+    descending = -np.sort(-degrees, axis=1)
+    at_least = descending >= np.arange(1, n_pad + 1)[None, :]
+    has_any = at_least.any(axis=1)
+    last_true = n_pad - np.argmax(at_least[:, ::-1], axis=1)
+    return np.where(has_any, last_true, 0).astype(np.int64)
 
 
 # ----------------------------------------------------------------------

@@ -55,6 +55,8 @@ def find_max_cliques(
     pipeline: bool = False,
     split: bool = False,
     split_threshold: float | None = None,
+    batch_blocks: bool = False,
+    batch_cutoff: int | None = None,
     spill_dir=None,
     resume: bool = False,
 ) -> CliqueResult:
@@ -108,6 +110,19 @@ def find_max_cliques(
     split_threshold:
         Override the adaptive split threshold with a fixed cost value
         (only meaningful with ``split=True``).
+    batch_blocks:
+        Enable multi-block batched dispatch (see ``docs/batching.md``):
+        small same-padded-shape blocks are packed into buckets and each
+        bucket runs as one fused multi-block kernel, amortizing per-block
+        dispatch overhead in the many-small-blocks regime.  Works with
+        the serial in-process path, a
+        :class:`~repro.distributed.executor.SerialExecutor`, or a
+        :class:`~repro.distributed.executor.SharedMemoryExecutor`
+        (barrier or pipeline, with or without ``split``); the clique
+        output is identical either way.
+    batch_cutoff:
+        Override the adaptive node-count cutoff below which blocks are
+        batched (only meaningful with ``batch_blocks=True``).
     spill_dir:
         Directory for a *durable* run (see ``docs/durability.md``): as
         blocks finish, their reports are appended to CRC-checked segment
@@ -147,6 +162,8 @@ def find_max_cliques(
     selection_tree = tree if tree is not None else paper_tree()
     if split:
         executor = _configure_split(executor, split_threshold, pipeline)
+    if batch_blocks:
+        executor = _configure_batch(executor, batch_cutoff, pipeline)
     run_log: RunLog | None = None
     if spill_dir is not None:
         run_log = RunLog(
@@ -411,6 +428,32 @@ def _configure_split(executor, split_threshold: float | None, pipeline: bool):
     executor.split = True
     if split_threshold is not None:
         executor.split_threshold = split_threshold
+    return executor
+
+
+def _configure_batch(executor, batch_cutoff: int | None, pipeline: bool):
+    """Apply the driver's batching settings to the executor.
+
+    Batched dispatch is implemented by the serial and shared-memory
+    executors (the process executor pickles whole ``Block`` objects and
+    has no shared CSR to pack buckets from); asking for it elsewhere is
+    an error rather than a silent no-op.  With no executor given, a
+    batching :class:`~repro.distributed.executor.SerialExecutor` (or, in
+    pipeline mode, a :class:`~repro.distributed.executor.SharedMemoryExecutor`)
+    is constructed.
+    """
+    from repro.distributed.executor import SerialExecutor, SharedMemoryExecutor
+
+    if executor is None:
+        executor = SharedMemoryExecutor() if pipeline else SerialExecutor()
+    if not isinstance(executor, (SerialExecutor, SharedMemoryExecutor)):
+        raise ExecutorError(
+            "batched dispatch (batch_blocks=True) requires a SerialExecutor "
+            f"or a SharedMemoryExecutor; got {type(executor).__name__}"
+        )
+    executor.batch_blocks = True
+    if batch_cutoff is not None:
+        executor.batch_cutoff = batch_cutoff
     return executor
 
 

@@ -130,12 +130,43 @@ def estimate_analysis_cost(num_nodes: int, num_edges: int) -> float:
     already maintains.  (The earlier ``n * 3^(avg_degree/3)`` form was
     *not* monotone in ``n``: adding an isolated node to a dense block
     lowered its estimate.)
+
+    Blocks large and dense enough that the exponential exceeds float
+    range saturate to ``inf`` instead of raising ``OverflowError`` —
+    the magnitude check runs in log-space, so the estimate stays
+    monotone across the saturation boundary (everything past it is the
+    shared ``inf`` plateau, and LPT sorts it first either way).
     """
     if num_nodes <= 0:
         return 0.0
     clique_bound = 0.5 * (1.0 + math.sqrt(1.0 + 8.0 * max(num_edges, 0)))
     exponent = min(float(num_nodes), clique_bound)
+    # log of the estimate; float max is exp(709.78...), saturate with a
+    # safety margin so the pow below can never overflow.
+    log_cost = math.log(num_nodes) + (exponent / 3.0) * math.log(3.0)
+    if log_cost >= 700.0:
+        return float("inf")
     return num_nodes * 3.0 ** (exponent / 3.0)
+
+
+def adaptive_batch_cutoff(block_sizes: "list[int]", floor: int = 64) -> int:
+    """Node-count cutoff below which blocks join a batched bucket.
+
+    Batched multi-block dispatch amortizes numpy call overhead across
+    many *small* blocks; big blocks already amortize it internally (and
+    are the ones split/steal handles).  The cutoff is the batch's median
+    block size rounded up to the next multiple of 8 (the bucket padding
+    quantum), floored at ``floor`` so the common regime — thousands of
+    tiny blocks next to a handful of large ones — batches everything
+    that fits in one ``uint64`` word row.  Returns ``floor`` for an
+    empty batch.
+    """
+    if not block_sizes:
+        return floor
+    ordered = sorted(block_sizes)
+    median = ordered[len(ordered) // 2]
+    padded = ((median + 7) // 8) * 8
+    return max(floor, padded)
 
 
 def adaptive_split_threshold(costs: "list[float]", num_workers: int) -> float:

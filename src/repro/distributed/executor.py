@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 from multiprocessing import parent_process
 
 from repro.core.block_analysis import (
+    BlockBucket,
     BlockDescriptor,
     BlockReport,
     SplitResult,
@@ -59,21 +60,30 @@ from repro.core.block_analysis import (
     analyze_block,
     analyze_block_csr,
     analyze_block_csr_splittable,
+    analyze_bucket_csr,
     analyze_subtask_csr,
     build_subtasks,
+    form_buckets,
     merge_fragment_reports,
+    padded_size,
 )
 from repro.graph.csr import BitmapScratch
 from repro.core.blocks import Block
-from repro.decision.features import adaptive_split_threshold
+from repro.decision.features import adaptive_batch_cutoff, adaptive_split_threshold
 from repro.decision.tree import DecisionTree
 from repro.distributed.cluster import ClusterSpec
-from repro.distributed.scheduler import StealDeque, StreamingLPTBuffer, lpt_order
+from repro.distributed.scheduler import (
+    BatchAccumulator,
+    StealDeque,
+    StreamingLPTBuffer,
+    lpt_order,
+)
 from repro.distributed.simulation import SimulatedRun, simulate_level
 from repro.errors import ExecutorError
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph, SharedCSR, SharedCSRHandle
 from repro.mce.instrumentation import (
+    BatchDispatch,
     BlockTiming,
     ExecutionTrace,
     LevelDecomposition,
@@ -129,8 +139,22 @@ def _replayed_timing(block_id: int, report: BlockReport) -> BlockTiming:
     )
 
 
+@dataclass
 class SerialExecutor:
-    """Analyse blocks one after another in the calling process."""
+    """Analyse blocks one after another in the calling process.
+
+    ``batch_blocks`` (default off) fuses small same-padded-shape blocks
+    into multi-block kernel buckets (``analyze_bucket_csr``) instead of
+    analysing them one at a time — the serial twin of the shared-memory
+    executor's batched dispatch, with identical per-block reports.
+    ``batch_cutoff=None`` derives the size cutoff from the batch's own
+    block-size distribution
+    (:func:`repro.decision.features.adaptive_batch_cutoff`).
+    """
+
+    batch_blocks: bool = False
+    batch_cutoff: int | None = None
+    last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
 
     def map_blocks(
         self,
@@ -142,6 +166,10 @@ class SerialExecutor:
         level: int = 0,
     ) -> list[BlockReport]:
         """Return one :class:`BlockReport` per block, in block order."""
+        if self.batch_blocks:
+            return self._map_blocks_batched(
+                blocks, tree, combo, graph, run_log, level
+            )
         reports: list[BlockReport] = []
         for block_id, block in enumerate(blocks):
             if run_log is not None and run_log.is_completed(level, block_id):
@@ -152,6 +180,70 @@ class SerialExecutor:
                 run_log.record(level, block_id, report)
             reports.append(report)
         return reports
+
+    def _map_blocks_batched(
+        self,
+        blocks: list[Block],
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        graph: Graph | None,
+        run_log: RunLog | None,
+        level: int,
+    ) -> list[BlockReport]:
+        """Bucketed analysis: small blocks fused, large ones per-block."""
+        if not blocks:
+            self.last_trace = ExecutionTrace()
+            return []
+        csr = CSRGraph(graph if graph is not None else _union_graph(blocks))
+        index_of = {node: i for i, node in enumerate(csr.labels)}
+        descriptors = [
+            BlockDescriptor.from_block(i, block, index_of)
+            for i, block in enumerate(blocks)
+        ]
+        trace = ExecutionTrace()
+        self.last_trace = trace
+        results: dict[int, BlockReport] = {}
+        pending: list[BlockDescriptor] = []
+        for block_id, descriptor in enumerate(descriptors):
+            if run_log is not None and run_log.is_completed(level, block_id):
+                report = run_log.replay_report(level, block_id)
+                results[block_id] = report
+                trace.record(_replayed_timing(block_id, report))
+            else:
+                pending.append(descriptor)
+        cutoff = (
+            self.batch_cutoff
+            if self.batch_cutoff is not None
+            else adaptive_batch_cutoff([d.size for d in pending])
+        )
+        buckets, singles = form_buckets(pending, cutoff)
+        scratch = BitmapScratch()
+        for bucket in buckets:
+            stats: dict[str, float] = {}
+            reports = analyze_bucket_csr(
+                bucket, csr.indptr, csr.indices, csr.labels,
+                tree=tree, combo=combo, scratch=scratch, batch_stats=stats,
+            )
+            trace.record_batch(_batch_dispatch_of(bucket, stats))
+            for descriptor, report in zip(bucket.descriptors, reports):
+                if run_log is not None:
+                    trace.record_flush(
+                        run_log.record(level, descriptor.block_id, report)
+                    )
+                results[descriptor.block_id] = report
+                trace.record(_timing_of(descriptor.block_id, report))
+        for descriptor in singles:
+            report = analyze_block_csr(
+                descriptor, csr.indptr, csr.indices, csr.labels,
+                tree=tree, combo=combo, scratch=scratch,
+            )
+            if run_log is not None:
+                trace.record_flush(
+                    run_log.record(level, descriptor.block_id, report)
+                )
+            results[descriptor.block_id] = report
+            trace.record(_timing_of(descriptor.block_id, report))
+        return [results[i] for i in range(len(blocks))]
 
 
 def _analyze_one(args: tuple[Block, DecisionTree | None, Combo | None]) -> BlockReport:
@@ -312,6 +404,58 @@ def _stamp_report(report: BlockReport, dispatch_bytes: int) -> None:
     report.extra["worker_pid"] = float(os.getpid())
 
 
+def _batch_dispatch_of(bucket: BlockBucket, stats: dict) -> BatchDispatch:
+    """Translate a bucket's kernel stats into its trace record."""
+    return BatchDispatch(
+        n_pad=bucket.n_pad,
+        num_blocks=bucket.num_blocks,
+        num_tasks=int(stats.get("num_tasks", 0)),
+        padding_waste=float(stats.get("padding_waste", 0.0)),
+        sweeps=int(stats.get("sweeps", 0)),
+        seconds=float(stats.get("seconds", 0.0)),
+        worker_pid=int(stats.get("worker_pid", 0)),
+    )
+
+
+def _shm_analyze_batch(
+    bucket: BlockBucket,
+) -> "tuple[list[tuple[int, BlockReport]], dict]":
+    """Analyse one bucket of small blocks as a single fused kernel run.
+
+    Returns the per-block ``(block_id, report)`` pairs in bucket order
+    plus the kernel's batch stats; the parent demuxes the pairs into the
+    results map exactly as if each block had been dispatched alone.
+    """
+    shared: SharedCSR = _WORKER_STATE["shared"]  # type: ignore[assignment]
+    try:
+        for descriptor in bucket.descriptors:
+            _maybe_inject_fault(descriptor.block_id)
+        stats: dict[str, float] = {}
+        reports = analyze_bucket_csr(
+            bucket,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            batch_stats=stats,
+        )
+    except Exception as exc:
+        first = bucket.descriptors[0].block_id
+        raise ExecutorError(
+            f"bucket of {bucket.num_blocks} blocks (first block {first}) "
+            f"failed in worker {os.getpid()}: {type(exc).__name__}: {exc}",
+            block_id=first,
+        ) from exc
+    pairs = []
+    for descriptor, report in zip(bucket.descriptors, reports):
+        _stamp_report(report, descriptor.nbytes())
+        pairs.append((descriptor.block_id, report))
+    stats["worker_pid"] = float(os.getpid())
+    return pairs, stats
+
+
 def _shm_analyze_split(
     descriptor: BlockDescriptor, probe: bool
 ) -> "tuple[str, object, object]":
@@ -380,10 +524,14 @@ def _item_name(item: tuple) -> str:
     """Human-readable name of a steal-deque work item (for errors)."""
     if item[0] == "block":
         return f"block {item[1].block_id}"
+    if item[0] == "bucket":
+        return f"bucket of {item[1].num_blocks} blocks"
     return f"subtask {item[1].block_id}.{item[1].subtask_id}"
 
 
 def _item_block_id(item: tuple) -> int:
+    if item[0] == "bucket":
+        return int(item[1].descriptors[0].block_id)
     return int(item[1].block_id)
 
 
@@ -439,6 +587,17 @@ class SharedMemoryExecutor:
     (default ``4 × workers``); ``resplit_after_seconds`` is the mid-run
     budget after which a worker re-splits the unfinished tail of a block
     the threshold *missed* (``None`` disables the trigger).
+
+    ``batch_blocks`` (default off) is the opposite lever for the
+    *small*-block regime: blocks at or below ``batch_cutoff`` nodes are
+    grouped by padded shape into :class:`BlockBucket`\\ s and each bucket
+    ships to a worker as one task driving a fused multi-block kernel
+    (``analyze_bucket_csr``), amortizing dispatch and numpy call
+    overhead over the whole bucket.  ``batch_cutoff=None`` adapts the
+    cutoff to the batch's block-size distribution; ``batch_bucket_size``
+    caps blocks per bucket so one popular shape still spreads over the
+    pool.  Combines with ``split``: buckets ride the steal deque next to
+    the probe-eligible large blocks (see ``docs/batching.md``).
     """
 
     max_workers: int | None = None
@@ -449,6 +608,9 @@ class SharedMemoryExecutor:
     split_threshold: float | None = None
     split_subtasks: int | None = None
     resplit_after_seconds: float | None = 1.0
+    batch_blocks: bool = False
+    batch_cutoff: int | None = None
+    batch_bucket_size: int = 256
     last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
 
     def open_pipeline(
@@ -479,6 +641,9 @@ class SharedMemoryExecutor:
             split_threshold=self.split_threshold,
             split_subtasks=self.split_subtasks,
             resplit_after_seconds=self.resplit_after_seconds,
+            batch_blocks=self.batch_blocks,
+            batch_cutoff=self.batch_cutoff,
+            batch_bucket_size=self.batch_bucket_size,
             run_log=run_log,
         )
         self.last_trace = session.trace
@@ -530,6 +695,11 @@ class SharedMemoryExecutor:
                 if self.split:
                     self._map_blocks_split(
                         blocks, descriptors, pending_ids, shared, tree, combo,
+                        trace, results, run_log, level,
+                    )
+                elif self.batch_blocks:
+                    self._map_blocks_batched(
+                        descriptors, pending_ids, shared, tree, combo,
                         trace, results, run_log, level,
                     )
                 else:
@@ -589,6 +759,154 @@ class SharedMemoryExecutor:
                     results[block_id] = report
                     trace.record(_timing_of(block_id, report))
 
+    def _effective_cutoff(self, pending: "list[BlockDescriptor]") -> int:
+        """The batch size cutoff: explicit, or adapted to this batch."""
+        if self.batch_cutoff is not None:
+            return self.batch_cutoff
+        return adaptive_batch_cutoff([d.size for d in pending])
+
+    def _map_blocks_batched(
+        self,
+        descriptors: list[BlockDescriptor],
+        pending_ids: list[int],
+        shared: SharedCSR,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        trace: ExecutionTrace,
+        results: dict[int, BlockReport],
+        run_log: RunLog | None,
+        level: int,
+    ) -> None:
+        """Bucketed dispatch loop (``batch_blocks=True``, ``split=False``).
+
+        Small blocks travel as whole same-shape buckets — one future per
+        bucket, one fused kernel run per future — while blocks above the
+        cutoff keep the per-block path.  Work units are submitted in
+        decreasing estimated-cost order (a bucket's cost is the sum of
+        its members'), so dynamic LPT balancing is preserved at the
+        work-unit level.  When the pool breaks, the failed unit is
+        re-run in the parent from the still-mapped segments: the whole
+        bucket for a bucket unit, the single block otherwise.
+        """
+        pending = [descriptors[i] for i in pending_ids]
+        cutoff = self._effective_cutoff(pending)
+        buckets, singles = form_buckets(
+            pending, cutoff, max_bucket=self.batch_bucket_size
+        )
+        units: list[tuple] = [("bucket", bucket) for bucket in buckets]
+        units.extend(("block", descriptor) for descriptor in singles)
+        # Both payload kinds expose estimated_cost (a bucket's is the sum
+        # of its members'), so one LPT ordering covers the mixed units.
+        costs = [unit[1].estimated_cost for unit in units]
+        scratch = BitmapScratch()
+
+        def finish_block(block_id: int, report: BlockReport) -> None:
+            if run_log is not None:
+                trace.record_flush(run_log.record(level, block_id, report))
+            results[block_id] = report
+            trace.record(_timing_of(block_id, report))
+
+        def finish_bucket(
+            bucket: BlockBucket,
+            pairs: "list[tuple[int, BlockReport]]",
+            stats: dict,
+        ) -> None:
+            trace.record_batch(_batch_dispatch_of(bucket, stats))
+            for block_id, report in pairs:
+                finish_block(block_id, report)
+
+        def run_in_parent(item: tuple) -> None:
+            if not self.retry_failed:
+                raise ExecutorError(
+                    f"worker process died while analysing {_item_name(item)}",
+                    block_id=_item_block_id(item),
+                    segment_path=_segment_path_of(run_log),
+                )
+            if item[0] == "bucket":
+                bucket = item[1]
+                reports, stats = self._analyze_bucket_in_parent(
+                    bucket, shared, tree, combo, scratch, retried=True
+                )
+                finish_bucket(
+                    bucket,
+                    [
+                        (descriptor.block_id, report)
+                        for descriptor, report in zip(bucket.descriptors, reports)
+                    ],
+                    stats,
+                )
+            else:
+                descriptor = item[1]
+                report = self._analyze_in_parent(
+                    descriptor, shared, tree, combo, scratch, retried=True
+                )
+                finish_block(descriptor.block_id, report)
+
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            initializer=_shm_worker_init,
+            initargs=(shared.handle, tree, combo),
+        ) as pool:
+            futures: dict[object, tuple] = {}
+            for rank in lpt_order(costs):
+                kind, payload = units[rank]
+                fn = _shm_analyze_batch if kind == "bucket" else _shm_analyze
+                futures[pool.submit(fn, payload)] = units[rank]
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    item = futures.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        run_in_parent(item)
+                        continue
+                    except ExecutorError as exc:
+                        exc.segment_path = _segment_path_of(run_log)
+                        raise
+                    if item[0] == "bucket":
+                        pairs, stats = outcome
+                        finish_bucket(item[1], pairs, stats)
+                    else:
+                        block_id, report = outcome
+                        finish_block(block_id, report)
+
+    def _analyze_bucket_in_parent(
+        self,
+        bucket: BlockBucket,
+        shared: SharedCSR,
+        tree: DecisionTree | None,
+        combo: Combo | None,
+        scratch: BitmapScratch,
+        retried: bool,
+    ) -> "tuple[list[BlockReport], dict]":
+        """Run one whole bucket in the parent from the mapped segments."""
+        try:
+            stats: dict[str, float] = {}
+            reports = analyze_bucket_csr(
+                bucket,
+                shared.indptr,
+                shared.indices,
+                shared.labels,
+                tree=tree,
+                combo=combo,
+                scratch=scratch,
+                batch_stats=stats,
+            )
+        except Exception as exc:
+            first = bucket.descriptors[0].block_id
+            raise ExecutorError(
+                f"bucket of {bucket.num_blocks} blocks (first block {first}) "
+                f"failed again on in-parent retry: "
+                f"{type(exc).__name__}: {exc}",
+                block_id=first,
+            ) from exc
+        for descriptor, report in zip(bucket.descriptors, reports):
+            if retried:
+                report.extra["retried"] = 1.0
+            report.extra["dispatch_bytes"] = float(descriptor.nbytes())
+        return reports, stats
+
     def _map_blocks_split(
         self,
         blocks: list[Block],
@@ -627,14 +945,28 @@ class SharedMemoryExecutor:
             else adaptive_split_threshold(costs, workers)
         )
         target = self.split_subtasks or max(2, 4 * workers)
-        queue = StealDeque()
-        for rank in lpt_order(costs):
-            descriptor = descriptors[pending_ids[rank]]
+        pending = [descriptors[i] for i in pending_ids]
+        if self.batch_blocks:
+            # Buckets and large blocks share the deque: the cutoff decides
+            # which regime a block belongs to, the split threshold (always
+            # above the cutoff in practice) which large blocks probe.
+            buckets, loose = form_buckets(
+                pending,
+                self._effective_cutoff(pending),
+                max_bucket=self.batch_bucket_size,
+            )
+        else:
+            buckets, loose = [], pending
+        units: list[tuple] = [("bucket", bucket) for bucket in buckets]
+        for descriptor in loose:
             probe = (
                 descriptor.estimated_cost > threshold
                 and len(descriptor.kernel_ids) >= 2
             )
-            queue.push_initial(("block", descriptor, probe))
+            units.append(("block", descriptor, probe))
+        queue = StealDeque()
+        for rank in lpt_order([unit[1].estimated_cost for unit in units]):
+            queue.push_initial(units[rank])
         states: dict[int, _SplitState] = {}
         scratch = BitmapScratch()
         futures: dict[object, tuple] = {}
@@ -646,6 +978,15 @@ class SharedMemoryExecutor:
                 trace.record_flush(run_log.record(level, block_id, report))
             results[block_id] = report
             trace.record(_timing_of(block_id, report))
+
+        def finish_bucket(
+            bucket: BlockBucket,
+            pairs: "list[tuple[int, BlockReport]]",
+            stats: dict,
+        ) -> None:
+            trace.record_batch(_batch_dispatch_of(bucket, stats))
+            for block_id, report in pairs:
+                finish_block(block_id, report)
 
         def finish_subtask(
             subtask: SubtaskDescriptor,
@@ -730,6 +1071,19 @@ class SharedMemoryExecutor:
                     descriptor, shared, tree, combo, scratch, retried
                 )
                 finish_block(descriptor.block_id, report)
+            elif item[0] == "bucket":
+                bucket = item[1]
+                reports, stats = self._analyze_bucket_in_parent(
+                    bucket, shared, tree, combo, scratch, retried
+                )
+                finish_bucket(
+                    bucket,
+                    [
+                        (descriptor.block_id, report)
+                        for descriptor, report in zip(bucket.descriptors, reports)
+                    ],
+                    stats,
+                )
             else:
                 _, subtask, splitter_pid = item
                 report = self._analyze_subtask_in_parent(
@@ -747,6 +1101,8 @@ class SharedMemoryExecutor:
                 try:
                     if item[0] == "block":
                         future = pool.submit(_shm_analyze_split, item[1], item[2])
+                    elif item[0] == "bucket":
+                        future = pool.submit(_shm_analyze_batch, item[1])
                     else:
                         future = pool.submit(_shm_analyze_subtask, item[1])
                 except BrokenProcessPool:
@@ -783,6 +1139,9 @@ class SharedMemoryExecutor:
                             handle_split(item[1], outcome[1], outcome[2])
                         else:
                             finish_block(outcome[1], outcome[2])
+                    elif item[0] == "bucket":
+                        pairs, stats = outcome
+                        finish_bucket(item[1], pairs, stats)
                     else:
                         _, _, report = outcome
                         finish_subtask(item[1], report, item[2], retried=False)
@@ -998,6 +1357,40 @@ def _pipeline_analyze_subtask(
     return (subtask.block_id, subtask.subtask_id, report)
 
 
+def _pipeline_analyze_batch(
+    handle: SharedCSRHandle, bucket: BlockBucket
+) -> "tuple[list[tuple[int, BlockReport]], dict]":
+    """Batched pipeline bucket worker; see :func:`_shm_analyze_batch`."""
+    shared = _pipeline_attach(handle)
+    try:
+        for descriptor in bucket.descriptors:
+            _maybe_inject_fault(descriptor.block_id)
+        stats: dict[str, float] = {}
+        reports = analyze_bucket_csr(
+            bucket,
+            shared.indptr,
+            shared.indices,
+            shared.labels,
+            tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
+            combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
+            scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            batch_stats=stats,
+        )
+    except Exception as exc:
+        first = bucket.descriptors[0].block_id
+        raise ExecutorError(
+            f"bucket of {bucket.num_blocks} blocks (first block {first}) "
+            f"failed in worker {os.getpid()}: {type(exc).__name__}: {exc}",
+            block_id=first,
+        ) from exc
+    pairs = []
+    for descriptor, report in zip(bucket.descriptors, reports):
+        _stamp_report(report, descriptor.nbytes())
+        pairs.append((descriptor.block_id, report))
+    stats["worker_pid"] = float(os.getpid())
+    return pairs, stats
+
+
 class PipelineSession:
     """One streaming decompose→dispatch run over a shared worker pool.
 
@@ -1032,6 +1425,9 @@ class PipelineSession:
         split_threshold: float | None = None,
         split_subtasks: int | None = None,
         resplit_after_seconds: float | None = 1.0,
+        batch_blocks: bool = False,
+        batch_cutoff: int | None = None,
+        batch_bucket_size: int = 256,
         run_log: RunLog | None = None,
     ) -> None:
         workers = max_workers or os.cpu_count() or 1
@@ -1043,6 +1439,14 @@ class PipelineSession:
         self._split = split
         self._split_threshold = split_threshold
         self._split_target = split_subtasks or max(2, 4 * workers)
+        self._batch = batch_blocks
+        # The stream never sees the whole batch, so an adaptive cutoff
+        # has nothing to adapt to: default to the one-word floor.
+        self._accumulator = BatchAccumulator(
+            cutoff=batch_cutoff if batch_cutoff is not None else 64,
+            bucket_target=batch_bucket_size,
+        )
+        self._batch_level: int | None = None
         self._pool = ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_pipeline_worker_init,
@@ -1087,6 +1491,25 @@ class PipelineSession:
             self.trace.record(_replayed_timing(descriptor.block_id, report))
             return
         self._costs_seen.append(descriptor.estimated_cost)
+        if self._batch and self._accumulator.is_small(descriptor.size):
+            # A level's buckets are flushed at end_level, but guard the
+            # transition anyway: a bucket must never mix levels (each
+            # bucket runs against a single published snapshot).
+            if self._batch_level is not None and self._batch_level != level:
+                self._flush_buckets(self._batch_level)
+            self._batch_level = level
+            group = self._accumulator.push(
+                descriptor, descriptor.size, padded_size(descriptor.size)
+            )
+            if group is not None:
+                self._dispatch_bucket(
+                    level,
+                    BlockBucket(
+                        n_pad=padded_size(group[0].size),
+                        descriptors=tuple(group),
+                    ),
+                )
+            return
         for released in self._buffer.push(
             descriptor.estimated_cost, (level, descriptor)
         ):
@@ -1101,6 +1524,8 @@ class PipelineSession:
         num_hubs: int,
     ) -> None:
         """Flush this level's buffered blocks and record its timing."""
+        if self._batch and self._batch_level is not None:
+            self._flush_buckets(self._batch_level)
         for released in self._buffer.drain():
             self._dispatch(*released)  # type: ignore[misc]
         publish_seconds, publish_bytes = self._publish_stats.get(level, (0.0, 0))
@@ -1126,6 +1551,8 @@ class PipelineSession:
             When a worker raised while analysing a block, or a died
             worker's block failed again on the in-parent retry.
         """
+        if self._batch and self._batch_level is not None:
+            self._flush_buckets(self._batch_level)
         for released in self._buffer.drain():
             self._dispatch(*released)  # type: ignore[misc]
         while self._futures:
@@ -1137,7 +1564,12 @@ class PipelineSession:
                 try:
                     outcome = future.result()
                 except BrokenProcessPool:
-                    if subtask is not None:
+                    if subtask == "bucket":
+                        pairs, stats = self._parent_retry_bucket(
+                            level, descriptor
+                        )
+                        self._record_bucket(level, descriptor, pairs, stats)
+                    elif subtask is not None:
                         report = self._parent_retry_subtask(level, subtask)
                         self._finish_subtask(
                             level, descriptor, subtask, report,
@@ -1150,7 +1582,10 @@ class PipelineSession:
                 except ExecutorError as exc:
                     exc.segment_path = _segment_path_of(self._run_log)
                     raise
-                if subtask is not None:
+                if subtask == "bucket":
+                    pairs, stats = outcome
+                    self._record_bucket(level, descriptor, pairs, stats)
+                elif subtask is not None:
                     _, _, report = outcome
                     self._finish_subtask(
                         level, descriptor, subtask, report,
@@ -1237,6 +1672,86 @@ class PipelineSession:
             self._record(level, descriptor, report)
             return
         self._futures[future] = (level, descriptor, None, 0)
+
+    def _flush_buckets(self, level: int) -> None:
+        """Dispatch every partially filled shape group of ``level``."""
+        for group in self._accumulator.drain():
+            self._dispatch_bucket(
+                level,
+                BlockBucket(
+                    n_pad=padded_size(group[0].size),
+                    descriptors=tuple(group),
+                ),
+            )
+        self._batch_level = None
+
+    def _dispatch_bucket(self, level: int, bucket: BlockBucket) -> None:
+        handle = self._published[level].handle
+        try:
+            future = self._pool.submit(_pipeline_analyze_batch, handle, bucket)
+        except BrokenProcessPool:
+            pairs, stats = self._parent_retry_bucket(level, bucket)
+            self._record_bucket(level, bucket, pairs, stats)
+            return
+        # The "bucket" sentinel in the subtask slot routes the future's
+        # outcome to _record_bucket in finish().
+        self._futures[future] = (level, bucket, "bucket", 0)
+
+    def _parent_retry_bucket(
+        self, level: int, bucket: BlockBucket
+    ) -> "tuple[list[tuple[int, BlockReport]], dict]":
+        """Re-run one whole bucket in the parent after its worker died."""
+        first = bucket.descriptors[0].block_id
+        if not self._retry_failed:
+            raise ExecutorError(
+                f"worker process died while analysing a bucket of "
+                f"{bucket.num_blocks} blocks (first block {first}) of "
+                f"level {level}",
+                block_id=first,
+                segment_path=_segment_path_of(self._run_log),
+            )
+        shared = self._published[level]
+        try:
+            stats: dict[str, float] = {}
+            reports = analyze_bucket_csr(
+                bucket,
+                shared.indptr,
+                shared.indices,
+                shared.labels,
+                tree=self._tree,
+                combo=self._combo,
+                scratch=self._parent_scratch,
+                batch_stats=stats,
+            )
+        except Exception as exc:
+            raise ExecutorError(
+                f"bucket of {bucket.num_blocks} blocks (first block {first}) "
+                f"of level {level} failed again on in-parent retry: "
+                f"{type(exc).__name__}: {exc}",
+                block_id=first,
+            ) from exc
+        pairs = []
+        for descriptor, report in zip(bucket.descriptors, reports):
+            report.extra["retried"] = 1.0
+            report.extra["dispatch_bytes"] = float(descriptor.nbytes())
+            pairs.append((descriptor.block_id, report))
+        return pairs, stats
+
+    def _record_bucket(
+        self,
+        level: int,
+        bucket: BlockBucket,
+        pairs: "list[tuple[int, BlockReport]]",
+        stats: dict,
+    ) -> None:
+        self.trace.record_batch(_batch_dispatch_of(bucket, stats))
+        for block_id, report in pairs:
+            if self._run_log is not None:
+                self.trace.record_flush(
+                    self._run_log.record(level, block_id, report)
+                )
+            self._results[(level, block_id)] = report
+            self.trace.record(_timing_of(block_id, report))
 
     def _handle_split(
         self,

@@ -245,6 +245,57 @@ class StealDeque:
         return self._items.popleft()
 
 
+class BatchAccumulator:
+    """Group streamed small-block descriptors into same-shape buckets.
+
+    The pipeline producer hands descriptors one at a time; this
+    accumulator buffers the ones below the batch cutoff by padded shape
+    and releases a full bucket's worth as soon as ``bucket_target``
+    blocks of one shape have arrived (descriptors above the cutoff pass
+    straight through).  ``drain()`` flushes the partially filled shapes
+    when the level's decomposition finishes.  Grouping preserves arrival
+    order within each shape, so dispatch stays deterministic.
+    """
+
+    def __init__(self, cutoff: int, bucket_target: int = 256) -> None:
+        if cutoff < 0:
+            raise SchedulingError("batch cutoff must be non-negative")
+        if bucket_target < 1:
+            raise SchedulingError("bucket target must be positive")
+        self.cutoff = cutoff
+        self.bucket_target = bucket_target
+        self._pending: dict[int, list] = {}
+
+    def push(self, descriptor, size: int, n_pad: int):
+        """Buffer one descriptor; return a full shape group or ``None``.
+
+        ``size`` is the block's node count and ``n_pad`` its padded
+        shape key.  Returns ``None`` while the descriptor is either
+        buffered or too large to batch; callers must treat a ``None``
+        for an over-cutoff descriptor as "dispatch it individually"
+        (signalled by :meth:`is_small` being false).
+        """
+        group = self._pending.setdefault(n_pad, [])
+        group.append(descriptor)
+        if len(group) >= self.bucket_target:
+            del self._pending[n_pad]
+            return group
+        return None
+
+    def is_small(self, size: int) -> bool:
+        """Whether a block of ``size`` nodes belongs in a bucket."""
+        return size <= self.cutoff
+
+    def drain(self) -> "list[list]":
+        """Release every partially filled shape group, smallest first."""
+        groups = [group for _, group in sorted(self._pending.items())]
+        self._pending.clear()
+        return groups
+
+    def __len__(self) -> int:
+        return sum(len(group) for group in self._pending.values())
+
+
 SCHEDULERS = {
     "lpt": schedule_lpt,
     "round_robin": schedule_round_robin,

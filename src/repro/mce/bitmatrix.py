@@ -56,6 +56,16 @@ _PIVOT_KINDS = {
     no_pivot: "none",
 }
 
+def pivot_kind_of(pivot_rule) -> "str | None":
+    """The vectorizable pivot *kind* of a rule, or ``None`` if unknown.
+
+    The batched kernels take a kind string rather than a callable;
+    callers (e.g. the bucket dispatcher) use this to decide whether a
+    combo's pivot rule can run on the vectorized path at all.
+    """
+    return _PIVOT_KINDS.get(pivot_rule)
+
+
 # numpy >= 2.0 exposes a native popcount ufunc; fall back to a byte
 # lookup table (vectorized either way) on older builds.
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
@@ -99,6 +109,23 @@ def pack_indices(indices: Iterable[int], words: int) -> np.ndarray:
     if len(idx):
         np.bitwise_or.at(mask, idx >> 6, _ONE << (idx.astype(np.uint64) & _WORD_MASK))
     return mask
+
+
+def below_table(n: int, words: int) -> np.ndarray:
+    """``(n, words)`` table where row ``v`` has exactly bits ``0..v-1`` set.
+
+    The batched kernels gather a row per frontier vertex to compute the
+    earlier-sibling set the recursive Bron–Kerbosch form moves from
+    ``P`` to ``X``.
+    """
+    below = np.zeros((n, words), dtype=np.uint64)
+    if n:
+        ids = np.arange(n, dtype=np.int64)
+        high = ids >> 6
+        word_ids = np.arange(words, dtype=np.int64)
+        below[word_ids[None, :] < high[:, None]] = _FULL_WORD
+        below[ids, high] = (_ONE << (ids.astype(np.uint64) & _WORD_MASK)) - _ONE
+    return below
 
 
 class BitMatrixBackend(Backend):
@@ -147,15 +174,7 @@ class BitMatrixBackend(Backend):
         self._full = full
         # below[v] has exactly bits 0..v-1 set: the batched kernel's
         # sibling-prefix masks are one gather from this table.
-        below = np.zeros((self.n, self._words), dtype=np.uint64)
-        if self.n:
-            ids = np.arange(self.n, dtype=np.int64)
-            high = ids >> 6
-            word_ids = np.arange(self._words, dtype=np.int64)
-            below[word_ids[None, :] < high[:, None]] = _FULL_WORD
-            below[ids, high] = (
-                _ONE << (ids.astype(np.uint64) & _WORD_MASK)
-            ) - _ONE
+        below = below_table(self.n, self._words)
         self._below = below
         # Row-adjacent [neighbourhood | below] pairs: the batched kernel
         # fetches both per frontier vertex with a single fancy-index
@@ -259,6 +278,48 @@ class BitMatrixBackend(Backend):
 register_backend(BitMatrixBackend)
 
 
+def _materialize_rows(
+    spines: list[list], spine: int, idx: np.ndarray, leaves: np.ndarray
+):
+    """Rebuild clique tuples for one emit record by walking the spines.
+
+    One ancestor column is gathered per spine level, then the columns
+    are zipped into root-first tuples.  Called eagerly — while the whole
+    chain from ``spine`` to the root is still retained — so spine
+    entries can be released as soon as no live batch references them.
+    """
+    columns = [leaves]
+    while spine >= 0:
+        entry = spines[spine]
+        columns.append(entry[0][idx])
+        idx = entry[1][idx]
+        spine = entry[2]
+    columns.reverse()
+    return zip(*[column.tolist() for column in columns])
+
+
+def _release_spine(spines: list[list], spine: int) -> int:
+    """Drop one reference from ``spine``; free exhausted chain prefixes.
+
+    Each spine entry is ``[added, parents, parent_spine, refs]`` where
+    ``refs`` counts the stack chunks addressing the entry directly plus
+    the child spine entries whose materialization walks through it.
+    When an entry's count reaches zero its arrays are dropped and the
+    release cascades to its parent.  Returns the number of entries
+    freed (for the live-memory statistics).
+    """
+    freed = 0
+    while spine >= 0:
+        entry = spines[spine]
+        entry[3] -= 1
+        if entry[3] > 0:
+            break
+        entry[0] = entry[1] = None
+        freed += 1
+        spine = entry[2]
+    return freed
+
+
 def expand_batched(
     backend: BitMatrixBackend,
     prefix: tuple[int, ...],
@@ -266,6 +327,7 @@ def expand_batched(
     excluded: np.ndarray,
     pivot_kind: str,
     batch_cap: int = 8192,
+    stats: dict | None = None,
 ) -> list[tuple[int, ...]]:
     """Level-synchronous Bron–Kerbosch over batches of packed states.
 
@@ -279,13 +341,20 @@ def expand_batched(
     over the whole batch, so the per-tree-node interpreter overhead that
     dominates Python clique kernels is amortized across ``S`` states.
 
-    Enumeration is depth-first over batches (bounding live memory by
-    tree depth × ``batch_cap`` states) and level-order within a batch,
-    so the returned list is deterministic but ordered differently from
-    :func:`repro.mce.recursion.expand`; the clique *set* is identical
-    for any pivot kind, which is the invariant every caller relies on.
-    A list (not a generator) is returned so emission costs no per-clique
-    frame switch.
+    Enumeration is depth-first over batches and level-order within a
+    batch, so the returned list is deterministic but ordered differently
+    from :func:`repro.mce.recursion.expand`; the clique *set* is
+    identical for any pivot kind, which is the invariant every caller
+    relies on.  A list (not a generator) is returned so emission costs
+    no per-clique frame switch.
+
+    Cliques are materialized *eagerly* per emit record and spine entries
+    are reference-counted (released once no pending batch or descendant
+    spine can reach them), so live memory really is bounded by tree
+    depth × ``batch_cap`` states — not by the total number of
+    generations the run produces.  Pass a ``stats`` dict to observe the
+    bound: it receives ``total_spines``, ``max_live_spines``, and
+    ``sweeps``.
 
     ``pivot_kind`` is one of ``"tomita"`` (max ``|N(u) ∩ P|`` over
     ``P ∪ X``), ``"degree"`` (max degree over ``P``), ``"x"`` (max
@@ -304,11 +373,13 @@ def expand_batched(
     # A batch is (P, X, spine, offset): two (S, words) uint64 matrices
     # plus provenance — state ``j`` of the batch is row ``offset + j``
     # of spine entry ``spine`` (-1 for the root prefix).  Each spine
-    # entry is (added vertices, parent rows, parent spine); cliques are
-    # never carried during traversal, they are rebuilt by walking the
-    # spines once at the end.
-    spines: list[tuple[np.ndarray, np.ndarray, int]] = []
-    emits: list[tuple[int, np.ndarray, np.ndarray]] = []
+    # entry is [added vertices, parent rows, parent spine, refcount];
+    # cliques are never carried during traversal, they are rebuilt by
+    # walking the spine chain when a leaf generation emits.
+    spines: list[list] = []
+    live_spines = 0
+    max_live_spines = 0
+    sweeps = 0
     stack: list[tuple[np.ndarray, np.ndarray, int, int]] = [
         (
             candidates.reshape(1, -1).copy(),
@@ -319,6 +390,7 @@ def expand_batched(
     ]
     while stack:
         p, x, spine, offset = stack.pop()
+        sweeps += 1
         num_states = p.shape[0]
         if pivot_kind == "none":
             frontier = p
@@ -356,6 +428,7 @@ def expand_batched(
         )
         flat = np.flatnonzero(frontier_bits.reshape(-1).view(bool))
         if not len(flat):
+            live_spines -= _release_spine(spines, spine)
             continue
         rep = flat // n
         v = flat - rep * n
@@ -374,44 +447,265 @@ def expand_batched(
         has_x = child_x.any(axis=1)
         emit = np.flatnonzero(~has_p & ~has_x)
         if len(emit):
-            emits.append((spine, offset + rep[emit], v[emit]))
+            emitted = _materialize_rows(spines, spine, offset + rep[emit], v[emit])
+            if prefix:
+                out.extend(prefix + row for row in emitted)
+            else:
+                out.extend(emitted)
         live = np.flatnonzero(has_p)
-        if not len(live):
-            continue
-        new_spine = len(spines)
-        spines.append((v[live], offset + rep[live], spine))
-        live_p = child_p[live]
-        live_x = child_x[live]
-        if len(live) <= batch_cap:
-            stack.append((live_p, live_x, new_spine, 0))
-        else:
-            # Split oversized generations; push chunks in reverse so the
-            # first chunk is processed next (depth-first over batches).
-            for lo in range(
-                (len(live) - 1) // batch_cap * batch_cap, -1, -batch_cap
-            ):
-                hi = lo + batch_cap
-                stack.append((live_p[lo:hi], live_x[lo:hi], new_spine, lo))
-    # Materialize cliques: for each emit record, walk the spine chain
-    # back to the root gathering one ancestor column per level, then zip
-    # the columns into tuples (root-first order, prefix prepended).
-    for spine, idx, leaves in emits:
-        columns = [leaves]
-        while spine >= 0:
-            added, parents, spine = (
-                spines[spine][0],
-                spines[spine][1],
-                spines[spine][2],
-            )
-            columns.append(added[idx])
-            idx = parents[idx]
-        columns.reverse()
-        rows = zip(*[column.tolist() for column in columns])
-        if prefix:
-            out.extend(prefix + row for row in rows)
-        else:
-            out.extend(rows)
+        if len(live):
+            chunks = (len(live) + batch_cap - 1) // batch_cap
+            new_spine = len(spines)
+            spines.append([v[live], offset + rep[live], spine, chunks])
+            live_spines += 1
+            max_live_spines = max(max_live_spines, live_spines)
+            if spine >= 0:
+                spines[spine][3] += 1  # materialization walks through it
+            live_p = child_p[live]
+            live_x = child_x[live]
+            if chunks == 1:
+                stack.append((live_p, live_x, new_spine, 0))
+            else:
+                # Split oversized generations; push chunks in reverse so
+                # the first chunk is processed next (depth-first over
+                # batches).
+                for lo in range(
+                    (len(live) - 1) // batch_cap * batch_cap, -1, -batch_cap
+                ):
+                    hi = lo + batch_cap
+                    stack.append((live_p[lo:hi], live_x[lo:hi], new_spine, lo))
+        live_spines -= _release_spine(spines, spine)
+    if stats is not None:
+        stats["total_spines"] = len(spines)
+        stats["max_live_spines"] = max_live_spines
+        stats["sweeps"] = sweeps
     return out
+
+
+def expand_batched_many(
+    adj: np.ndarray,
+    task_blocks: np.ndarray,
+    roots_p: np.ndarray,
+    roots_x: np.ndarray,
+    n_pad: int,
+    pivot_kind: str,
+    batch_cap: int = 8192,
+    stats: dict | None = None,
+) -> list[list[tuple[int, ...]]]:
+    """Batched Bron–Kerbosch over root states drawn from *many* blocks.
+
+    The multi-block generalization of :func:`expand_batched`: instead of
+    one block's adjacency matrix, ``adj`` is the row-concatenation of a
+    whole bucket of same-shape blocks, each padded to ``n_pad`` rows of
+    ``adj.shape[1]`` words (padding rows all-zero, padding bits never
+    set).  Each *task* is one anchored root ``(P, X)`` state belonging
+    to block ``task_blocks[t]``; every state carries its task id through
+    the traversal, and adjacency gathers offset node indices by the
+    owning block's base row — so a single sequence of numpy dispatches
+    advances the frontiers of hundreds of independent blocks at once.
+    This is what makes thousands-of-tiny-blocks workloads cheap: the
+    per-sweep interpreter cost is paid once per *bucket generation*, not
+    once per block level.
+
+    Returns one list of clique tuples per task (local node indices
+    within the task's block; the caller prepends the anchor / prefix).
+    Per-task clique *sets* are identical to running
+    :func:`expand_batched` on each root alone.  Spine entries are
+    reference-counted and cliques materialize eagerly, exactly as in the
+    single-block kernel, so live memory is bounded by tree depth ×
+    ``batch_cap`` states regardless of bucket size.  ``stats`` (optional
+    dict) receives ``sweeps``, ``total_spines``, ``max_live_spines``,
+    and ``max_batch_states``.
+    """
+    num_tasks = len(task_blocks)
+    out: list[list[tuple[int, ...]]] = [[] for _ in range(num_tasks)]
+    if num_tasks == 0:
+        return out
+    words = adj.shape[1]
+    num_blocks = adj.shape[0] // n_pad if n_pad else 0
+    task_rows = np.asarray(task_blocks, dtype=np.int64) * n_pad
+    degrees_flat = popcount_rows(adj) if pivot_kind == "degree" else None
+    below = below_table(n_pad, words)
+    # [neighbourhood | below] per flat row: one gather per frontier
+    # vertex fetches both, exactly as the single-block kernel does.
+    adj_below = (
+        np.hstack([adj, np.tile(below, (num_blocks, 1))]) if num_blocks else below
+    )
+    # Roots with an empty candidate set never enter the batch: they emit
+    # the bare prefix iff X is empty too (the maximality test), and the
+    # segmented-argmax pivot below relies on every pooled state having a
+    # nonempty pool.
+    root_has_p = roots_p.any(axis=1)
+    for t in np.flatnonzero(~root_has_p).tolist():
+        if not roots_x[t].any():
+            out[t].append(())
+    live_roots = np.flatnonzero(root_has_p).astype(np.int64)
+    if not len(live_roots):
+        return out
+    spines: list[list] = []
+    live_spines = 0
+    max_live_spines = 0
+    max_batch_states = 0
+    sweeps = 0
+    # A batch is (P, X, tids, spine, offset); tids maps each state to
+    # its owning task, which both addresses the adjacency gathers and
+    # routes emitted cliques to the right output list.
+    stack: list[tuple[np.ndarray, np.ndarray, np.ndarray, int, int]] = []
+    for lo in range((len(live_roots) - 1) // batch_cap * batch_cap, -1, -batch_cap):
+        chunk = live_roots[lo : lo + batch_cap]
+        stack.append(
+            (
+                np.ascontiguousarray(roots_p[chunk]),
+                np.ascontiguousarray(roots_x[chunk]),
+                chunk,
+                -1,
+                0,
+            )
+        )
+    while stack:
+        p, x, tid, spine, offset = stack.pop()
+        sweeps += 1
+        num_states = p.shape[0]
+        max_batch_states = max(max_batch_states, num_states)
+        base = task_rows[tid]
+        if pivot_kind == "none":
+            frontier = p
+        else:
+            if pivot_kind == "degree":
+                pool_mask = p
+            elif pivot_kind == "x":
+                has_x = x.any(axis=1)
+                pool_mask = np.where(has_x[:, None], x, p | x)
+            else:
+                pool_mask = p | x
+            pool_bits = np.unpackbits(
+                pool_mask.view(np.uint8), axis=1, count=n_pad, bitorder="little"
+            )
+            flat = np.flatnonzero(pool_bits.reshape(-1).view(bool))
+            state_ids = flat // n_pad
+            node_ids = flat - state_ids * n_pad
+            node_rows = base[state_ids] + node_ids
+            if pivot_kind == "degree":
+                scores = degrees_flat[node_rows]
+            else:
+                scores = popcount_rows(adj[node_rows] & p[state_ids])
+            starts = np.zeros(num_states, dtype=np.int64)
+            np.cumsum(popcount_rows(pool_mask)[:-1], out=starts[1:])
+            best = np.maximum.reduceat(scores, starts)
+            entries = np.where(
+                scores == best[state_ids], np.arange(len(scores)), len(scores)
+            )
+            pivots = node_ids[np.minimum.reduceat(entries, starts)]
+            frontier = p & ~adj[base + pivots]
+        frontier_bits = np.unpackbits(
+            frontier.view(np.uint8), axis=1, count=n_pad, bitorder="little"
+        )
+        flat = np.flatnonzero(frontier_bits.reshape(-1).view(bool))
+        if not len(flat):
+            live_spines -= _release_spine(spines, spine)
+            continue
+        rep = flat // n_pad
+        v = flat - rep * n_pad
+        parent_rows = np.hstack([p, x, frontier])[rep]
+        vertex_rows = adj_below[base[rep] + v]
+        rows = vertex_rows[:, :words]
+        moved = parent_rows[:, 2 * words :] & vertex_rows[:, words:]
+        child_p = rows & parent_rows[:, :words] & ~moved
+        child_x = rows & (parent_rows[:, words : 2 * words] | moved)
+        has_p = child_p.any(axis=1)
+        has_x = child_x.any(axis=1)
+        emit = np.flatnonzero(~has_p & ~has_x)
+        if len(emit):
+            emit_tids = tid[rep[emit]].tolist()
+            emitted = _materialize_rows(spines, spine, offset + rep[emit], v[emit])
+            for task, row in zip(emit_tids, emitted):
+                out[task].append(row)
+        live = np.flatnonzero(has_p)
+        if len(live):
+            chunks = (len(live) + batch_cap - 1) // batch_cap
+            new_spine = len(spines)
+            spines.append([v[live], offset + rep[live], spine, chunks])
+            live_spines += 1
+            max_live_spines = max(max_live_spines, live_spines)
+            if spine >= 0:
+                spines[spine][3] += 1
+            live_p = child_p[live]
+            live_x = child_x[live]
+            live_tid = tid[rep[live]]
+            if chunks == 1:
+                stack.append((live_p, live_x, live_tid, new_spine, 0))
+            else:
+                for lo in range(
+                    (len(live) - 1) // batch_cap * batch_cap, -1, -batch_cap
+                ):
+                    hi = lo + batch_cap
+                    stack.append(
+                        (
+                            live_p[lo:hi],
+                            live_x[lo:hi],
+                            live_tid[lo:hi],
+                            new_spine,
+                            lo,
+                        )
+                    )
+        live_spines -= _release_spine(spines, spine)
+    if stats is not None:
+        stats["sweeps"] = sweeps
+        stats["total_spines"] = len(spines)
+        stats["max_live_spines"] = max_live_spines
+        stats["max_batch_states"] = max_batch_states
+    return out
+
+
+def degeneracy_orders_many(
+    bitmaps: np.ndarray, sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lockstep degeneracy peel over a stack of padded adjacency bitmaps.
+
+    ``bitmaps`` is ``(B, n_pad, words)`` with block ``b`` occupying rows
+    ``0..sizes[b]-1`` (padding rows all-zero); the peel removes one
+    minimum-residual-degree node per block per step, ties toward the
+    smallest index — exactly :func:`degeneracy_order_packed` run on
+    every block, but with the per-step argmin/decrement vectorized
+    across the whole bucket, so ``B`` tiny blocks cost one ``O(n_pad)``
+    loop instead of ``B`` of them.
+
+    Returns ``(orders, degeneracies)``: ``orders`` is ``(B, n_pad)``
+    int64 with row ``b``'s first ``sizes[b]`` entries the block's
+    peeling order (the rest undefined), and ``degeneracies`` is ``(B,)``
+    — the maximum residual degree seen at removal time per block.
+    """
+    num_blocks, n_pad, _ = bitmaps.shape
+    orders = np.zeros((num_blocks, n_pad), dtype=np.int64)
+    degeneracies = np.zeros(num_blocks, dtype=np.int64)
+    if num_blocks == 0 or n_pad == 0:
+        return orders, degeneracies
+    sizes = np.asarray(sizes, dtype=np.int64)
+    degrees = popcount_rows(bitmaps.reshape(-1, bitmaps.shape[2])).reshape(
+        num_blocks, n_pad
+    )
+    # Padding rows are dead from the start so they never win the argmin
+    # while a real node survives (real residual degrees are < n_pad).
+    alive = np.arange(n_pad, dtype=np.int64)[None, :] < sizes[:, None]
+    dead_value = np.int64(n_pad + 1)
+    block_ids = np.arange(num_blocks, dtype=np.int64)
+    for step in range(int(sizes.max()) if len(sizes) else 0):
+        active = step < sizes
+        masked = np.where(alive, degrees, dead_value)
+        chosen = np.argmin(masked, axis=1)
+        orders[:, step] = np.where(active, chosen, 0)
+        peeled = degrees[block_ids, chosen]
+        degeneracies = np.where(
+            active, np.maximum(degeneracies, peeled), degeneracies
+        )
+        alive[block_ids[active], chosen[active]] = False
+        removed_rows = bitmaps[block_ids[active], chosen[active]]
+        removed_bits = np.unpackbits(
+            removed_rows.view(np.uint8), axis=1, count=n_pad, bitorder="little"
+        ).astype(bool)
+        decrement = removed_bits & alive[active]
+        degrees[active] -= decrement.astype(np.int64)
+    return orders, degeneracies
 
 
 def expand_stack(

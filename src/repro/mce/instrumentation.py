@@ -145,6 +145,28 @@ class SplitDecision:
 
 
 @dataclass(frozen=True)
+class BatchDispatch:
+    """Record of one bucket of small blocks dispatched as a single unit.
+
+    Batched dispatch packs same-padded-shape blocks into one multi-block
+    kernel run (:func:`repro.mce.bitmatrix.expand_batched_many`);
+    ``num_blocks``/``num_tasks`` count the blocks and anchored root
+    states fused, ``padding_waste`` is the fraction of padded adjacency
+    rows holding no real node, and ``sweeps`` the number of batch
+    generations the kernel advanced — the quantity the fusion amortizes
+    (one sweep serves every block in the bucket).
+    """
+
+    n_pad: int
+    num_blocks: int
+    num_tasks: int
+    padding_waste: float
+    sweeps: int
+    seconds: float
+    worker_pid: int = 0
+
+
+@dataclass(frozen=True)
 class LevelDecomposition:
     """Measured decomposition of one recursion level (pipeline mode).
 
@@ -182,10 +204,15 @@ class ExecutionTrace:
     subtasks: list[SubtaskTiming] = field(default_factory=list)
     splits: list[SplitDecision] = field(default_factory=list)
     flushes: list[SegmentFlush] = field(default_factory=list)
+    batches: list[BatchDispatch] = field(default_factory=list)
 
     def record(self, timing: BlockTiming) -> None:
         """Append one per-block record."""
         self.timings.append(timing)
+
+    def record_batch(self, batch: BatchDispatch) -> None:
+        """Append one per-bucket record (batched dispatch mode)."""
+        self.batches.append(batch)
 
     def record_flush(self, flush: SegmentFlush) -> None:
         """Append one per-block spill record (durable runs only)."""
@@ -239,6 +266,11 @@ class ExecutionTrace:
         return [
             timing.block_id for timing in self.timings if not timing.replayed
         ]
+
+    @property
+    def batched_block_count(self) -> int:
+        """Blocks analysed through bucket dispatch across all batches."""
+        return sum(batch.num_blocks for batch in self.batches)
 
     @property
     def total_flush_seconds(self) -> float:

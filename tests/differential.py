@@ -32,12 +32,19 @@ from repro.mce.registry import Combo
 # splitting on every splittable block (threshold 0, small chunks) so the
 # subtask/steal/merge machinery is exercised even on the small test
 # graphs whose blocks would never cross the adaptive threshold.
+# ``serial-batch``/``shared-batch`` force multi-block bucket dispatch
+# with an explicit cutoff large enough that every test-graph block
+# batches, exercising the fused-kernel packing/demux path.
 EXECUTOR_FACTORIES: dict[str, Callable[[], object]] = {
     "serial": SerialExecutor,
+    "serial-batch": lambda: SerialExecutor(batch_blocks=True, batch_cutoff=64),
     "process": lambda: ProcessExecutor(max_workers=2),
     "shared": lambda: SharedMemoryExecutor(max_workers=2),
     "shared-split": lambda: SharedMemoryExecutor(
         max_workers=2, split=True, split_threshold=0.0, split_subtasks=3
+    ),
+    "shared-batch": lambda: SharedMemoryExecutor(
+        max_workers=2, batch_blocks=True, batch_cutoff=64
     ),
 }
 
@@ -52,6 +59,7 @@ DRIVER_MODES: tuple[str, ...] = (
     *sorted(EXECUTOR_FACTORIES),
     "shared-pipeline",
     "shared-pipeline-split",
+    "shared-pipeline-batch",
     "shared-spill",
     "shared-pipeline-split-spill",
 )
@@ -128,7 +136,12 @@ def _driver_result(mode: str, graph: Graph, m: int, combo: Combo | None = None):
         mode = mode[: -len("-spill")]
     pipeline = mode.startswith("shared-pipeline")
     if pipeline:
-        executor_name = "shared-split" if mode.endswith("-split") else "shared"
+        if mode.endswith("-split"):
+            executor_name = "shared-split"
+        elif mode.endswith("-batch"):
+            executor_name = "shared-batch"
+        else:
+            executor_name = "shared"
     else:
         executor_name = mode
     executor = (

@@ -85,3 +85,44 @@ class TestNaiveBlocks:
         naive = naive_block_mce(g, 12)
         kernels = [n for b in naive.blocks for n in b.kernel]
         assert sorted(kernels, key=str) == sorted(g.nodes(), key=str)
+
+    def test_deque_bfs_matches_list_queue(self):
+        # The BFS queue moved from list.pop(0) (O(n) per dequeue) to
+        # collections.deque.popleft(); both are FIFO, so the grown blocks
+        # must be identical node for node.
+        from repro.baselines.naive_blocks import _build_naive_blocks
+        from repro.graph.views import induced_subgraph
+
+        def reference_blocks(graph, m):
+            # The pre-deque implementation, kept verbatim as the oracle.
+            unassigned = dict.fromkeys(graph.nodes())
+            out = []
+            while unassigned:
+                seed = next(iter(unassigned))
+                kernel, members = [], set()
+                queue = [seed]
+                while queue and len(members) < m:
+                    node = queue.pop(0)
+                    if node in unassigned:
+                        del unassigned[node]
+                        kernel.append(node)
+                        members.add(node)
+                        for neighbor in sorted(graph.neighbors(node), key=str):
+                            if neighbor in members:
+                                continue
+                            if len(members) >= m:
+                                break
+                            members.add(neighbor)
+                            if neighbor in unassigned:
+                                queue.append(neighbor)
+                out.append((tuple(kernel), frozenset(members)))
+            return out
+
+        for seed in (3, 11, 29):
+            g = erdos_renyi(40, 0.15, seed=seed)
+            expected = reference_blocks(g, 12)
+            actual = [
+                (b.kernel, frozenset(b.graph.nodes()))
+                for b in _build_naive_blocks(g, 12)
+            ]
+            assert [(k, m) for k, m in expected] == actual

@@ -1,0 +1,318 @@
+"""Tests for multi-block batched dispatch (bucketing, kernel, executors).
+
+The invariant under test everywhere: fusing many small same-shape blocks
+into one multi-block kernel run changes *nothing* about the per-block
+output — the clique sets, the selected combos, and the extracted
+features must be identical to the per-block path, and every block id
+must come back exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block_analysis import (
+    BlockBucket,
+    analyze_block_csr,
+    analyze_bucket_csr,
+    form_buckets,
+    padded_size,
+)
+from repro.core.blocks import blocks_csr
+from repro.core.driver import find_max_cliques
+from repro.core.feasibility import cut_csr
+from repro.distributed.executor import SerialExecutor, SharedMemoryExecutor
+from repro.distributed.scheduler import BatchAccumulator
+from repro.errors import ExecutorError, SchedulingError
+from repro.graph.adjacency import Graph
+from repro.graph.csr import BitmapScratch, CSRGraph
+from repro.graph.generators import erdos_renyi
+from repro.mce.backends import build_backend
+from repro.mce.bitmatrix import expand_batched
+from repro.mce.registry import Combo
+
+from differential import canonical_cliques
+
+
+def _er(n: int, p: float, seed: int) -> Graph:
+    return erdos_renyi(n, p, seed=seed)
+
+
+def _descriptors(csr: CSRGraph, m: int):
+    feasible_ids, _ = cut_csr(csr, m)
+    return list(blocks_csr(csr, feasible_ids, m))
+
+
+class TestPaddedSize:
+    def test_rounds_up_to_quantum(self):
+        assert padded_size(1) == 8
+        assert padded_size(8) == 8
+        assert padded_size(9) == 16
+        assert padded_size(64) == 64
+        assert padded_size(65) == 72
+
+    @given(size=st.integers(min_value=1, max_value=4096))
+    def test_pad_dominates_and_is_tight(self, size):
+        pad = padded_size(size)
+        assert pad >= size
+        assert pad % 8 == 0
+        assert pad - size < 8 or pad == 8
+
+
+class TestFormBuckets:
+    def test_partition_is_exact(self):
+        csr = CSRGraph(_er(80, 0.1, seed=1))
+        descriptors = _descriptors(csr, 12)
+        buckets, large = form_buckets(descriptors, cutoff=10)
+        bucketed = [d.block_id for b in buckets for d in b.descriptors]
+        loose = [d.block_id for d in large]
+        # Every block id exactly once, across the two partitions.
+        assert sorted(bucketed + loose) == sorted(d.block_id for d in descriptors)
+        for bucket in buckets:
+            assert all(
+                padded_size(d.size) == bucket.n_pad for d in bucket.descriptors
+            )
+            assert all(d.size <= 10 for d in bucket.descriptors)
+        assert all(d.size > 10 for d in large)
+
+    def test_max_bucket_chunks_popular_shapes(self):
+        csr = CSRGraph(_er(120, 0.05, seed=2))
+        descriptors = _descriptors(csr, 10)
+        buckets, _ = form_buckets(descriptors, cutoff=64, max_bucket=3)
+        assert all(b.num_blocks <= 3 for b in buckets)
+        unchunked, _ = form_buckets(descriptors, cutoff=64)
+        assert sum(b.num_blocks for b in buckets) == sum(
+            b.num_blocks for b in unchunked
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        cutoff=st.integers(min_value=0, max_value=64),
+        max_bucket=st.one_of(st.none(), st.integers(min_value=1, max_value=7)),
+    )
+    def test_round_trip_every_block_once(self, seed, cutoff, max_bucket):
+        rng = random.Random(seed)
+        csr = CSRGraph(_er(rng.randint(5, 60), rng.uniform(0.05, 0.3), seed=seed))
+        descriptors = _descriptors(csr, rng.randint(4, 16))
+        buckets, large = form_buckets(descriptors, cutoff, max_bucket=max_bucket)
+        seen = [d.block_id for b in buckets for d in b.descriptors]
+        seen.extend(d.block_id for d in large)
+        assert sorted(seen) == sorted(d.block_id for d in descriptors)
+        if max_bucket is not None:
+            assert all(b.num_blocks <= max_bucket for b in buckets)
+
+
+class TestAnalyzeBucketParity:
+    """Fused bucket runs reproduce the per-block path exactly."""
+
+    COMBOS = (None, Combo("tomita", "bitmatrix"), Combo("bkpivot", "lists"))
+
+    @pytest.mark.parametrize("combo", COMBOS, ids=["tree", "tomita", "bkpivot"])
+    def test_reports_match_per_block(self, combo):
+        csr = CSRGraph(_er(90, 0.12, seed=5))
+        descriptors = _descriptors(csr, 14)
+        buckets, large = form_buckets(descriptors, cutoff=64)
+        assert buckets, "test graph must produce batchable blocks"
+        scratch = BitmapScratch()
+        labels = csr.labels
+        batched: dict[int, object] = {}
+        for bucket in buckets:
+            stats: dict[str, float] = {}
+            reports = analyze_bucket_csr(
+                bucket, csr.indptr, csr.indices, labels,
+                combo=combo, scratch=scratch, batch_stats=stats,
+            )
+            assert stats["num_blocks"] == bucket.num_blocks
+            for descriptor, report in zip(bucket.descriptors, reports):
+                batched[descriptor.block_id] = report
+        for descriptor in large:
+            batched[descriptor.block_id] = analyze_block_csr(
+                descriptor, csr.indptr, csr.indices, labels,
+                combo=combo, scratch=scratch,
+            )
+        for descriptor in descriptors:
+            reference = analyze_block_csr(
+                descriptor, csr.indptr, csr.indices, labels,
+                combo=combo, scratch=scratch,
+            )
+            report = batched[descriptor.block_id]
+            assert set(report.cliques) == set(reference.cliques)
+            assert report.combo.name == reference.combo.name
+            assert report.features == reference.features
+
+    def test_bucket_reports_are_marked(self):
+        csr = CSRGraph(_er(60, 0.1, seed=6))
+        descriptors = _descriptors(csr, 10)
+        buckets, _ = form_buckets(descriptors, cutoff=64)
+        reports = analyze_bucket_csr(
+            buckets[0], csr.indptr, csr.indices, csr.labels
+        )
+        for report in reports:
+            assert report.extra["batched"] == 1.0
+            assert report.extra["bucket_blocks"] == float(buckets[0].num_blocks)
+
+
+class TestSpineMemoryBound:
+    def test_live_spines_stay_bounded_on_deep_block(self):
+        # Regression: spine entries used to be retained for the whole
+        # run (the docstring promised depth x batch_cap, the list grew
+        # with every generation).  With eager materialization and
+        # refcounting, the live count stays near the recursion depth
+        # while the total keeps growing with the tree.
+        graph = _er(60, 0.6, seed=1)
+        backend = build_backend(graph, "bitmatrix")
+        words = backend._matrix.shape[1]
+        candidates = np.zeros(words, dtype=np.uint64)
+        for i in range(backend.n):
+            candidates[i >> 6] |= np.uint64(1) << np.uint64(i & 63)
+        excluded = np.zeros(words, dtype=np.uint64)
+        stats: dict[str, int] = {}
+        cliques = expand_batched(
+            backend, (), candidates, excluded, "tomita",
+            batch_cap=32, stats=stats,
+        )
+        assert len(cliques) == len(set(cliques))
+        assert stats["total_spines"] > 50
+        # The bound that matters: live memory does not scale with the
+        # number of generations produced.
+        assert stats["max_live_spines"] * 10 <= stats["total_spines"]
+        assert stats["max_live_spines"] <= backend.n
+
+
+class TestBatchAccumulator:
+    def test_releases_full_shape_group(self):
+        acc = BatchAccumulator(cutoff=16, bucket_target=3)
+        assert acc.push("a", 5, 8) is None
+        assert acc.push("b", 6, 8) is None
+        assert acc.push("c", 3, 8) == ["a", "b", "c"]
+        assert len(acc) == 0
+
+    def test_shapes_accumulate_independently(self):
+        acc = BatchAccumulator(cutoff=64, bucket_target=2)
+        assert acc.push("a", 5, 8) is None
+        assert acc.push("b", 12, 16) is None
+        assert len(acc) == 2
+        assert acc.push("c", 13, 16) == ["b", "c"]
+        assert acc.drain() == [["a"]]
+        assert len(acc) == 0
+
+    def test_drain_orders_smallest_shape_first(self):
+        acc = BatchAccumulator(cutoff=64, bucket_target=10)
+        acc.push("big", 20, 24)
+        acc.push("small", 4, 8)
+        assert acc.drain() == [["small"], ["big"]]
+
+    def test_is_small(self):
+        acc = BatchAccumulator(cutoff=16)
+        assert acc.is_small(16)
+        assert not acc.is_small(17)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SchedulingError):
+            BatchAccumulator(cutoff=-1)
+        with pytest.raises(SchedulingError):
+            BatchAccumulator(cutoff=4, bucket_target=0)
+
+
+class TestExecutorBatching:
+    M = 14
+
+    def _graph(self):
+        return _er(110, 0.08, seed=9)
+
+    def test_serial_batch_matches_reference(self):
+        graph = self._graph()
+        reference = canonical_cliques(find_max_cliques(graph, self.M).cliques)
+        executor = SerialExecutor(batch_blocks=True, batch_cutoff=64)
+        result = find_max_cliques(graph, self.M, executor=executor)
+        assert canonical_cliques(result.cliques) == reference
+        trace = executor.last_trace
+        assert trace is not None and trace.batches
+        assert trace.batched_block_count > 0
+
+    def test_shared_batch_records_batches_and_timings(self):
+        graph = self._graph()
+        reference = canonical_cliques(find_max_cliques(graph, self.M).cliques)
+        executor = SharedMemoryExecutor(
+            max_workers=2, batch_blocks=True, batch_cutoff=64
+        )
+        result = find_max_cliques(graph, self.M, executor=executor)
+        assert canonical_cliques(result.cliques) == reference
+        trace = executor.last_trace
+        assert trace.batches
+        # One timing per block overall; batched blocks also counted in
+        # the per-bucket records, exactly once each.
+        timed = sorted(t.block_id for t in trace.timings)
+        assert timed == sorted(set(timed))
+        assert trace.batched_block_count <= len(timed)
+        for batch in trace.batches:
+            assert batch.num_blocks >= 1
+            assert batch.n_pad % 8 == 0
+            assert batch.sweeps >= 1
+
+    def test_pipeline_batch_matches_reference(self):
+        graph = self._graph()
+        reference = canonical_cliques(find_max_cliques(graph, self.M).cliques)
+        executor = SharedMemoryExecutor(
+            max_workers=2, batch_blocks=True, batch_cutoff=64
+        )
+        result = find_max_cliques(
+            graph, self.M, executor=executor, pipeline=True
+        )
+        assert canonical_cliques(result.cliques) == reference
+        assert executor.last_trace.batches
+
+    def test_batch_with_split_matches_reference(self):
+        graph = self._graph()
+        reference = canonical_cliques(find_max_cliques(graph, self.M).cliques)
+        executor = SharedMemoryExecutor(
+            max_workers=2,
+            batch_blocks=True,
+            batch_cutoff=8,  # low cutoff: large blocks stay on the split path
+            split=True,
+            split_threshold=0.0,
+            split_subtasks=3,
+        )
+        result = find_max_cliques(
+            graph, self.M, executor=executor, split=True, split_threshold=0.0
+        )
+        assert canonical_cliques(result.cliques) == reference
+
+    def test_driver_rejects_process_executor(self):
+        from repro.distributed.executor import ProcessExecutor
+
+        with pytest.raises(ExecutorError):
+            find_max_cliques(
+                self._graph(), self.M,
+                executor=ProcessExecutor(max_workers=2),
+                batch_blocks=True,
+            )
+
+    def test_driver_configures_default_executor(self):
+        graph = self._graph()
+        reference = canonical_cliques(find_max_cliques(graph, self.M).cliques)
+        result = find_max_cliques(graph, self.M, batch_blocks=True)
+        assert canonical_cliques(result.cliques) == reference
+
+
+class TestBucketBuildsDirectly:
+    def test_single_block_bucket(self):
+        csr = CSRGraph(_er(30, 0.2, seed=12))
+        descriptors = _descriptors(csr, 8)
+        bucket = BlockBucket(
+            n_pad=padded_size(descriptors[0].size),
+            descriptors=(descriptors[0],),
+        )
+        reports = analyze_bucket_csr(
+            bucket, csr.indptr, csr.indices, csr.labels
+        )
+        reference = analyze_block_csr(
+            descriptors[0], csr.indptr, csr.indices, csr.labels
+        )
+        assert set(reports[0].cliques) == set(reference.cliques)

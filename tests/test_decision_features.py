@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -12,6 +14,7 @@ from repro.core.feasibility import cut
 from repro.decision.features import (
     FEATURE_NAMES,
     BlockFeatures,
+    adaptive_batch_cutoff,
     adaptive_split_threshold,
     estimate_analysis_cost,
     extract_features,
@@ -67,11 +70,15 @@ class TestEstimateAnalysisCost:
     Only the *ordering* of estimates matters (LPT dispatch, split
     threshold), so the contract is: non-negative, and monotone
     non-decreasing in both node and edge count.  The earlier
-    ``n * 3^(avg_degree/3)`` form violated node-monotonicity.
+    ``n * 3^(avg_degree/3)`` form violated node-monotonicity, and the
+    earlier direct ``pow`` raised ``OverflowError`` on web-scale counts
+    (a 50k-node block with 10^9 edges), so the bounds cover the
+    saturation boundary: estimates past float range collapse to the
+    shared ``inf`` plateau instead of raising.
     """
 
-    nodes = st.integers(min_value=0, max_value=200)
-    edges = st.integers(min_value=0, max_value=5000)
+    nodes = st.integers(min_value=0, max_value=10**6)
+    edges = st.integers(min_value=0, max_value=10**12)
 
     @given(n=nodes, e=edges)
     def test_never_negative(self, n, e):
@@ -93,9 +100,41 @@ class TestEstimateAnalysisCost:
         dense = estimate_analysis_cost(30, 300)
         assert dense > sparse
 
+    def test_web_scale_block_saturates_instead_of_raising(self):
+        # Regression: this exact call used to raise OverflowError in
+        # math.pow, crashing dispatch on hub-dominated web graphs.
+        cost = estimate_analysis_cost(50_000, 10**9)
+        assert cost == float("inf")
+
+    def test_saturation_boundary_is_monotone(self):
+        # Just below the inf plateau the exact value is still returned,
+        # and crossing the boundary never decreases the estimate.
+        finite = estimate_analysis_cost(200, 5_000)
+        assert math.isfinite(finite) and finite > 0.0
+        previous = 0.0
+        for n in (10, 100, 1_000, 10_000, 100_000):
+            cost = estimate_analysis_cost(n, n * n)
+            assert cost >= previous
+            previous = cost
+
     def test_matches_features_method(self):
         features = BlockFeatures.of(complete_graph(8))
         assert features.estimated_cost() == estimate_analysis_cost(8, 28)
+
+
+class TestAdaptiveBatchCutoff:
+    def test_empty_batch_uses_floor(self):
+        assert adaptive_batch_cutoff([]) == 64
+
+    def test_tiny_blocks_floor_at_one_word(self):
+        assert adaptive_batch_cutoff([3, 5, 4, 6, 2]) == 64
+
+    def test_median_rounds_to_quantum(self):
+        # Median 90 rounds up to the next multiple of 8.
+        assert adaptive_batch_cutoff([10, 90, 200]) == 96
+
+    def test_large_median_wins_over_floor(self):
+        assert adaptive_batch_cutoff([128] * 5) == 128
 
 
 class TestAdaptiveSplitThreshold:
