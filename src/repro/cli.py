@@ -169,6 +169,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     enumerate_.add_argument(
+        "--min-clique-size",
+        type=int,
+        default=0,
+        help=(
+            "only report cliques of at least this size; blocks and "
+            "anchors whose clique upper bound falls below the floor are "
+            "skipped outright (see docs/maximum.md)"
+        ),
+    )
+    enumerate_.add_argument(
         "--spill-dir",
         default=None,
         help=(
@@ -220,6 +230,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     maximum.add_argument("--input", required=True, help="input triple file")
 
+    max_clique = commands.add_parser(
+        "max-clique",
+        help="find one maximum clique (bitmatrix branch and bound)",
+    )
+    max_clique.add_argument("--input", required=True, help="input triple file")
+    max_clique.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the parallel search with a shared "
+            "incumbent (default 1: solve in-process)"
+        ),
+    )
+    max_clique.add_argument(
+        "--lower-bound",
+        type=int,
+        default=0,
+        help=(
+            "required clique size: branches that cannot reach it are "
+            "pruned from the start; errors if no such clique exists"
+        ),
+    )
+
+    top_k = commands.add_parser(
+        "top-k",
+        help="the K largest maximal cliques via bound-driven pruning",
+    )
+    top_k.add_argument("--input", required=True, help="input triple file")
+    top_k.add_argument("--m", type=int, required=True, help="block size")
+    top_k.add_argument(
+        "-k", type=int, default=10, dest="k",
+        help="how many cliques to report (default 10)",
+    )
+    top_k.add_argument(
+        "--tolerance",
+        type=int,
+        default=2,
+        help=(
+            "initial slack below the maximum clique size for the "
+            "enumeration floor (floor = max clique size - tolerance); "
+            "the floor is lowered automatically until K cliques surface"
+        ),
+    )
+
     plan = commands.add_parser(
         "plan", help="recommend a block size m for a network"
     )
@@ -270,6 +325,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_plan(args)
         if args.command == "maximum":
             return _cmd_maximum(args)
+        if args.command == "max-clique":
+            return _cmd_max_clique(args)
+        if args.command == "top-k":
+            return _cmd_top_k(args)
         if args.command == "audit":
             return _cmd_audit(args)
     except (ReproError, OSError, ValueError) as exc:
@@ -376,6 +435,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         split_threshold=args.split_threshold,
         batch_blocks=args.batch_blocks,
         batch_cutoff=args.batch_cutoff,
+        min_clique_size=args.min_clique_size,
         spill_dir=args.spill_dir,
         resume=args.resume,
     )
@@ -421,6 +481,13 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 f"into {len(trace.batches)} buckets "
                 f"({sum(batch.sweeps for batch in trace.batches)} kernel sweeps)"
             )
+    if result.pruning:
+        pruning = result.pruning
+        print(
+            f"floor {pruning['min_clique_size']}: skipped "
+            f"{pruning['blocks_skipped']}/{pruning['blocks_total']} blocks "
+            f"and {pruning['anchors_skipped']} anchors"
+        )
     if result.run_info:
         info = result.run_info
         print(
@@ -489,6 +556,62 @@ def _cmd_maximum(args: argparse.Namespace) -> int:
     members = ", ".join(sorted(map(str, best)))
     print(f"omega(G) = {len(best)} in {elapsed:.3f}s")
     print(f"one maximum clique: {{{members}}}")
+    return 0
+
+
+def _cmd_max_clique(args: argparse.Namespace) -> int:
+    from repro.mce.maximum import maximum_clique
+
+    graph = read_triples(args.input)
+    start = time.perf_counter()
+    if args.workers and args.workers > 1:
+        from repro.distributed.executor import parallel_maximum_clique
+
+        best = parallel_maximum_clique(
+            graph, max_workers=args.workers, lower_bound=args.lower_bound
+        )
+        mode = f"{args.workers} workers"
+    else:
+        best = maximum_clique(graph, lower_bound=args.lower_bound)
+        mode = "in-process"
+    elapsed = time.perf_counter() - start
+    members = ", ".join(sorted(map(str, best)))
+    print(f"omega(G) = {len(best)} in {elapsed:.3f}s ({mode})")
+    print(f"one maximum clique: {{{members}}}")
+    return 0
+
+
+def _cmd_top_k(args: argparse.Namespace) -> int:
+    from repro.mce.maximum import maximum_clique
+
+    if args.k <= 0:
+        raise ReproError("-k must be positive")
+    if args.tolerance < 0:
+        raise ReproError("--tolerance must be non-negative")
+    graph = read_triples(args.input)
+    start = time.perf_counter()
+    k_star = len(maximum_clique(graph))
+    bound_seconds = time.perf_counter() - start
+    print(f"omega(G) = {k_star} in {bound_seconds:.3f}s")
+    # Enumerate with a floor just below omega(G); if fewer than K cliques
+    # survive, lower the floor and re-run until enough surface (or the
+    # floor bottoms out at 1, which is an unfloored enumeration).
+    floor = max(1, k_star - args.tolerance)
+    while True:
+        result = find_max_cliques(graph, args.m, min_clique_size=floor)
+        if result.num_cliques >= args.k or floor <= 1:
+            break
+        floor = max(1, floor - 1)
+    pruning = result.pruning or {}
+    print(
+        f"floor {floor}: {result.num_cliques} cliques, "
+        f"skipped {pruning.get('blocks_skipped', 0)}/"
+        f"{pruning.get('blocks_total', 0)} blocks and "
+        f"{pruning.get('anchors_skipped', 0)} anchors"
+    )
+    for index, clique in enumerate(result.largest(args.k)):
+        members = ", ".join(sorted(map(str, clique)))
+        print(f"  #{index}: {len(clique)} members {{{members}}}")
     return 0
 
 

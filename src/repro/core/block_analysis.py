@@ -61,6 +61,7 @@ from repro.mce.bitmatrix import (
     popcount_rows,
     words_for,
 )
+from repro.mce.maximum import clique_upper_bound_packed
 from repro.mce.registry import Combo, get_pivot_rule
 
 
@@ -80,6 +81,7 @@ def analyze_block(
     block: Block,
     tree: DecisionTree | None = None,
     combo: Combo | None = None,
+    min_clique_size: int = 0,
 ) -> BlockReport:
     """Enumerate the block's contribution to the global clique set.
 
@@ -93,6 +95,11 @@ def analyze_block(
     combo:
         Bypass the tree and force a specific combination (used by the
         ablation benchmarks that compare the tree against fixed combos).
+    min_clique_size:
+        Enumeration floor: anchors whose subproblem cannot reach a
+        clique of this size are skipped (their cliques are all smaller,
+        see :func:`_anchor_below_floor`); the skip count lands in
+        ``extra["anchors_skipped"]``.  ``0`` disables the pruning.
 
     Returns
     -------
@@ -111,12 +118,16 @@ def analyze_block(
     excluded = backend.make_from_labels(block.visited)
     kernel_order = _kernel_degeneracy_order(block)
     cliques: list[frozenset[Node]] = []
+    anchors_skipped = 0
     for kernel_node in kernel_order:
         anchor = backend.index_of(kernel_node)
-        for clique in _enumerate_anchored(
-            backend, anchor, candidates, excluded, pivot_rule
-        ):
-            cliques.append(frozenset(backend.label(i) for i in clique))
+        if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
+            anchors_skipped += 1
+        else:
+            for clique in _enumerate_anchored(
+                backend, anchor, candidates, excluded, pivot_rule
+            ):
+                cliques.append(frozenset(backend.label(i) for i in clique))
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
     return BlockReport(
@@ -125,7 +136,69 @@ def analyze_block(
         features=features,
         seconds=time.perf_counter() - start,
         kernel_nodes=len(block.kernel),
+        extra={"anchors_skipped": float(anchors_skipped)} if anchors_skipped else {},
     )
+
+
+def _anchor_below_floor(
+    backend: Backend, anchor: int, candidates, min_clique_size: int
+) -> bool:
+    """Whether an anchored sweep cannot reach the enumeration floor.
+
+    Every clique the anchor's sweep emits lies inside ``{anchor} ∪
+    (N(anchor) ∩ candidates)`` — a member processed as an earlier
+    anchor sits on the excluded side, and one already moved out of
+    ``candidates`` would make the clique non-maximal there.  So when
+    ``1 + |N(anchor) ∩ candidates| < floor`` the whole sweep is below
+    the floor and can be skipped.  The anchor must still rotate to the
+    excluded side afterwards: later anchors see exactly the states the
+    unpruned sweep would have left them, which is what keeps the ≥-floor
+    clique set identical (the exclusion side never depends on whether
+    the anchor's own sweep ran).
+    """
+    return (
+        min_clique_size > 1
+        and 1 + backend.common_count(anchor, candidates) < min_clique_size
+    )
+
+
+def block_clique_bound(block: Block) -> int:
+    """Upper bound on any clique the block can emit (``Graph`` path).
+
+    Every reported clique lies inside kernel ∪ border (visited members
+    are excluded by construction), so the bound is
+    :func:`repro.mce.maximum.clique_upper_bound_packed` over that
+    induced subgraph.  The barrier driver prices each block with this
+    before dispatch and skips those falling below ``min_clique_size``.
+    """
+    members = list(block.kernel) + sorted(block.border, key=str)
+    n = len(members)
+    if n == 0:
+        return 0
+    index_of = {node: i for i, node in enumerate(members)}
+    bitmap = np.zeros((n, words_for(n)), dtype=np.uint64)
+    one = np.uint64(1)
+    for i, node in enumerate(members):
+        row = bitmap[i]
+        for other in block.graph.neighbors(node):
+            j = index_of.get(other)
+            if j is not None:
+                row[j >> 6] |= one << np.uint64(j & 63)
+    return clique_upper_bound_packed(bitmap)
+
+
+def block_clique_bound_csr(
+    descriptor: "BlockDescriptor",
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    scratch: BitmapScratch | None = None,
+) -> int:
+    """CSR twin of :func:`block_clique_bound` for the pipeline driver."""
+    member_ids = np.concatenate([descriptor.kernel_ids, descriptor.border_ids])
+    if len(member_ids) == 0:
+        return 0
+    bitmap = extract_block_bitmap(indptr, indices, member_ids, scratch)
+    return clique_upper_bound_packed(bitmap)
 
 
 def _kernel_degeneracy_order(block: Block) -> list[Node]:
@@ -279,6 +352,7 @@ def analyze_block_csr(
     tree: DecisionTree | None = None,
     combo: Combo | None = None,
     scratch: BitmapScratch | None = None,
+    min_clique_size: int = 0,
 ) -> BlockReport:
     """Analyse one block directly from CSR views — no ``Graph`` rebuild.
 
@@ -291,6 +365,8 @@ def analyze_block_csr(
     Produces the same clique set as :func:`analyze_block` on the
     corresponding :func:`block_from_descriptor` block — the differential
     executor suite pins the two paths against each other.
+    ``min_clique_size`` skips below-floor anchors as in
+    :func:`analyze_block`.
     """
     start = time.perf_counter()
     bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
@@ -302,11 +378,15 @@ def analyze_block_csr(
     excluded = backend.make(range(num_candidates, num_members))
     kernel_order = _kernel_order_of(bitmap, num_kernel)
     cliques: list[frozenset[Node]] = []
+    anchors_skipped = 0
     for anchor in kernel_order:
-        for clique in _enumerate_anchored(
-            backend, anchor, candidates, excluded, pivot_rule
-        ):
-            cliques.append(frozenset(backend.label(i) for i in clique))
+        if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
+            anchors_skipped += 1
+        else:
+            for clique in _enumerate_anchored(
+                backend, anchor, candidates, excluded, pivot_rule
+            ):
+                cliques.append(frozenset(backend.label(i) for i in clique))
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
     return BlockReport(
@@ -315,6 +395,7 @@ def analyze_block_csr(
         features=features,
         seconds=time.perf_counter() - start,
         kernel_nodes=num_kernel,
+        extra={"anchors_skipped": float(anchors_skipped)} if anchors_skipped else {},
     )
 
 
@@ -454,6 +535,7 @@ def analyze_bucket_csr(
     combo: Combo | None = None,
     scratch: BitmapScratch | None = None,
     batch_stats: dict | None = None,
+    min_clique_size: int = 0,
 ) -> list[BlockReport]:
     """Analyse a whole bucket through one multi-block kernel run.
 
@@ -481,7 +563,14 @@ def analyze_bucket_csr(
     if combo is not None and pivot_kind_of(get_pivot_rule(combo.algorithm)) is None:
         return [
             analyze_block_csr(
-                descriptor, indptr, indices, labels, tree, combo, scratch
+                descriptor,
+                indptr,
+                indices,
+                labels,
+                tree,
+                combo,
+                scratch,
+                min_clique_size=min_clique_size,
             )
             for descriptor in descriptors
         ]
@@ -537,6 +626,7 @@ def analyze_bucket_csr(
     roots_p_parts: list[np.ndarray] = []
     roots_x_parts: list[np.ndarray] = []
     anchors_of: list[np.ndarray] = []
+    skipped_of = np.zeros(num_blocks, dtype=np.int64)
     one = np.uint64(1)
     for b, descriptor in enumerate(descriptors):
         num_kernel = len(descriptor.kernel_ids)
@@ -544,9 +634,9 @@ def analyze_bucket_csr(
         num_members = int(sizes[b])
         order_row = orders[b, :num_members]
         kernel_order = order_row[order_row < num_kernel]
-        anchors_of.append(kernel_order)
         k = len(kernel_order)
         if k == 0:
+            anchors_of.append(kernel_order)
             continue
         rows = stacked[b][kernel_order]
         anchor_bits = np.zeros((k, words), dtype=np.uint64)
@@ -558,8 +648,25 @@ def analyze_bucket_csr(
             np.bitwise_or.accumulate(anchor_bits[:-1], axis=0, out=previous[1:])
         cand0 = pack_indices(range(num_candidates), words)
         excl0 = pack_indices(range(num_candidates, num_members), words)
-        roots_p_parts.append(rows & cand0 & ~previous)
-        roots_x_parts.append(rows & (excl0 | previous))
+        roots_p = rows & cand0 & ~previous
+        roots_x = rows & (excl0 | previous)
+        if min_clique_size > 1:
+            # Vectorized twin of _anchor_below_floor: an anchor whose
+            # root state holds < floor−1 candidates cannot emit a clique
+            # of floor size.  Rotation is already baked into the
+            # cumulative-OR masks, so dropping a root row changes
+            # nothing for the surviving ones.
+            keep = 1 + popcount_rows(roots_p) >= min_clique_size
+            skipped_of[b] = int(k - keep.sum())
+            kernel_order = kernel_order[keep]
+            roots_p = roots_p[keep]
+            roots_x = roots_x[keep]
+            k = len(kernel_order)
+        anchors_of.append(kernel_order)
+        if k == 0:
+            continue
+        roots_p_parts.append(roots_p)
+        roots_x_parts.append(roots_x)
         task_block_parts.append(np.full(k, b, dtype=np.int64))
     if task_block_parts:
         task_blocks = np.concatenate(task_block_parts)
@@ -599,6 +706,12 @@ def analyze_bucket_csr(
                     frozenset(member_labels[i] for i in (anchor, *extension))
                 )
         cursor += len(anchors_of[b])
+        extra = {
+            "batched": 1.0,
+            "bucket_blocks": float(num_blocks),
+        }
+        if skipped_of[b]:
+            extra["anchors_skipped"] = float(skipped_of[b])
         reports.append(
             BlockReport(
                 cliques=cliques,
@@ -606,10 +719,7 @@ def analyze_bucket_csr(
                 features=features_of[b],
                 seconds=per_block_seconds,
                 kernel_nodes=len(descriptor.kernel_ids),
-                extra={
-                    "batched": 1.0,
-                    "bucket_blocks": float(num_blocks),
-                },
+                extra=extra,
             )
         )
     return reports
@@ -819,6 +929,7 @@ def analyze_block_csr_splittable(
     scratch: BitmapScratch | None = None,
     probe: bool = False,
     budget_seconds: float | None = None,
+    min_clique_size: int = 0,
 ) -> "BlockReport | SplitResult":
     """Analyse a block, possibly yielding a split instead of a report.
 
@@ -862,11 +973,15 @@ def analyze_block_csr_splittable(
     candidates = backend.make(range(num_candidates))
     excluded = backend.make(range(num_candidates, num_members))
     cliques: list[frozenset[Node]] = []
+    anchors_skipped = 0
     for position, anchor in enumerate(kernel_order):
-        for clique in _enumerate_anchored(
-            backend, anchor, candidates, excluded, pivot_rule
-        ):
-            cliques.append(frozenset(backend.label(i) for i in clique))
+        if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
+            anchors_skipped += 1
+        else:
+            for clique in _enumerate_anchored(
+                backend, anchor, candidates, excluded, pivot_rule
+            ):
+                cliques.append(frozenset(backend.label(i) for i in clique))
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
         done = position + 1
@@ -884,6 +999,11 @@ def analyze_block_csr_splittable(
                 features=features,
                 seconds=time.perf_counter() - start_time,
                 kernel_nodes=num_kernel,
+                extra=(
+                    {"anchors_skipped": float(anchors_skipped)}
+                    if anchors_skipped
+                    else {}
+                ),
             )
             return SplitResult(
                 block_id=descriptor.block_id,
@@ -898,6 +1018,7 @@ def analyze_block_csr_splittable(
         features=features,
         seconds=time.perf_counter() - start_time,
         kernel_nodes=num_kernel,
+        extra={"anchors_skipped": float(anchors_skipped)} if anchors_skipped else {},
     )
 
 
@@ -909,6 +1030,7 @@ def analyze_subtask_csr(
     tree: DecisionTree | None = None,
     combo: Combo | None = None,
     scratch: BitmapScratch | None = None,
+    min_clique_size: int = 0,
 ) -> BlockReport:
     """Run one anchor range of a split block's kernel sweep.
 
@@ -916,7 +1038,9 @@ def analyze_subtask_csr(
     precomputed degeneracy order: anchors before ``subtask.start`` are
     excluded exactly as if this worker had processed them itself, so the
     fragment reports precisely the cliques the serial sweep reports at
-    positions ``[start, stop)`` — no more, no fewer.
+    positions ``[start, stop)`` — no more, no fewer.  A
+    ``min_clique_size`` floor skips below-floor anchors of the range
+    (same test as the unsplit sweep, so fragments stay bit-compatible).
     """
     start_time = time.perf_counter()
     bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
@@ -933,12 +1057,16 @@ def analyze_subtask_csr(
         list(range(num_candidates, num_members)) + processed
     )
     cliques: list[frozenset[Node]] = []
+    anchors_skipped = 0
     for position in range(subtask.start, subtask.stop):
         anchor = int(subtask.kernel_order[position])
-        for clique in _enumerate_anchored(
-            backend, anchor, candidates, excluded, pivot_rule
-        ):
-            cliques.append(frozenset(backend.label(i) for i in clique))
+        if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
+            anchors_skipped += 1
+        else:
+            for clique in _enumerate_anchored(
+                backend, anchor, candidates, excluded, pivot_rule
+            ):
+                cliques.append(frozenset(backend.label(i) for i in clique))
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
     return BlockReport(
@@ -947,6 +1075,7 @@ def analyze_subtask_csr(
         features=features,
         seconds=time.perf_counter() - start_time,
         kernel_nodes=subtask.stop - subtask.start,
+        extra={"anchors_skipped": float(anchors_skipped)} if anchors_skipped else {},
     )
 
 
@@ -991,6 +1120,9 @@ def merge_fragment_reports(
     for _, _, report in ordered:
         cliques.extend(report.cliques)
         seconds += report.seconds
+        skipped = float(report.extra.get("anchors_skipped", 0.0))
+        if skipped:
+            extra["anchors_skipped"] = extra.get("anchors_skipped", 0.0) + skipped
         extra["dispatch_bytes"] = extra.get("dispatch_bytes", 0.0) + float(
             report.extra.get("dispatch_bytes", 0.0)
         )
@@ -1017,6 +1149,7 @@ def analyze_blocks(
     blocks: list[Block],
     tree: DecisionTree | None = None,
     combo: Combo | None = None,
+    min_clique_size: int = 0,
 ) -> tuple[list[frozenset[Node]], list[BlockReport]]:
     """Analyse every block serially; return all cliques plus the reports.
 
@@ -1027,7 +1160,9 @@ def analyze_blocks(
     all_cliques: list[frozenset[Node]] = []
     reports: list[BlockReport] = []
     for block in blocks:
-        report = analyze_block(block, tree=tree, combo=combo)
+        report = analyze_block(
+            block, tree=tree, combo=combo, min_clique_size=min_clique_size
+        )
         all_cliques.extend(report.cliques)
         reports.append(report)
     return all_cliques, reports

@@ -24,18 +24,23 @@ import time
 import warnings
 from collections import Counter
 
-from repro.core.block_analysis import analyze_blocks
+from repro.core.block_analysis import (
+    analyze_blocks,
+    block_clique_bound,
+    block_clique_bound_csr,
+)
 from repro.core.blocks import blocks_csr, build_blocks
 from repro.core.feasibility import cut, cut_csr
-from repro.core.filtering import filter_contained
+from repro.core.filtering import filter_contained, filter_min_size
 from repro.core.result import CliqueResult, LevelStats
 from repro.decision.features import BlockFeatures
 from repro.decision.paper_tree import paper_tree, select_combo
 from repro.decision.tree import DecisionTree
 from repro.errors import ConvergenceError, ExecutorError
 from repro.graph.adjacency import Graph, Node
-from repro.graph.csr import CSRGraph, induced_csr
+from repro.graph.csr import BitmapScratch, CSRGraph, induced_csr
 from repro.graph.views import induced_subgraph
+from repro.mce.instrumentation import BlockBound
 from repro.mce.registry import Combo
 from repro.runs.manifest import fingerprint_run
 from repro.runs.runlog import RunLog
@@ -57,6 +62,7 @@ def find_max_cliques(
     split_threshold: float | None = None,
     batch_blocks: bool = False,
     batch_cutoff: int | None = None,
+    min_clique_size: int = 0,
     spill_dir=None,
     resume: bool = False,
 ) -> CliqueResult:
@@ -123,6 +129,19 @@ def find_max_cliques(
     batch_cutoff:
         Override the adaptive node-count cutoff below which blocks are
         batched (only meaningful with ``batch_blocks=True``).
+    min_clique_size:
+        Enumeration floor (see ``docs/maximum.md``): only maximal
+        cliques with at least this many members are returned.  Beyond
+        filtering the output, the floor *prunes the search*: every block
+        is priced with a cheap clique upper bound
+        (:func:`repro.core.block_analysis.block_clique_bound`) and
+        skipped outright when the bound falls below the floor, and
+        inside analysed blocks, anchors whose candidate neighbourhood
+        cannot reach the floor are skipped before their Bron–Kerbosch
+        sweep.  The returned cliques are exactly the size-``≥ floor``
+        subset of an unfloored run; the ``pruning`` digest on the result
+        records how much work the bounds avoided.  ``0`` (the default)
+        disables the floor entirely.
     spill_dir:
         Directory for a *durable* run (see ``docs/durability.md``): as
         blocks finish, their reports are appended to CRC-checked segment
@@ -159,20 +178,30 @@ def find_max_cliques(
         )
     if resume and spill_dir is None:
         raise ValueError("resume=True requires spill_dir")
+    if min_clique_size < 0:
+        raise ValueError("min_clique_size must be non-negative")
     selection_tree = tree if tree is not None else paper_tree()
     if split:
         executor = _configure_split(executor, split_threshold, pipeline)
     if batch_blocks:
         executor = _configure_batch(executor, batch_cutoff, pipeline)
+    if min_clique_size > 0:
+        executor = _configure_prune(executor, min_clique_size)
     run_log: RunLog | None = None
     if spill_dir is not None:
+        # The floor changes which blocks are recorded, so it is part of
+        # the durable run's identity: resuming a floored run with a
+        # different floor must fail the fingerprint check.
+        mode = "pipeline" if pipeline else "barrier"
+        if min_clique_size > 0:
+            mode += f"+floor{min_clique_size}"
         run_log = RunLog(
             spill_dir,
             fingerprint_run(
                 graph,
                 m,
                 min_adjacency,
-                mode="pipeline" if pipeline else "barrier",
+                mode=mode,
                 combo=combo.name if combo is not None else None,
             ),
             resume=resume,
@@ -189,6 +218,7 @@ def find_max_cliques(
                 collect_reports,
                 executor,
                 run_log,
+                min_clique_size,
             )
         finally:
             if run_log is not None:
@@ -205,6 +235,7 @@ def find_max_cliques(
             collect_reports,
             executor,
             run_log,
+            min_clique_size,
         )
     finally:
         if run_log is not None:
@@ -221,6 +252,7 @@ def _barrier_enumerate(
     collect_reports: bool,
     executor,
     run_log: RunLog | None,
+    min_clique_size: int = 0,
 ) -> CliqueResult:
     """The original level-synchronous loop (every non-pipeline mode)."""
     level_cliques: list[list[frozenset[Node]]] = []
@@ -228,6 +260,10 @@ def _barrier_enumerate(
     level_reports: list[list] = []
     combo_counter: Counter[str] = Counter()
     fallback_used = False
+    blocks_total = 0
+    blocks_skipped = 0
+    anchors_skipped = 0
+    bound_records: list[BlockBound] = []
 
     current = graph
     level = 0
@@ -254,6 +290,7 @@ def _barrier_enumerate(
             cliques, analysis_seconds, used = _exact_core(
                 current, selection_tree, combo
             )
+            cliques = filter_min_size(cliques, min_clique_size)
             combo_counter[used.name] += 1
             level_cliques.append(cliques)
             level_stats.append(
@@ -274,12 +311,40 @@ def _barrier_enumerate(
             break
 
         blocks = build_blocks(current, feasible, m, min_adjacency=min_adjacency)
+        blocks_total += len(blocks)
+        level_bounds: list[BlockBound] = []
+        if min_clique_size > 1:
+            # Price every block before dispatch; a block whose bound
+            # falls below the floor cannot emit a surviving clique, so
+            # it never reaches an executor at all.
+            kept = []
+            for block_id, block in enumerate(blocks):
+                bound = block_clique_bound(block)
+                skipped = bound < min_clique_size
+                level_bounds.append(
+                    BlockBound(
+                        level=level,
+                        block_id=block_id,
+                        bound=bound,
+                        floor=min_clique_size,
+                        skipped=skipped,
+                    )
+                )
+                if skipped:
+                    blocks_skipped += 1
+                else:
+                    kept.append(block)
+            blocks = kept
+            bound_records.extend(level_bounds)
         decomposition_seconds = time.perf_counter() - decomposition_start
 
         analysis_start = time.perf_counter()
         if executor is None and run_log is None:
             cliques, reports = analyze_blocks(
-                blocks, tree=selection_tree, combo=combo
+                blocks,
+                tree=selection_tree,
+                combo=combo,
+                min_clique_size=min_clique_size,
             )
         else:
             if executor is None:
@@ -288,6 +353,8 @@ def _barrier_enumerate(
                 from repro.distributed.executor import SerialExecutor
 
                 executor = SerialExecutor()
+                if min_clique_size > 0:
+                    executor = _configure_prune(executor, min_clique_size)
             reports = executor.map_blocks(
                 blocks,
                 tree=selection_tree,
@@ -298,8 +365,10 @@ def _barrier_enumerate(
             )
             cliques = [clique for report in reports for clique in report.cliques]
         analysis_seconds = time.perf_counter() - analysis_start
+        cliques = filter_min_size(cliques, min_clique_size)
         for report in reports:
             combo_counter[report.combo.name] += 1
+            anchors_skipped += int(report.extra.get("anchors_skipped", 0.0))
         if collect_reports:
             level_reports.append(reports)
 
@@ -323,6 +392,13 @@ def _barrier_enumerate(
         level += 1
 
     merged, provenance = _merge_levels(level_cliques)
+    # The executor's trace is reset on every map_blocks call, so the
+    # per-level bound records are replayed into the *final* trace here —
+    # after the loop — where they describe the whole run.
+    trace = getattr(executor, "last_trace", None)
+    if trace is not None:
+        for record in bound_records:
+            trace.record_bound(record)
     run_info = None
     if run_log is not None:
         run_log.finalize()
@@ -336,7 +412,27 @@ def _barrier_enumerate(
         block_combos=dict(combo_counter),
         block_reports=level_reports,
         run_info=run_info,
+        pruning=_pruning_info(
+            min_clique_size, blocks_total, blocks_skipped, anchors_skipped
+        ),
     )
+
+
+def _pruning_info(
+    min_clique_size: int,
+    blocks_total: int,
+    blocks_skipped: int,
+    anchors_skipped: int,
+) -> dict | None:
+    """Bound-pruning digest for :attr:`CliqueResult.pruning`."""
+    if min_clique_size <= 0:
+        return None
+    return {
+        "min_clique_size": min_clique_size,
+        "blocks_total": blocks_total,
+        "blocks_skipped": blocks_skipped,
+        "anchors_skipped": anchors_skipped,
+    }
 
 
 def _run_info(run_log: RunLog) -> dict:
@@ -457,6 +553,22 @@ def _configure_batch(executor, batch_cutoff: int | None, pipeline: bool):
     return executor
 
 
+def _configure_prune(executor, min_clique_size: int):
+    """Propagate the enumeration floor to the executor's workers.
+
+    Every executor that carries a ``min_clique_size`` field forwards it
+    to the block-analysis workers, which then skip anchors whose
+    candidate neighbourhood cannot reach the floor.  Executors without
+    the field (e.g. the replay simulator) simply analyse every anchor —
+    the floor stays *correct* regardless, because the driver prices and
+    skips whole blocks itself and floor-filters each level's cliques;
+    worker-side anchor skipping is purely an optimisation.
+    """
+    if executor is not None and hasattr(executor, "min_clique_size"):
+        executor.min_clique_size = min_clique_size
+    return executor
+
+
 def _pipeline_enumerate(
     graph: Graph,
     m: int,
@@ -467,6 +579,7 @@ def _pipeline_enumerate(
     collect_reports: bool,
     executor,
     run_log: RunLog | None = None,
+    min_clique_size: int = 0,
 ) -> CliqueResult:
     """The streaming CSR-native twin of the barrier loop.
 
@@ -483,15 +596,21 @@ def _pipeline_enumerate(
 
     if executor is None:
         executor = SharedMemoryExecutor()
+        if min_clique_size > 0:
+            executor = _configure_prune(executor, min_clique_size)
     if not isinstance(executor, SharedMemoryExecutor):
         raise ExecutorError(
             "pipeline mode streams BlockDescriptors over shared memory and "
             f"requires a SharedMemoryExecutor, got {type(executor).__name__}"
         )
 
-    level_meta: list[tuple[int, int, int, int, int, int, float]] = []
+    level_meta: list[tuple[int, int, int, int, int, list[int], float]] = []
     fallback_level: tuple[int, int, int, float, float, list, Combo] | None = None
     fallback_used = False
+    blocks_total = 0
+    blocks_skipped = 0
+    anchors_skipped = 0
+    bound_scratch = BitmapScratch() if min_clique_size > 1 else None
 
     session = executor.open_pipeline(
         tree=selection_tree, combo=combo, run_log=run_log
@@ -535,17 +654,43 @@ def _pipeline_enumerate(
                 break
             session.publish_level(level, current)
             num_blocks = 0
+            submitted: list[int] = []
             for descriptor in blocks_csr(
                 current, feasible_ids, m, min_adjacency=min_adjacency
             ):
-                session.submit(level, descriptor)
+                block_id = descriptor.block_id
                 num_blocks += 1
+                blocks_total += 1
+                if min_clique_size > 1:
+                    # Price the descriptor before it enters the worker
+                    # stream; a below-floor block is never submitted.
+                    bound = block_clique_bound_csr(
+                        descriptor,
+                        current.indptr,
+                        current.indices,
+                        bound_scratch,
+                    )
+                    skipped = bound < min_clique_size
+                    session.trace.record_bound(
+                        BlockBound(
+                            level=level,
+                            block_id=block_id,
+                            bound=bound,
+                            floor=min_clique_size,
+                            skipped=skipped,
+                        )
+                    )
+                    if skipped:
+                        blocks_skipped += 1
+                        continue
+                session.submit(level, descriptor)
+                submitted.append(block_id)
             next_csr = induced_csr(current, hub_ids) if len(hub_ids) else None
             decomposition_seconds = time.perf_counter() - decomposition_start
             session.end_level(
                 level,
                 decomposition_seconds,
-                num_blocks,
+                len(submitted),
                 len(feasible_ids),
                 len(hub_ids),
             )
@@ -556,7 +701,7 @@ def _pipeline_enumerate(
                     current.num_edges,
                     len(feasible_ids),
                     len(hub_ids),
-                    num_blocks,
+                    submitted,
                     decomposition_seconds,
                 )
             )
@@ -572,12 +717,16 @@ def _pipeline_enumerate(
     level_stats: list[LevelStats] = []
     level_reports: list[list] = []
     combo_counter: Counter[str] = Counter()
-    for level, nodes, edges, feasible, hubs, num_blocks, seconds in level_meta:
+    for level, nodes, edges, feasible, hubs, submitted, seconds in level_meta:
         by_id = grouped.get(level, {})
-        reports = [by_id[i] for i in range(num_blocks)]
-        cliques = [clique for report in reports for clique in report.cliques]
+        reports = [by_id[i] for i in submitted]
+        cliques = filter_min_size(
+            [clique for report in reports for clique in report.cliques],
+            min_clique_size,
+        )
         for report in reports:
             combo_counter[report.combo.name] += 1
+            anchors_skipped += int(report.extra.get("anchors_skipped", 0.0))
         if collect_reports:
             level_reports.append(reports)
         level_cliques.append(cliques)
@@ -588,7 +737,7 @@ def _pipeline_enumerate(
                 num_edges=edges,
                 num_feasible=feasible,
                 num_hubs=hubs,
-                num_blocks=num_blocks,
+                num_blocks=len(submitted),
                 decomposition_seconds=seconds,
                 analysis_seconds=sum(report.seconds for report in reports),
                 cliques_found=len(cliques),
@@ -597,6 +746,7 @@ def _pipeline_enumerate(
     if fallback_level is not None:
         level, nodes, edges, dec_seconds, ana_seconds, cliques, used = fallback_level
         combo_counter[used.name] += 1
+        cliques = filter_min_size(cliques, min_clique_size)
         level_cliques.append(cliques)
         level_stats.append(
             LevelStats(
@@ -627,6 +777,9 @@ def _pipeline_enumerate(
         block_combos=dict(combo_counter),
         block_reports=level_reports,
         run_info=run_info,
+        pruning=_pruning_info(
+            min_clique_size, blocks_total, blocks_skipped, anchors_skipped
+        ),
     )
 
 

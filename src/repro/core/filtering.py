@@ -70,6 +70,24 @@ def _is_contained(
     return True
 
 
+def filter_min_size(
+    cliques: Iterable[frozenset[Node]], min_clique_size: int
+) -> list[frozenset[Node]]:
+    """Return the cliques with at least ``min_clique_size`` members.
+
+    The enumeration floor behind ``find_max_cliques(min_clique_size=f)``.
+    Applying it per level *before* Lemma 1 merging is sound: a hub
+    clique of size ≥ f contained in some feasible clique is contained
+    in one of size ≥ f (containment never shrinks the container), so
+    every reference that matters for deduplication survives the floor;
+    and a clique lost from a bound-skipped block is itself < f, so any
+    hub clique it contains is < f and is dropped here anyway.
+    """
+    if min_clique_size <= 1:
+        return list(cliques)
+    return [clique for clique in cliques if len(clique) >= min_clique_size]
+
+
 def merge_level(
     feasible_cliques: list[frozenset[Node]],
     hub_cliques: list[frozenset[Node]],

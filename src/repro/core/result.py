@@ -50,6 +50,10 @@ class CliqueResult:
     # directory, blocks recorded vs replayed, flush cost, segment names.
     # None for in-memory runs.
     run_info: dict | None = None
+    # Bound-driven pruning digest (min_clique_size > 0 runs): the floor,
+    # blocks priced/skipped, and anchors skipped inside analysed blocks.
+    # None when the run enumerated without a floor.
+    pruning: dict | None = None
 
     # ------------------------------------------------------------------
     # Provenance splits (Figures 9–11)
@@ -149,6 +153,7 @@ class CliqueResult:
             "analysis_seconds": self.total_analysis_seconds(),
             "block_combos": dict(self.block_combos),
             "run_info": dict(self.run_info) if self.run_info else None,
+            "pruning": dict(self.pruning) if self.pruning else None,
             "levels": [
                 {
                     "level": level.level,

@@ -72,6 +72,17 @@ class BlockFeatures:
         """Dispatch-ordering cost estimate; see :func:`estimate_analysis_cost`."""
         return estimate_analysis_cost(self.num_nodes, self.num_edges)
 
+    def clique_upper_bound(self) -> int:
+        """Structural clique bound: ``min(n, degeneracy + 1)``.
+
+        Every k-clique needs k mutually adjacent vertices, each of
+        degree ≥ k−1 inside the clique, so ω ≤ degeneracy + 1 (and
+        trivially ω ≤ n).  The block-pruning layer tightens this with a
+        greedy colouring over the packed rows — see
+        :func:`repro.mce.maximum.clique_upper_bound_packed`.
+        """
+        return min(self.num_nodes, self.degeneracy + 1)
+
 
 def extract_features(graph: Graph) -> BlockFeatures:
     """Return :class:`BlockFeatures.of(graph)`; a readable free function."""

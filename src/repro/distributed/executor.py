@@ -154,6 +154,9 @@ class SerialExecutor:
 
     batch_blocks: bool = False
     batch_cutoff: int | None = None
+    # Enumeration floor forwarded to block analysis (see the driver's
+    # min_clique_size): anchors that cannot reach it are skipped.
+    min_clique_size: int = 0
     last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
 
     def map_blocks(
@@ -175,7 +178,12 @@ class SerialExecutor:
             if run_log is not None and run_log.is_completed(level, block_id):
                 reports.append(run_log.replay_report(level, block_id))
                 continue
-            report = analyze_block(block, tree=tree, combo=combo)
+            report = analyze_block(
+                block,
+                tree=tree,
+                combo=combo,
+                min_clique_size=self.min_clique_size,
+            )
             if run_log is not None:
                 run_log.record(level, block_id, report)
             reports.append(report)
@@ -223,6 +231,7 @@ class SerialExecutor:
             reports = analyze_bucket_csr(
                 bucket, csr.indptr, csr.indices, csr.labels,
                 tree=tree, combo=combo, scratch=scratch, batch_stats=stats,
+                min_clique_size=self.min_clique_size,
             )
             trace.record_batch(_batch_dispatch_of(bucket, stats))
             for descriptor, report in zip(bucket.descriptors, reports):
@@ -236,6 +245,7 @@ class SerialExecutor:
             report = analyze_block_csr(
                 descriptor, csr.indptr, csr.indices, csr.labels,
                 tree=tree, combo=combo, scratch=scratch,
+                min_clique_size=self.min_clique_size,
             )
             if run_log is not None:
                 trace.record_flush(
@@ -253,13 +263,15 @@ def _analyze_one(args: tuple[Block, DecisionTree | None, Combo | None]) -> Block
 
 
 def _analyze_indexed(
-    args: tuple[int, Block, DecisionTree | None, Combo | None],
+    args: tuple[int, Block, DecisionTree | None, Combo | None, int],
 ) -> BlockReport:
     """Worker wrapper that tags failures with the offending block id."""
-    index, block, tree, combo = args
+    index, block, tree, combo, min_clique_size = args
     try:
         _maybe_inject_fault(index)
-        return analyze_block(block, tree=tree, combo=combo)
+        return analyze_block(
+            block, tree=tree, combo=combo, min_clique_size=min_clique_size
+        )
     except Exception as exc:
         raise ExecutorError(
             f"block {index} failed in worker {os.getpid()}: "
@@ -287,6 +299,9 @@ class ProcessExecutor:
 
     max_workers: int | None = None
     chunksize: int | None = None
+    # Enumeration floor shipped with each block payload (see the
+    # driver's min_clique_size).
+    min_clique_size: int = 0
 
     def map_blocks(
         self,
@@ -310,7 +325,10 @@ class ProcessExecutor:
         if pending:
             workers = self.max_workers or os.cpu_count() or 1
             chunk = self.chunksize or max(1, len(pending) // (workers * 4))
-            payloads = [(i, blocks[i], tree, combo) for i in pending]
+            payloads = [
+                (i, blocks[i], tree, combo, self.min_clique_size)
+                for i in pending
+            ]
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 try:
                     for block_id, report in zip(
@@ -344,12 +362,15 @@ def _shm_worker_init(
     tree: DecisionTree | None,
     combo: Combo | None,
     split_budget: float | None = None,
+    min_clique_size: int = 0,
 ) -> None:
     """Pool initializer: attach to the published CSR snapshot.
 
     ``split_budget`` (split mode only) is the per-block time budget
     after which a worker stops its kernel sweep and re-splits the rest
     of the block into subtasks; ``None`` disables the mid-run trigger.
+    ``min_clique_size`` is the enumeration floor: anchors whose
+    candidate neighbourhood cannot reach it are skipped in the workers.
     """
     shared = SharedCSR.attach(handle)
     _WORKER_STATE["shared"] = shared
@@ -357,6 +378,12 @@ def _shm_worker_init(
     _WORKER_STATE["combo"] = combo
     _WORKER_STATE["scratch"] = BitmapScratch()
     _WORKER_STATE["split_budget"] = split_budget
+    _WORKER_STATE["floor"] = min_clique_size
+
+
+def _worker_floor() -> int:
+    """The enumeration floor installed by this worker's initializer."""
+    return int(_WORKER_STATE.get("floor", 0) or 0)
 
 
 def _shm_analyze(descriptor: BlockDescriptor) -> tuple[int, BlockReport]:
@@ -380,6 +407,7 @@ def _shm_analyze(descriptor: BlockDescriptor) -> tuple[int, BlockReport]:
             tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
             combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         raise ExecutorError(
@@ -440,6 +468,7 @@ def _shm_analyze_batch(
             combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
             batch_stats=stats,
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         first = bucket.descriptors[0].block_id
@@ -480,6 +509,7 @@ def _shm_analyze_split(
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
             probe=probe,
             budget_seconds=_WORKER_STATE.get("split_budget"),  # type: ignore[arg-type]
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         raise ExecutorError(
@@ -509,6 +539,7 @@ def _shm_analyze_subtask(
             tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
             combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         raise ExecutorError(
@@ -611,6 +642,9 @@ class SharedMemoryExecutor:
     batch_blocks: bool = False
     batch_cutoff: int | None = None
     batch_bucket_size: int = 256
+    # Enumeration floor installed in every pool worker (see the driver's
+    # min_clique_size): anchors that cannot reach it are skipped.
+    min_clique_size: int = 0
     last_trace: ExecutionTrace | None = field(default=None, init=False, repr=False)
 
     def open_pipeline(
@@ -644,6 +678,7 @@ class SharedMemoryExecutor:
             batch_blocks=self.batch_blocks,
             batch_cutoff=self.batch_cutoff,
             batch_bucket_size=self.batch_bucket_size,
+            min_clique_size=self.min_clique_size,
             run_log=run_log,
         )
         self.last_trace = session.trace
@@ -734,7 +769,7 @@ class SharedMemoryExecutor:
         with ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_shm_worker_init,
-            initargs=(shared.handle, tree, combo),
+            initargs=(shared.handle, tree, combo, None, self.min_clique_size),
         ) as pool:
             pending = {
                 pool.submit(_shm_analyze, descriptors[i]): i for i in order
@@ -845,7 +880,7 @@ class SharedMemoryExecutor:
         with ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_shm_worker_init,
-            initargs=(shared.handle, tree, combo),
+            initargs=(shared.handle, tree, combo, None, self.min_clique_size),
         ) as pool:
             futures: dict[object, tuple] = {}
             for rank in lpt_order(costs):
@@ -892,6 +927,7 @@ class SharedMemoryExecutor:
                 combo=combo,
                 scratch=scratch,
                 batch_stats=stats,
+                min_clique_size=self.min_clique_size,
             )
         except Exception as exc:
             first = bucket.descriptors[0].block_id
@@ -1114,7 +1150,13 @@ class SharedMemoryExecutor:
         with ProcessPoolExecutor(
             max_workers=self.max_workers,
             initializer=_shm_worker_init,
-            initargs=(shared.handle, tree, combo, self.resplit_after_seconds),
+            initargs=(
+                shared.handle,
+                tree,
+                combo,
+                self.resplit_after_seconds,
+                self.min_clique_size,
+            ),
         ) as pool:
             dispatch(pool)
             while futures or queue:
@@ -1175,6 +1217,7 @@ class SharedMemoryExecutor:
                 tree=tree,
                 combo=combo,
                 scratch=scratch,
+                min_clique_size=self.min_clique_size,
             )
         except Exception as exc:
             raise ExecutorError(
@@ -1206,6 +1249,7 @@ class SharedMemoryExecutor:
                 tree=tree,
                 combo=combo,
                 scratch=scratch,
+                min_clique_size=self.min_clique_size,
             )
         except Exception as exc:
             raise ExecutorError(
@@ -1234,7 +1278,12 @@ class SharedMemoryExecutor:
                 segment_path=_segment_path_of(run_log),
             )
         try:
-            report = analyze_block(block, tree=tree, combo=combo)
+            report = analyze_block(
+                block,
+                tree=tree,
+                combo=combo,
+                min_clique_size=self.min_clique_size,
+            )
         except Exception as exc:
             raise ExecutorError(
                 f"block {block_id} failed again on in-parent retry: "
@@ -1249,6 +1298,7 @@ def _pipeline_worker_init(
     tree: DecisionTree | None,
     combo: Combo | None,
     split_budget: float | None = None,
+    min_clique_size: int = 0,
 ) -> None:
     """Pool initializer for pipeline mode: no snapshot yet, just state.
 
@@ -1262,6 +1312,7 @@ def _pipeline_worker_init(
     _WORKER_STATE["scratch"] = BitmapScratch()
     _WORKER_STATE["attached"] = {}
     _WORKER_STATE["split_budget"] = split_budget
+    _WORKER_STATE["floor"] = min_clique_size
 
 
 def _pipeline_attach(handle: SharedCSRHandle) -> SharedCSR:
@@ -1289,6 +1340,7 @@ def _pipeline_analyze(
             tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
             combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         raise ExecutorError(
@@ -1317,6 +1369,7 @@ def _pipeline_analyze_split(
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
             probe=probe,
             budget_seconds=_WORKER_STATE.get("split_budget"),  # type: ignore[arg-type]
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         raise ExecutorError(
@@ -1346,6 +1399,7 @@ def _pipeline_analyze_subtask(
             tree=_WORKER_STATE["tree"],  # type: ignore[arg-type]
             combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         raise ExecutorError(
@@ -1375,6 +1429,7 @@ def _pipeline_analyze_batch(
             combo=_WORKER_STATE["combo"],  # type: ignore[arg-type]
             scratch=_WORKER_STATE["scratch"],  # type: ignore[arg-type]
             batch_stats=stats,
+            min_clique_size=_worker_floor(),
         )
     except Exception as exc:
         first = bucket.descriptors[0].block_id
@@ -1428,6 +1483,7 @@ class PipelineSession:
         batch_blocks: bool = False,
         batch_cutoff: int | None = None,
         batch_bucket_size: int = 256,
+        min_clique_size: int = 0,
         run_log: RunLog | None = None,
     ) -> None:
         workers = max_workers or os.cpu_count() or 1
@@ -1436,6 +1492,7 @@ class PipelineSession:
         self._combo = combo
         self._retry_failed = retry_failed
         self._run_log = run_log
+        self._min_clique_size = min_clique_size
         self._split = split
         self._split_threshold = split_threshold
         self._split_target = split_subtasks or max(2, 4 * workers)
@@ -1450,7 +1507,12 @@ class PipelineSession:
         self._pool = ProcessPoolExecutor(
             max_workers=max_workers,
             initializer=_pipeline_worker_init,
-            initargs=(tree, combo, resplit_after_seconds if split else None),
+            initargs=(
+                tree,
+                combo,
+                resplit_after_seconds if split else None,
+                min_clique_size,
+            ),
         )
         self._buffer = StreamingLPTBuffer(
             lookahead if lookahead is not None else max(4, workers)
@@ -1722,6 +1784,7 @@ class PipelineSession:
                 combo=self._combo,
                 scratch=self._parent_scratch,
                 batch_stats=stats,
+                min_clique_size=self._min_clique_size,
             )
         except Exception as exc:
             raise ExecutorError(
@@ -1871,6 +1934,7 @@ class PipelineSession:
                 tree=self._tree,
                 combo=self._combo,
                 scratch=self._parent_scratch,
+                min_clique_size=self._min_clique_size,
             )
         except Exception as exc:
             raise ExecutorError(
@@ -1907,6 +1971,7 @@ class PipelineSession:
                 tree=self._tree,
                 combo=self._combo,
                 scratch=self._parent_scratch,
+                min_clique_size=self._min_clique_size,
             )
         except Exception as exc:
             raise ExecutorError(
@@ -1957,6 +2022,113 @@ def _timing_of(block_id: int, report: BlockReport) -> BlockTiming:
 def pickled_block_bytes(block: Block) -> int:
     """Bytes :class:`ProcessExecutor` ships for one block (benchmarking)."""
     return len(pickle.dumps(block, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+# ----------------------------------------------------------------------
+# Parallel maximum clique (branch-and-bound with a shared incumbent)
+# ----------------------------------------------------------------------
+
+# Populated by _max_clique_worker_init in each pool worker: the packed
+# adjacency matrix, the degeneracy root order, and the shared incumbent.
+_MAXCLIQUE_STATE: dict[str, object] = {}
+
+
+def _max_clique_worker_init(matrix, order, shared_bound) -> None:
+    """Pool initializer for :func:`parallel_maximum_clique` workers.
+
+    ``shared_bound`` is a ``multiprocessing.Value('q')`` holding the best
+    clique size found by *any* worker so far.  It must travel through the
+    pool's ``initargs`` (the ``Process`` constructor path) — synchronized
+    values cannot cross the task queue.
+    """
+    _MAXCLIQUE_STATE["matrix"] = matrix
+    _MAXCLIQUE_STATE["order"] = order
+    _MAXCLIQUE_STATE["bound"] = shared_bound
+
+
+def _max_clique_worker(root_ranks: "list[int]") -> "tuple[int, list[int]]":
+    """Solve the subproblems rooted at ``root_ranks`` of the shared order."""
+    from repro.mce.maximum import maximum_clique_packed
+
+    shared_bound = _MAXCLIQUE_STATE["bound"]
+    return maximum_clique_packed(
+        _MAXCLIQUE_STATE["matrix"],  # type: ignore[arg-type]
+        initial_bound=int(shared_bound.value),  # type: ignore[union-attr]
+        order=_MAXCLIQUE_STATE["order"],  # type: ignore[arg-type]
+        root_ranks=set(root_ranks),
+        shared_bound=shared_bound,
+    )
+
+
+def parallel_maximum_clique(
+    graph: Graph,
+    max_workers: int | None = None,
+    lower_bound: int = 0,
+) -> frozenset:
+    """Find one maximum clique using every core (Rossi-style PMC).
+
+    The parent packs the graph once (:class:`BitMatrixBackend`), computes
+    the degeneracy root order, and fans the per-root subproblems of
+    :func:`repro.mce.maximum.maximum_clique_packed` across a process
+    pool in strided chunks (root ``i`` goes to worker ``i mod w``, so
+    the early, expensive roots spread over the pool).  Workers share the
+    incumbent size through a ``multiprocessing.Value``: each branch
+    reads it before expanding and every improvement publishes under the
+    lock, so a clique found by one worker immediately tightens the
+    colour-bound pruning in all others.  Stale reads only delay pruning
+    — they never affect which clique is optimal — so the result is
+    deterministic in *size*; the returned witness is the
+    lexicographically-first best over the deterministic per-worker
+    results.
+
+    Small graphs (or ``max_workers=1``) solve serially in-process — the
+    pool costs more than the search below a few thousand nodes.
+
+    Raises
+    ------
+    BoundNotMetError
+        When ``lower_bound > 0`` and no clique that large exists.
+    ValueError
+        On a negative ``lower_bound``.
+    """
+    from multiprocessing import Value
+
+    from repro.errors import BoundNotMetError
+    from repro.mce.bitmatrix import BitMatrixBackend, degeneracy_order_packed
+    from repro.mce.maximum import maximum_clique_packed
+
+    if lower_bound < 0:
+        raise ValueError("lower_bound must be non-negative")
+    n = graph.num_nodes
+    if n == 0:
+        if lower_bound > 0:
+            raise BoundNotMetError(lower_bound, 0)
+        return frozenset()
+    workers = max_workers or os.cpu_count() or 1
+    backend = BitMatrixBackend(graph)
+    matrix = backend._matrix
+    initial = max(0, lower_bound - 1)
+    if workers <= 1 or n < 256:
+        size, members = maximum_clique_packed(matrix, initial_bound=initial)
+    else:
+        order = degeneracy_order_packed(matrix)
+        shared_bound = Value("q", initial)
+        chunks = [list(range(start, n, workers)) for start in range(workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        size, members = initial, []
+        with ProcessPoolExecutor(
+            max_workers=len(chunks),
+            initializer=_max_clique_worker_init,
+            initargs=(matrix, order, shared_bound),
+        ) as pool:
+            for found_size, found in pool.map(_max_clique_worker, chunks):
+                if found and (
+                    found_size > size or (found_size == size and not members)
+                ):
+                    size, members = found_size, found
+    if size < lower_bound or not members:
+        raise BoundNotMetError(lower_bound, size)
+    return frozenset(backend.label(int(i)) for i in members)
 
 
 EXECUTOR_NAMES: tuple[str, ...] = ("serial", "process", "shared")

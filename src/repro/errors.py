@@ -76,6 +76,25 @@ class AlgorithmNotFoundError(ReproError, KeyError):
         return f"unknown name {self.name!r}; known options: {options}"
 
 
+class BoundNotMetError(ReproError, ValueError):
+    """``maximum_clique(lower_bound=k)`` found no clique of size ``k``.
+
+    The caller asserted a clique size the graph does not contain, so
+    the search has no witness to return.  :attr:`lower_bound` is the
+    requested floor and :attr:`best_found` the largest clique size the
+    pruned search certified (which may undershoot the true maximum —
+    branches below the floor are cut, not explored).
+    """
+
+    def __init__(self, lower_bound: int, best_found: int) -> None:
+        super().__init__(
+            f"no clique of size >= {lower_bound} exists (pruned search "
+            f"certified {best_found}); pass only certified lower bounds"
+        )
+        self.lower_bound = lower_bound
+        self.best_found = best_found
+
+
 class TrainingError(ReproError):
     """The decision-tree learner was given an unusable training set."""
 

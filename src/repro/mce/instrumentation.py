@@ -167,6 +167,24 @@ class BatchDispatch:
 
 
 @dataclass(frozen=True)
+class BlockBound:
+    """Clique upper bound of one block, priced before dispatch.
+
+    ``bound`` is :func:`repro.mce.maximum.clique_upper_bound_packed`
+    over the block's candidate nodes (kernel ∪ border) — the largest
+    clique the block can possibly emit.  ``floor`` is the driver's
+    ``min_clique_size`` at the time, and ``skipped`` records whether the
+    bound fell below it, in which case the block was never analysed.
+    """
+
+    level: int
+    block_id: int
+    bound: int
+    floor: int
+    skipped: bool
+
+
+@dataclass(frozen=True)
 class LevelDecomposition:
     """Measured decomposition of one recursion level (pipeline mode).
 
@@ -205,10 +223,15 @@ class ExecutionTrace:
     splits: list[SplitDecision] = field(default_factory=list)
     flushes: list[SegmentFlush] = field(default_factory=list)
     batches: list[BatchDispatch] = field(default_factory=list)
+    bounds: list[BlockBound] = field(default_factory=list)
 
     def record(self, timing: BlockTiming) -> None:
         """Append one per-block record."""
         self.timings.append(timing)
+
+    def record_bound(self, bound: BlockBound) -> None:
+        """Append one per-block clique-bound record (pruned runs)."""
+        self.bounds.append(bound)
 
     def record_batch(self, batch: BatchDispatch) -> None:
         """Append one per-bucket record (batched dispatch mode)."""
@@ -271,6 +294,16 @@ class ExecutionTrace:
     def batched_block_count(self) -> int:
         """Blocks analysed through bucket dispatch across all batches."""
         return sum(batch.num_blocks for batch in self.batches)
+
+    @property
+    def skipped_block_count(self) -> int:
+        """Blocks skipped because their clique bound missed the floor."""
+        return sum(1 for bound in self.bounds if bound.skipped)
+
+    @property
+    def skipped_block_ids(self) -> list[tuple[int, int]]:
+        """``(level, block_id)`` of every bound-skipped block."""
+        return [(b.level, b.block_id) for b in self.bounds if b.skipped]
 
     @property
     def total_flush_seconds(self) -> float:

@@ -1,29 +1,57 @@
-"""Branch-and-bound maximum clique search.
+"""Branch-and-bound maximum clique search over packed bitmaps.
 
 The related work (Section 7) cites two classic exact maximum-clique
 solvers — Östergård's ``cliquer`` [27] and Tomita–Kameda's MCQ-style
 branch and bound [33] — as the pruning-based tradition the MCE systems
 grew out of, plus Rossi et al. [30] for large graphs.  This module
-implements the standard modern scheme from that family:
+implements the standard modern scheme from that family, natively on the
+``bitmatrix`` backend's packed ``uint64`` rows:
 
-* vertices are examined in a **degeneracy order** (small candidate
-  neighbourhoods first, the [30] trick for sparse graphs);
+* root vertices are examined in a **degeneracy order** with their later
+  neighbours only (the [30] trick for sparse graphs: candidate sets
+  start at most degeneracy big);
 * at every branch a **greedy colouring** of the candidate set bounds
-  the largest clique it can still contain (the Tomita–Kameda bound):
-  a candidate set colourable with ``c`` colours holds no clique larger
-  than ``c``;
+  the largest clique it can still contain (the Tomita–Kameda bound): a
+  candidate set colourable with ``c`` colours holds no clique larger
+  than ``c``.  Colour classes are peeled word-parallel — removing a
+  coloured vertex's neighbourhood is one ``&= ~row``;
 * branches whose bound cannot beat the incumbent are pruned.
 
+The kernel is a hybrid: the root loop and per-block pricing run on the
+packed numpy rows (one vectorized AND prices a whole candidate set),
+while inside a branch — where sets are small and per-op dispatch cost
+dominates arithmetic — rows are converted lazily to arbitrary-precision
+ints, whose bitwise ops are word-parallel in C with no numpy overhead.
+
 Finding one maximum clique this way is typically orders of magnitude
-cheaper than enumerating all maximal cliques and taking the largest,
-which the benchmark demonstrates.
+cheaper than enumerating all maximal cliques and taking the largest
+(``benchmarks/bench_maximum.py`` demonstrates the gap), and the same
+bound machinery prices whole decomposition blocks:
+:func:`clique_upper_bound_packed` is the per-block skip test behind the
+driver's ``min_clique_size`` floor (see ``docs/maximum.md``).
+
+The previous pure-``int`` bitset solver survives as
+:func:`maximum_clique_bitset` — it needs no numpy and is the benchmark
+baseline the packed kernel is measured against.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.errors import BoundNotMetError
 from repro.graph.adjacency import Graph, Node
 from repro.graph.cores import degeneracy_ordering
 from repro.mce.backends import BitsetBackend
+from repro.mce.bitmatrix import (
+    BitMatrixBackend,
+    bits_to_indices,
+    degeneracy_order_packed,
+    degeneracy_packed,
+    popcount,
+)
+
+_ONE = np.uint64(1)
 
 
 def maximum_clique(graph: Graph, lower_bound: int = 0) -> frozenset[Node]:
@@ -34,26 +62,263 @@ def maximum_clique(graph: Graph, lower_bound: int = 0) -> frozenset[Node]:
     graph:
         The network; not modified.
     lower_bound:
-        Optional known clique size; branches that cannot exceed it are
-        pruned from the start (the incumbent itself starts empty, so a
-        wrong ``lower_bound`` larger than the true maximum yields an
-        empty result — pass only certified bounds).
+        Optional required clique size.  Branches that cannot reach it
+        are pruned from the start, so a tight bound speeds up the
+        search.  A clique of size exactly ``lower_bound`` is still
+        found and returned as a witness — the bound is inclusive.
 
     Raises
     ------
     ValueError
         If ``lower_bound`` is negative.
+    BoundNotMetError
+        If ``lower_bound`` is positive and the graph holds no clique of
+        at least that size (the bound was not certified).
     """
     if lower_bound < 0:
         raise ValueError("lower_bound must be non-negative")
     if graph.num_nodes == 0:
+        if lower_bound > 0:
+            raise BoundNotMetError(lower_bound, 0)
+        return frozenset()
+    backend = BitMatrixBackend(graph)
+    size, members = maximum_clique_packed(
+        backend._matrix, initial_bound=max(0, lower_bound - 1)
+    )
+    if size < lower_bound:
+        raise BoundNotMetError(lower_bound, size)
+    return frozenset(backend.label(int(i)) for i in members)
+
+
+def maximum_clique_size(graph: Graph) -> int:
+    """Return the clique number ω(G); 0 for the empty graph."""
+    return len(maximum_clique(graph))
+
+
+def maximum_clique_packed(
+    matrix: np.ndarray,
+    initial_bound: int = 0,
+    order: "list[int] | None" = None,
+    root_ranks: "set[int] | None" = None,
+    shared_bound=None,
+) -> "tuple[int, list[int]]":
+    """Branch and bound over a packed ``n × ceil(n/64)`` adjacency bitmap.
+
+    Returns ``(best_size, best_members)`` with ``best_size ==
+    len(best_members)`` whenever a clique was recorded.  When no clique
+    larger than ``initial_bound`` (or the shared incumbent, if one is
+    cooperating) was found among the searched roots the result is
+    ``(initial_bound, [])`` — the incumbent starts as a *size only*, so
+    a witness is returned exactly when *this* search beat the bound.
+
+    Parameters
+    ----------
+    matrix:
+        Packed adjacency rows (``BitMatrixBackend._matrix`` layout).
+    initial_bound:
+        Exclusive pruning floor: only cliques strictly larger count.
+    order:
+        Vertex order for the root loop (defaults to a degeneracy
+        order); each root sees its later-in-order neighbours only.
+    root_ranks:
+        When given, only roots at these ranks of ``order`` are
+        expanded — the unit of work the parallel driver fans out.
+        Every rank still participates in later-neighbour masking, so a
+        subset search is exactly a restriction of the full search.
+    shared_bound:
+        Optional ``multiprocessing.Value`` carrying the best size found
+        by *any* cooperating worker.  It is read at every expansion to
+        tighten pruning and updated (under its lock) on improvement;
+        races only cost pruning opportunities, never correctness.
+    """
+    n = len(matrix)
+    if n == 0:
+        return initial_bound, []
+    if order is None:
+        order = [int(v) for v in degeneracy_order_packed(matrix)]
+    words = matrix.shape[1]
+
+    best: list[int] = []
+    # The pruning bound and the recorded witness are tracked separately:
+    # ``bound`` may adopt *other* workers' incumbent sizes (shared_bound),
+    # for which this searcher holds no witness, so the return pair is
+    # always ``(len(best), best)`` when a clique was recorded here.
+    bound = initial_bound
+
+    # Inside a branch the candidate sets are small and the work is
+    # dominated by *call overhead*, not arithmetic — so the inner loop
+    # runs on arbitrary-precision ints (word-parallel in C, no per-op
+    # numpy dispatch), with packed rows converted lazily the first time
+    # a vertex is actually branched on.  The root loop below stays on
+    # the numpy side where one vectorized AND prices a whole row.
+    rows: dict[int, int] = {}
+
+    def row_of(v: int) -> int:
+        row = rows.get(v)
+        if row is None:
+            row = int.from_bytes(matrix[v].tobytes(), "little")
+            rows[v] = row
+        return row
+
+    def record(clique: "list[int]") -> None:
+        nonlocal best, bound
+        best = list(clique)
+        bound = len(clique)
+        if shared_bound is not None:
+            with shared_bound.get_lock():
+                if bound > shared_bound.value:
+                    shared_bound.value = bound
+
+    def expand(clique: "list[int]", candidates: int) -> None:
+        nonlocal bound
+        if shared_bound is not None and shared_bound.value > bound:
+            # Another worker's incumbent; adopt the size (not the
+            # witness — each worker reports only cliques it found).
+            bound = shared_bound.value
+        depth = len(clique)
+        if depth + candidates.bit_count() <= bound:
+            return
+        colored = _coloring_int(row_of, candidates)
+        # Walk the coloured candidates highest colour first: vertex
+        # colours bound every clique through the not-yet-branched
+        # prefix, so one failed check prunes the whole remainder.
+        for v, color in reversed(colored):
+            if depth + color <= bound:
+                return
+            clique.append(v)
+            rest = candidates & row_of(v)
+            if rest:
+                expand(clique, rest)
+            elif depth + 1 > bound:
+                record(clique)
+            clique.pop()
+            candidates &= ~(1 << v)
+
+    # Root loop in degeneracy order: ``later`` shrinks as roots are
+    # consumed, so root v's candidate set is N(v) ∩ {later vertices}.
+    later = np.zeros(words, dtype=np.uint64)
+    idx = np.arange(n, dtype=np.int64)
+    np.bitwise_or.at(later, idx >> 6, _ONE << (idx.astype(np.uint64) & np.uint64(63)))
+    for rank, v in enumerate(order):
+        later[v >> 6] &= ~(_ONE << np.uint64(v & 63))
+        if root_ranks is not None and rank not in root_ranks:
+            continue
+        candidates = matrix[v] & later
+        if 1 + popcount(candidates) <= bound:
+            continue
+        if candidates.any():
+            expand([v], int.from_bytes(candidates.tobytes(), "little"))
+        elif bound < 1:
+            record([v])
+    return (len(best), best) if best else (initial_bound, [])
+
+
+def _coloring_int(row_of, candidates: int) -> "list[tuple[int, int]]":
+    """Greedy colouring of an int-packed candidate set.
+
+    Same colour-class peeling as :func:`_coloring_packed`, but over
+    arbitrary-precision ints: admitting a vertex removes its whole
+    neighbourhood from the class in one bigint ``&= ~row``.  Returns
+    ``(vertex, colour)`` sorted by colour ascending (colours start at 1).
+    """
+    colored: list[tuple[int, int]] = []
+    remaining = candidates
+    color = 0
+    while remaining:
+        color += 1
+        available = remaining
+        while available:
+            low = available & -available
+            v = low.bit_length() - 1
+            colored.append((v, color))
+            available &= ~row_of(v)
+            available &= ~low
+            remaining &= ~low
+    return colored
+
+
+def coloring_bound_packed(matrix: np.ndarray) -> int:
+    """Greedy chromatic bound of a packed bitmap: ω(G) ≤ #colours.
+
+    One word-parallel colouring pass over all vertices; linear in
+    ``colours × n × words``.  Cheap enough to price every block of a
+    decomposition before dispatch.
+    """
+    n = len(matrix)
+    if n == 0:
+        return 0
+    members = np.zeros(matrix.shape[1], dtype=np.uint64)
+    idx = np.arange(n, dtype=np.int64)
+    np.bitwise_or.at(members, idx >> 6, _ONE << (idx.astype(np.uint64) & np.uint64(63)))
+    colors, _ = _coloring_packed(matrix, members)
+    return colors
+
+
+def clique_upper_bound_packed(matrix: np.ndarray) -> int:
+    """Cheap upper bound on the largest clique inside a packed bitmap.
+
+    The minimum of three classical bounds: the vertex count, degeneracy
+    plus one (a k-clique needs k vertices of degree ≥ k−1 within it),
+    and the greedy colouring bound.  Exact search never beats this
+    number, so a block whose bound falls below an enumeration floor can
+    be skipped wholesale (see ``core/driver.py``'s ``min_clique_size``).
+    """
+    n = len(matrix)
+    if n == 0:
+        return 0
+    return min(n, degeneracy_packed(matrix) + 1, coloring_bound_packed(matrix))
+
+
+def _coloring_packed(
+    matrix: np.ndarray, candidates: np.ndarray
+) -> "tuple[int, list[tuple[int, int]]]":
+    """Colour ``candidates`` greedily; return ``(#colours, ordered list)``.
+
+    The returned list holds ``(vertex, colour)`` sorted by colour
+    ascending (colours start at 1).  Each colour class is peeled with
+    word-parallel ops: admitting a vertex removes its whole packed
+    neighbourhood row from the class in one vectorized ``&= ~row``.
+    """
+    colored: list[tuple[int, int]] = []
+    remaining = candidates.copy()
+    color = 0
+    while True:
+        members = bits_to_indices(remaining)
+        if members.size == 0:
+            break
+        color += 1
+        available = remaining.copy()
+        for v in members:
+            v = int(v)
+            word, bit = v >> 6, _ONE << np.uint64(v & 63)
+            if not available[word] & bit:
+                continue  # a same-class neighbour already claimed v
+            colored.append((v, color))
+            available &= ~matrix[v]
+            remaining[word] &= ~bit
+    return color, colored
+
+
+def maximum_clique_bitset(graph: Graph, lower_bound: int = 0) -> frozenset[Node]:
+    """Pure-``int`` bitset branch and bound (the pre-bitmatrix solver).
+
+    Same contract as :func:`maximum_clique` — identical answers, no
+    numpy dependency.  Kept as the baseline arm of
+    ``benchmarks/bench_maximum.py`` and as the parity oracle for the
+    packed kernel.
+    """
+    if lower_bound < 0:
+        raise ValueError("lower_bound must be non-negative")
+    if graph.num_nodes == 0:
+        if lower_bound > 0:
+            raise BoundNotMetError(lower_bound, 0)
         return frozenset()
     backend = BitsetBackend(graph)
     order = [backend.index_of(node) for node in degeneracy_ordering(graph)]
     position = {index: rank for rank, index in enumerate(order)}
 
     best: list[int] = []
-    best_size = lower_bound
+    best_size = max(0, lower_bound - 1)
 
     def expand(clique: list[int], candidates: int) -> None:
         nonlocal best, best_size
@@ -91,14 +356,9 @@ def maximum_clique(graph: Graph, lower_bound: int = 0) -> frozenset[Node]:
             elif 1 > best_size:
                 best = [v]
                 best_size = 1
-    # With a caller-supplied lower_bound at or above the true clique
-    # number, every branch prunes and the result is empty, as documented.
+    if len(best) < lower_bound:
+        raise BoundNotMetError(lower_bound, len(best))
     return frozenset(backend.label(i) for i in best)
-
-
-def maximum_clique_size(graph: Graph) -> int:
-    """Return the clique number ω(G); 0 for the empty graph."""
-    return len(maximum_clique(graph))
 
 
 def _greedy_coloring(

@@ -130,10 +130,41 @@ def run_driver_levels(
     }
 
 
-def _driver_result(mode: str, graph: Graph, m: int, combo: Combo | None = None):
+def run_driver_floor(
+    mode: str,
+    graph: Graph,
+    m: int,
+    min_clique_size: int,
+    combo: Combo | None = None,
+) -> Canonical:
+    """Floored enumeration through the named driver mode.
+
+    The invariant under test: a floored run must equal the unfloored run
+    of the same mode filtered to ``len(c) >= min_clique_size`` — block
+    and anchor skipping may only remove work, never answers.
+    """
+    result = _driver_result(
+        mode, graph, m, combo=combo, min_clique_size=min_clique_size
+    )
+    return canonical_cliques(result.cliques)
+
+
+def _driver_result(
+    mode: str,
+    graph: Graph,
+    m: int,
+    combo: Combo | None = None,
+    min_clique_size: int = 0,
+):
     spill = mode.endswith("-spill")
     if spill:
         mode = mode[: -len("-spill")]
+    # ``shared-prune`` is the shared-memory executor with a pruning floor
+    # baked in; the floor argument still applies on top (max wins) so the
+    # mode is usable from run_driver_floor as well.
+    if mode == "shared-prune":
+        mode = "shared"
+        min_clique_size = max(min_clique_size, 3)
     pipeline = mode.startswith("shared-pipeline")
     if pipeline:
         if mode.endswith("-split"):
@@ -156,6 +187,7 @@ def _driver_result(mode: str, graph: Graph, m: int, combo: Combo | None = None):
             executor=executor,
             pipeline=pipeline,
             spill_dir=spill_dir,
+            min_clique_size=min_clique_size,
         )
     finally:
         if spill_dir is not None:

@@ -1,10 +1,13 @@
-"""Unit tests for the branch-and-bound maximum clique solver."""
+"""Unit tests for the branch-and-bound maximum clique solvers."""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from conftest import CORPUS
+from repro.errors import BoundNotMetError
 from repro.graph.adjacency import Graph
 from repro.graph.generators import (
     complete_graph,
@@ -12,13 +15,17 @@ from repro.graph.generators import (
     erdos_renyi,
     social_network,
 )
-from repro.mce.maximum import maximum_clique, maximum_clique_size
+from repro.mce.maximum import (
+    clique_upper_bound_packed,
+    coloring_bound_packed,
+    maximum_clique,
+    maximum_clique_bitset,
+    maximum_clique_size,
+)
 from repro.mce.tomita import tomita
-
 
 def brute_maximum_size(graph: Graph) -> int:
     return max((len(c) for c in tomita(graph)), default=0)
-
 
 class TestCorrectness:
     @pytest.mark.parametrize(
@@ -58,6 +65,41 @@ class TestCorrectness:
         g = Graph(edges=[("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
         assert maximum_clique(g) == frozenset({"a", "b", "c"})
 
+class TestBitsetParity:
+    """The dict-of-bitsets solver must agree with the packed solver."""
+
+    @pytest.mark.parametrize(
+        "name,graph", CORPUS, ids=[name for name, _ in CORPUS]
+    )
+    def test_corpus(self, name, graph):
+        found = maximum_clique_bitset(graph)
+        assert graph.is_clique(found)
+        assert len(found) == maximum_clique_size(graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random(self, seed):
+        g = erdos_renyi(40, 0.35, seed=seed + 100)
+        assert len(maximum_clique_bitset(g)) == maximum_clique_size(g)
+
+def _packed(graph: Graph):
+    from repro.mce.bitmatrix import BitMatrixBackend
+
+    return BitMatrixBackend(graph)._matrix  # noqa: SLF001 - test access
+
+class TestPackedBounds:
+    def test_coloring_bound_dominates_clique_number(self):
+        for seed in range(4):
+            g = erdos_renyi(30, 0.4, seed=seed)
+            matrix = _packed(g)
+            omega = brute_maximum_size(g)
+            assert coloring_bound_packed(matrix) >= omega
+            assert clique_upper_bound_packed(matrix) >= omega
+
+    def test_complete_graph_bound_tight(self):
+        assert clique_upper_bound_packed(_packed(complete_graph(8))) == 8
+
+    def test_empty_matrix(self):
+        assert clique_upper_bound_packed(_packed(Graph())) == 0
 
 class TestLowerBound:
     def test_certified_bound_prunes_but_keeps_answer(self):
@@ -66,14 +108,50 @@ class TestLowerBound:
         found = maximum_clique(g, lower_bound=true_size - 1)
         assert len(found) == true_size
 
-    def test_bound_at_true_size_returns_empty(self):
+    def test_bound_at_true_size_returns_witness(self):
+        # Regression: lower_bound == omega(G) used to return frozenset()
+        # (the pruning bound swallowed the only witness); callers now
+        # always get a clique of the promised size.
         g = complete_graph(5)
-        assert maximum_clique(g, lower_bound=5) == frozenset()
+        found = maximum_clique(g, lower_bound=5)
+        assert found == frozenset(range(5))
+
+    def test_unmet_bound_raises(self):
+        g = complete_graph(5)
+        with pytest.raises(BoundNotMetError) as info:
+            maximum_clique(g, lower_bound=6)
+        assert info.value.lower_bound == 6
+        assert info.value.best_found == 5
+
+    def test_unmet_bound_on_empty_graph(self):
+        with pytest.raises(BoundNotMetError):
+            maximum_clique(Graph(), lower_bound=1)
 
     def test_negative_bound_rejected(self):
         with pytest.raises(ValueError):
             maximum_clique(Graph(), lower_bound=-1)
 
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=18))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), unique=True, max_size=60)
+        if pairs
+        else st.just([])
+    )
+    return Graph(nodes=range(n), edges=chosen)
+
+class TestHypothesisParity:
+    @given(small_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_bitmatrix_bitset_enumeration_agree(self, graph):
+        expected = brute_maximum_size(graph)
+        packed = maximum_clique(graph)
+        bitset = maximum_clique_bitset(graph)
+        assert graph.is_clique(packed)
+        assert graph.is_clique(bitset)
+        assert len(packed) == len(bitset) == expected
 
 class TestScale:
     def test_dataset_standin(self):
