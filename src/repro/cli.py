@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the deployment loop of the paper's system:
+The core commands cover the deployment loop of the paper's system:
 
 * ``generate`` — build a synthetic network (ER / BA / WS / social, or a
   named data-set stand-in) and write it in the triple format;
@@ -9,7 +9,11 @@ Four commands cover the deployment loop of the paper's system:
 * ``enumerate`` — run the two-level decomposition and write the maximal
   cliques as JSON lines;
 * ``compare`` — run the hub-oblivious fixed-block baseline next to the
-  complete decomposition and report what the baseline loses.
+  complete decomposition and report what the baseline loses;
+* ``tune`` — replay a workload, harvest per-block (features → best
+  combo) measurements, and retrain the selector tree
+  (see ``docs/tuning.md``); ``--tree auto`` anywhere then picks up the
+  installed result.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ from repro.analysis.degrees import degree_profile
 from repro.analysis.report import format_table
 from repro.baselines.naive_blocks import naive_block_mce
 from repro.core.driver import find_max_cliques
-from repro.decision.persistence import load_tree
+from repro.decision.persistence import resolve_tree
 from repro.errors import ReproError
 from repro.graph.adjacency import Graph
 from repro.graph.datasets import DATASET_NAMES, load_dataset
@@ -101,7 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", help="write cliques as JSON lines to this path"
     )
     enumerate_.add_argument(
-        "--tree", help="JSON decision tree (default: the paper's Figure 3 tree)"
+        "--tree",
+        help=(
+            "combo selector: a JSON tree file, 'paper' (the Figure 3 "
+            "default), 'extended' (bitmatrix-aware), or 'auto' — the "
+            "tree installed by 'repro tune' when present"
+        ),
     )
     enumerate_.add_argument(
         "--fallback",
@@ -291,6 +300,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="efficiency target as a fraction of max degree (default 0.5)",
     )
+    plan.add_argument(
+        "--tree",
+        help=(
+            "plan with a combo selector instead of --backend: a JSON "
+            "tree file, 'paper', 'extended', or 'auto' (the tree "
+            "installed by 'repro tune'); the memory bound then uses the "
+            "backend the selector picks for this network"
+        ),
+    )
+
+    tune = commands.add_parser(
+        "tune",
+        help="retrain the combo selector from measured block executions",
+    )
+    tune.add_argument("--input", required=True, help="input triple file")
+    tune_size = tune.add_mutually_exclusive_group(required=True)
+    tune_size.add_argument("--m", type=int, help="block size")
+    tune_size.add_argument(
+        "--ratio", type=float, help="block size as a fraction of max degree"
+    )
+    tune.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "destination for the tuned tree JSON (default: the 'auto' "
+            "path, $REPRO_TUNED_TREE or ~/.repro/tuned_tree.json)"
+        ),
+    )
+    tune.add_argument(
+        "--sample",
+        type=int,
+        default=16,
+        help=(
+            "blocks to re-run under every combo for counterfactual "
+            "labels; 0 means all blocks (default 16)"
+        ),
+    )
+    tune.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="timing repetitions per (block, combo); best is kept",
+    )
+    tune.add_argument("--seed", type=int, default=0, help="sampling seed")
+    tune.add_argument(
+        "--max-depth", type=int, default=6, help="tree depth cap (default 6)"
+    )
+    tune.add_argument(
+        "--prune-alpha",
+        type=float,
+        default=None,
+        help=(
+            "cost-complexity penalty in seconds per extra leaf "
+            "(default: 0.2%% of the corpus oracle time)"
+        ),
+    )
+    tune.add_argument(
+        "--spill-dir",
+        default=None,
+        help=(
+            "also harvest rows from this durable run directory "
+            "(segments written by enumerate --spill-dir)"
+        ),
+    )
 
     audit = commands.add_parser(
         "audit", help="re-verify a run from first principles"
@@ -323,6 +396,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_communities(args)
         if args.command == "plan":
             return _cmd_plan(args)
+        if args.command == "tune":
+            return _cmd_tune(args)
         if args.command == "maximum":
             return _cmd_maximum(args)
         if args.command == "max-clique":
@@ -401,7 +476,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         if not 0.0 < args.ratio <= 1.0:
             raise ReproError("--ratio must be in (0, 1]")
         m = max(2, int(args.ratio * graph.max_degree()))
-    tree = load_tree(args.tree) if args.tree else None
+    tree = resolve_tree(args.tree)
     from repro.distributed.executor import SharedMemoryExecutor, build_executor
 
     if args.pipeline and args.executor != "shared":
@@ -619,21 +694,97 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core.planner import recommend_block_size
 
     graph = read_triples(args.input)
-    plan = recommend_block_size(graph, backend=args.backend, ratio=args.ratio)
+    plan = recommend_block_size(
+        graph, backend=args.backend, ratio=args.ratio, tree=args.tree
+    )
+    rows = [
+        ["recommended m", plan.m],
+        ["m / max degree", plan.ratio],
+        ["completeness lower bound", plan.completeness_lower_bound],
+        ["memory upper bound", plan.memory_upper_bound],
+        ["max degree", plan.max_degree],
+    ]
+    if plan.selected_combo:
+        rows.append(["selected combo", plan.selected_combo])
     print(
         format_table(
             ["quantity", "value"],
-            [
-                ["recommended m", plan.m],
-                ["m / max degree", plan.ratio],
-                ["completeness lower bound", plan.completeness_lower_bound],
-                ["memory upper bound", plan.memory_upper_bound],
-                ["max degree", plan.max_degree],
-            ],
+            rows,
             title=f"block-size plan for {args.input}",
         )
     )
     print(f"rationale: {plan.rationale}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.decision.harvest import harvest_workload, rows_from_run_dir
+    from repro.decision.persistence import default_tree_path, save_tree
+    from repro.decision.training import (
+        block_selection_overhead,
+        train_from_rows,
+    )
+    from repro.decision.tree import num_leaves
+
+    graph = read_triples(args.input)
+    if args.m is not None:
+        m = args.m
+    else:
+        if not 0.0 < args.ratio <= 1.0:
+            raise ReproError("--ratio must be in (0, 1]")
+        m = max(2, int(args.ratio * graph.max_degree()))
+    start = time.perf_counter()
+    harvest = harvest_workload(
+        graph, m, sample=args.sample, repeats=args.repeats, seed=args.seed
+    )
+    rows = list(harvest.rows)
+    if args.spill_dir:
+        rows.extend(rows_from_run_dir(args.spill_dir))
+    result = train_from_rows(
+        rows, max_depth=args.max_depth, prune_alpha=args.prune_alpha
+    )
+    harvest_seconds = time.perf_counter() - start
+    overhead = block_selection_overhead(result.samples, result.tree)
+    destination = args.out if args.out else default_tree_path()
+    save_tree(
+        result.tree,
+        destination,
+        metadata={
+            "trained_by": "repro tune",
+            "source": args.input,
+            "m": m,
+            "rows": len(rows),
+            "blocks": len(result.samples),
+            "corpus_fingerprint": result.fingerprint,
+            "win_counts": result.win_counts,
+            "training_accuracy": result.training_accuracy,
+        },
+    )
+    oracle = sum(sample.timings[sample.best] for sample in result.samples)
+    tuned = result.total_time()
+    fraction = overhead / tuned if tuned > 0 else 0.0
+    print(
+        f"harvested {len(rows)} rows "
+        f"({harvest.live_rows} live, "
+        f"{harvest.counterfactual_rows} counterfactual) from "
+        f"{harvest.blocks_sampled}/{harvest.blocks_total} blocks "
+        f"in {harvest_seconds:.2f}s"
+    )
+    print(
+        f"trained on {len(result.samples)} labelled blocks: "
+        f"{num_leaves(result.tree)} leaves "
+        f"(pruned from {result.unpruned_leaves}), "
+        f"accuracy {result.training_accuracy:.2f}"
+    )
+    for label, count in sorted(result.win_counts.items()):
+        print(f"  {label}: wins {count}")
+    print(
+        f"corpus time under tuned tree {tuned:.4f}s "
+        f"(oracle {oracle:.4f}s, regret {tuned - oracle:.4f}s); "
+        f"selection overhead {fraction:.3%}"
+    )
+    print(f"wrote tuned tree to {destination}")
+    print("deploy with: repro enumerate --tree auto (or --tree <path>)")
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.core.filtering import filter_contained, filter_min_size
 from repro.core.result import CliqueResult, LevelStats
 from repro.decision.features import BlockFeatures
 from repro.decision.paper_tree import paper_tree, select_combo
+from repro.decision.persistence import resolve_tree
 from repro.decision.tree import DecisionTree
 from repro.errors import ConvergenceError, ExecutorError
 from repro.graph.adjacency import Graph, Node
@@ -51,7 +52,7 @@ FALLBACK_MODES: tuple[str, ...] = ("exact", "raise")
 def find_max_cliques(
     graph: Graph,
     m: int,
-    tree: DecisionTree | None = None,
+    tree: "DecisionTree | str | None" = None,
     combo: Combo | None = None,
     fallback: str = "exact",
     min_adjacency: int = 1,
@@ -78,7 +79,14 @@ def find_max_cliques(
         ``fallback`` behaviour on the irreducible core.
     tree:
         Decision tree selecting the per-block (algorithm × structure)
-        combination; defaults to the paper's published tree.
+        combination; defaults to the paper's published tree.  Also
+        accepts a specification string resolved by
+        :func:`repro.decision.persistence.resolve_tree`: ``"paper"``,
+        ``"extended"``, a path to a saved tree JSON, or ``"auto"`` —
+        the tree installed by ``repro tune`` (falling back to the paper
+        tree when none is installed).  The resolved tree flows through
+        every dispatch path: the serial loop, the shared-memory barrier
+        (whole, split, and batched), and the streaming pipeline.
     combo:
         Force a fixed combination for every block instead of the tree.
     fallback:
@@ -180,7 +188,8 @@ def find_max_cliques(
         raise ValueError("resume=True requires spill_dir")
     if min_clique_size < 0:
         raise ValueError("min_clique_size must be non-negative")
-    selection_tree = tree if tree is not None else paper_tree()
+    resolved_tree = resolve_tree(tree)
+    selection_tree = resolved_tree if resolved_tree is not None else paper_tree()
     if split:
         executor = _configure_split(executor, split_threshold, pipeline)
     if batch_blocks:

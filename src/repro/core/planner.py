@@ -19,11 +19,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.decision.features import BlockFeatures
+from repro.decision.paper_tree import select_combo
+from repro.decision.persistence import resolve_tree
+from repro.decision.tree import DecisionTree
 from repro.distributed.cluster import ClusterSpec
 from repro.errors import ConvergenceError
 from repro.graph.adjacency import Graph
 from repro.graph.cores import degeneracy, degeneracy_csr
 from repro.graph.csr import CSRGraph
+from repro.graph.properties import d_star as graph_d_star
 from repro.mce.memory import max_block_nodes_for_memory
 
 
@@ -37,6 +44,11 @@ class BlockSizePlan:
     max_degree: int
     target: int  # the efficiency preference before clamping
     rationale: str
+    # Combo the selection tree picks for the network's own features when
+    # planning is tree-aware ("" when a fixed backend was given): the
+    # plan's memory bound then uses that combo's backend, so planning
+    # and execution price blocks with the same representation.
+    selected_combo: str = ""
 
     @property
     def ratio(self) -> float:
@@ -52,6 +64,7 @@ def recommend_block_size(
     backend: str = "bitsets",
     ratio: float = 0.5,
     memory_fraction: float = 0.01,
+    tree: "DecisionTree | str | None" = None,
 ) -> BlockSizePlan:
     """Recommend a block size ``m`` for ``graph``.
 
@@ -69,6 +82,16 @@ def recommend_block_size(
     backend:
         The representation whose footprint bounds the block
         (worst-case dense model, see :mod:`repro.mce.memory`).
+        Ignored when ``tree`` is given.
+    tree:
+        Plan with the same selector execution will use: a
+        :class:`DecisionTree` or a specification string
+        (``"paper"``/``"extended"``/``"auto"``/a saved-tree path, see
+        :func:`repro.decision.persistence.resolve_tree`).  The tree is
+        run on the network's own features and the chosen combination's
+        backend replaces ``backend`` for the memory bound, so ``repro
+        plan --tree`` and ``repro enumerate --tree`` can no longer
+        silently diverge on which representation they budget for.
     ratio:
         Efficiency preference as a fraction of the maximum degree
         (the paper's saddle point, 0.5, by default).
@@ -100,14 +123,21 @@ def recommend_block_size(
         raise ValueError("memory_fraction must be in (0, 1]")
     spec = cluster if cluster is not None else ClusterSpec()
     budget = max(1, int(spec.memory_bytes_per_machine * memory_fraction))
-    memory_bound = max_block_nodes_for_memory(budget, backend)
     if isinstance(graph, CSRGraph):
-        lower = degeneracy_csr(graph) + 1
+        core = degeneracy_csr(graph)
         degrees = graph.degree_array()
         max_degree = int(degrees.max()) if len(degrees) else 0
     else:
-        lower = degeneracy(graph) + 1
+        core = degeneracy(graph)
         max_degree = graph.max_degree()
+    lower = core + 1
+    selected_combo = ""
+    resolved = resolve_tree(tree)
+    if resolved is not None:
+        combo = select_combo(resolved, _whole_graph_features(graph, core))
+        backend = combo.backend
+        selected_combo = combo.name
+    memory_bound = max_block_nodes_for_memory(budget, backend)
     target = max(2, int(ratio * max_degree))
 
     if lower > memory_bound:
@@ -134,6 +164,11 @@ def recommend_block_size(
             f"{memory_fraction:g} x memory budget ({budget} bytes, "
             f"{backend} backend)"
         )
+    if selected_combo:
+        rationale += (
+            f"; selector picked {selected_combo}, so the memory bound "
+            f"uses the {backend!r} backend"
+        )
     return BlockSizePlan(
         m=m,
         completeness_lower_bound=lower,
@@ -141,4 +176,31 @@ def recommend_block_size(
         max_degree=max_degree,
         target=target,
         rationale=rationale,
+        selected_combo=selected_combo,
+    )
+
+
+def _whole_graph_features(
+    graph: Graph | CSRGraph, core: int
+) -> BlockFeatures:
+    """The network's own five selector features (degeneracy precomputed)."""
+    n = graph.num_nodes
+    if isinstance(graph, CSRGraph):
+        degrees = graph.degree_array()
+        num_edges = int(degrees.sum()) // 2
+        density = 2.0 * num_edges / (n * (n - 1)) if n > 1 else 0.0
+        descending = np.sort(degrees)[::-1]
+        at_least = descending >= np.arange(1, n + 1)
+        hits = np.flatnonzero(at_least)
+        d_star = int(hits[-1]) + 1 if len(hits) else 0
+    else:
+        num_edges = graph.num_edges
+        density = graph.density()
+        d_star = graph_d_star(graph)
+    return BlockFeatures(
+        num_nodes=n,
+        num_edges=num_edges,
+        density=density,
+        degeneracy=core,
+        d_star=d_star,
     )

@@ -4,40 +4,113 @@ A trained selector is an asset: the paper trains once on a 50-graph
 corpus and then reuses the tree for every block of every data set.
 This module round-trips trees through a plain JSON document so a
 training run can be saved next to the deployment that uses it.
+
+Since the autotuner (``repro tune``, :mod:`repro.decision.harvest`)
+made trees long-lived artifacts, the on-disk payload is an explicitly
+versioned envelope::
+
+    {"version": 1,
+     "root": {"kind": "split", ...},
+     "metadata": {"corpus_fingerprint": "...", ...}}
+
+``metadata`` is free-form provenance — the autotuner records the
+training-corpus fingerprint, row counts, and win counts there so a
+deployed tree can always be traced back to the measurements that
+produced it.  Bare node dictionaries (the pre-versioning format) are
+still accepted on read, so trees saved by older builds keep loading;
+anything claiming an unknown ``version`` is refused with a clear
+``ValueError`` instead of failing deep inside ``predict``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.decision.tree import DecisionTree, Leaf, Split
 from repro.errors import FormatError, TrainingError
 
+# Version of the envelope written by tree_to_dict/save_tree.  Bump when
+# the payload shape changes; tree_from_dict must keep reading every
+# older version (or refuse with a message naming the supported ones).
+TREE_SCHEMA_VERSION = 1
 
-def tree_to_dict(tree: DecisionTree) -> dict:
-    """Encode a tree as nested plain dictionaries."""
+# Environment override for the deployed tuned-tree location; "auto"
+# tree resolution checks this before the home-directory default.
+TUNED_TREE_ENV = "REPRO_TUNED_TREE"
+
+
+def tree_to_dict(tree: DecisionTree, metadata: dict | None = None) -> dict:
+    """Encode a tree (plus optional provenance) as a versioned envelope."""
+    payload: dict = {
+        "version": TREE_SCHEMA_VERSION,
+        "root": _node_to_dict(tree),
+    }
+    if metadata:
+        payload["metadata"] = dict(metadata)
+    return payload
+
+
+def _node_to_dict(tree: DecisionTree) -> dict:
+    """Encode one node as nested plain dictionaries."""
     if isinstance(tree, Leaf):
         return {"kind": "leaf", "label": tree.label}
     return {
         "kind": "split",
         "feature": tree.feature,
         "threshold": tree.threshold,
-        "if_true": tree_to_dict(tree.if_true),
-        "if_false": tree_to_dict(tree.if_false),
+        "if_true": _node_to_dict(tree.if_true),
+        "if_false": _node_to_dict(tree.if_false),
     }
 
 
 def tree_from_dict(payload: dict) -> DecisionTree:
     """Decode a tree encoded by :func:`tree_to_dict`.
 
+    Accepts both the versioned envelope and a bare node dictionary
+    (the pre-versioning format, treated as an implicit version-1 root).
+
     Raises
     ------
+    ValueError
+        On an envelope whose ``version`` this build does not read.
+        (Raised as :class:`FormatError`, which subclasses both
+        :class:`ReproError` and :class:`ValueError`.)
     FormatError
         On malformed payloads (unknown kind, missing fields, or an
         unknown feature name — the latter surfaces the underlying
         :class:`TrainingError` message).
     """
+    if not isinstance(payload, dict):
+        raise FormatError(f"expected an object, got {type(payload).__name__}")
+    if "version" in payload or "root" in payload:
+        version = payload.get("version")
+        if version != TREE_SCHEMA_VERSION:
+            raise FormatError(
+                f"unsupported tree schema version {version!r}; this build "
+                f"reads version {TREE_SCHEMA_VERSION} (and legacy bare "
+                "node payloads)"
+            )
+        root = payload.get("root")
+        if root is None:
+            raise FormatError("versioned payload without a 'root' node")
+        return _node_from_dict(root)
+    return _node_from_dict(payload)
+
+
+def tree_metadata(payload: dict) -> dict:
+    """Return the envelope's ``metadata`` block ({} for legacy payloads)."""
+    if not isinstance(payload, dict):
+        raise FormatError(f"expected an object, got {type(payload).__name__}")
+    metadata = payload.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise FormatError("metadata must be an object")
+    return metadata
+
+
+def _node_from_dict(payload: dict) -> DecisionTree:
+    """Decode one node encoded by :func:`_node_to_dict`."""
     if not isinstance(payload, dict):
         raise FormatError(f"expected an object, got {type(payload).__name__}")
     kind = payload.get("kind")
@@ -51,8 +124,8 @@ def tree_from_dict(payload: dict) -> DecisionTree:
             return Split(
                 feature=payload["feature"],
                 threshold=float(payload["threshold"]),
-                if_true=tree_from_dict(payload["if_true"]),
-                if_false=tree_from_dict(payload["if_false"]),
+                if_true=_node_from_dict(payload["if_true"]),
+                if_false=_node_from_dict(payload["if_false"]),
             )
         except KeyError as exc:
             raise FormatError(f"split missing field {exc}") from exc
@@ -61,13 +134,34 @@ def tree_from_dict(payload: dict) -> DecisionTree:
     raise FormatError(f"unknown node kind {kind!r}")
 
 
-def save_tree(tree: DecisionTree, destination: str | Path) -> None:
-    """Write ``tree`` to ``destination`` as indented JSON."""
-    Path(destination).write_text(json.dumps(tree_to_dict(tree), indent=2) + "\n")
+def save_tree(
+    tree: DecisionTree,
+    destination: str | Path,
+    metadata: dict | None = None,
+) -> None:
+    """Write ``tree`` to ``destination`` as an indented JSON envelope."""
+    destination = Path(destination)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        json.dumps(tree_to_dict(tree, metadata=metadata), indent=2) + "\n"
+    )
 
 
 def load_tree(source: str | Path) -> DecisionTree:
     """Read a tree written by :func:`save_tree`.
+
+    Raises
+    ------
+    FormatError
+        On invalid JSON or payload shape (including an unsupported
+        schema version).
+    """
+    tree, _ = load_tree_with_metadata(source)
+    return tree
+
+
+def load_tree_with_metadata(source: str | Path) -> tuple[DecisionTree, dict]:
+    """Read a tree and its provenance metadata ({} for legacy payloads).
 
     Raises
     ------
@@ -78,4 +172,61 @@ def load_tree(source: str | Path) -> DecisionTree:
         payload = json.loads(Path(source).read_text())
     except json.JSONDecodeError as exc:
         raise FormatError(f"invalid JSON in {source}: {exc}") from exc
-    return tree_from_dict(payload)
+    return tree_from_dict(payload), tree_metadata(payload)
+
+
+def default_tree_path() -> Path:
+    """Where ``repro tune`` installs the deployed tree by default.
+
+    ``$REPRO_TUNED_TREE`` overrides the ``~/.repro/tuned_tree.json``
+    convention (tests and multi-corpus deployments point it elsewhere).
+    """
+    override = os.environ.get(TUNED_TREE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".repro" / "tuned_tree.json"
+
+
+def load_default_tree() -> DecisionTree | None:
+    """The deployed tuned tree, or ``None`` when none is installed."""
+    path = default_tree_path()
+    if not path.exists():
+        return None
+    return load_tree(path)
+
+
+def resolve_tree(
+    spec: "DecisionTree | str | None",
+) -> DecisionTree | None:
+    """Turn a tree specification into a tree (or ``None`` for the default).
+
+    ``None`` and actual trees pass through.  Strings resolve as:
+
+    * ``"paper"`` — the published Figure 3 tree;
+    * ``"extended"`` — the bitmatrix-aware variant;
+    * ``"auto"`` — the deployed tuned tree (:func:`default_tree_path`)
+      when one is installed, otherwise ``None`` so callers fall back to
+      the paper tree;
+    * anything else — a path to a JSON tree file.
+
+    Raises
+    ------
+    FormatError
+        When a path resolves to an unreadable or malformed payload.
+    """
+    if spec is None or isinstance(spec, (Leaf, Split)):
+        return spec
+    if spec == "paper":
+        from repro.decision.paper_tree import paper_tree
+
+        return paper_tree()
+    if spec == "extended":
+        from repro.decision.paper_tree import extended_tree
+
+        return extended_tree()
+    if spec == "auto":
+        return load_default_tree()
+    try:
+        return load_tree(spec)
+    except OSError as exc:
+        raise FormatError(f"cannot read tree file {spec!r}: {exc}") from exc

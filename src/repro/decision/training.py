@@ -16,12 +16,19 @@ recursive-partitioning learner.  This module rebuilds that pipeline:
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from dataclasses import dataclass, field
 
 from repro.decision.features import BlockFeatures
-from repro.decision.tree import DecisionTree, accuracy, fit_tree
+from repro.decision.tree import (
+    DecisionTree,
+    accuracy,
+    fit_tree,
+    num_leaves,
+    prune_tree,
+)
 from repro.errors import TrainingError
 from repro.graph.adjacency import Graph
 from repro.graph.generators import (
@@ -196,6 +203,206 @@ def train(
         ),
         win_counts=win_counts(entries),
     )
+
+
+# ----------------------------------------------------------------------
+# Trace-driven retraining (repro tune)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LabelledBlock:
+    """One per-block training sample distilled from harvested rows.
+
+    ``timings`` maps combo name → best measured seconds for this block
+    (live and counterfactual rows merged, minimum per combo); ``best``
+    is the argmin — the class the regression-to-argmin labelling
+    assigns.  ``level``/``block_id`` keep the provenance.
+    """
+
+    features: BlockFeatures
+    timings: dict[str, float]
+    best: str
+    level: int = 0
+    block_id: int = -1
+
+    def regret(self, label: str) -> float:
+        """Seconds lost by predicting ``label`` instead of the argmin.
+
+        Labels the block was never measured under cost the block's
+        *worst* measured time (pessimistic, so an unmeasured prediction
+        is never rewarded).
+        """
+        price = self.timings.get(label, max(self.timings.values()))
+        return price - self.timings[self.best]
+
+
+@dataclass
+class TunedResult:
+    """Output of :func:`train_from_rows`: the pruned tree + provenance."""
+
+    tree: DecisionTree
+    samples: list[LabelledBlock]
+    win_counts: dict[str, int] = field(default_factory=dict)
+    training_accuracy: float = 0.0
+    fingerprint: str = ""
+    unpruned_leaves: int = 0
+
+    def total_time(self, chooser: str | None = None) -> float:
+        """Sum over samples of the chosen combo's measured seconds.
+
+        ``chooser=None`` lets the tree pick per block; a combo name
+        applies that fixed combination everywhere.  Unmeasured picks
+        price at the block's worst measured time.
+        """
+        total = 0.0
+        for sample in self.samples:
+            label = (
+                self.tree.predict(sample.features)
+                if chooser is None
+                else chooser
+            )
+            total += sample.timings.get(label, max(sample.timings.values()))
+        return total
+
+    def total_regret(self) -> float:
+        """Seconds the tree's picks lose versus per-block oracles."""
+        return sum(
+            sample.regret(self.tree.predict(sample.features))
+            for sample in self.samples
+        )
+
+
+def label_rows(rows, min_combos: int = 2) -> list[LabelledBlock]:
+    """Group harvested rows per block and label each with its argmin.
+
+    Rows sharing ``(level, block_id)`` describe the same block under
+    different combos (or repeated measurements — the minimum per combo
+    wins).  Blocks measured under fewer than ``min_combos``
+    combinations are dropped: a block only ever seen under the combo
+    the current selector picked carries no signal about what *should*
+    have run, and training on it would just teach the old tree back.
+
+    Raises
+    ------
+    TrainingError
+        When no block survives the ``min_combos`` filter.
+    """
+    grouped: dict[tuple[int, int], dict[str, float]] = {}
+    features_of: dict[tuple[int, int], BlockFeatures] = {}
+    for row in rows:
+        key = (row.level, row.block_id)
+        timings = grouped.setdefault(key, {})
+        timings[row.combo] = min(
+            timings.get(row.combo, float("inf")), row.seconds
+        )
+        features_of.setdefault(key, row.features)
+    samples: list[LabelledBlock] = []
+    for key in sorted(grouped):
+        timings = grouped[key]
+        if len(timings) < min_combos:
+            continue
+        best = min(timings, key=lambda label: (timings[label], label))
+        samples.append(
+            LabelledBlock(
+                features=features_of[key],
+                timings=dict(timings),
+                best=best,
+                level=key[0],
+                block_id=key[1],
+            )
+        )
+    if not samples:
+        raise TrainingError(
+            f"no block was measured under >= {min_combos} combinations; "
+            "harvest counterfactual rows (repro tune does) before training"
+        )
+    return samples
+
+
+def corpus_fingerprint(samples: list[LabelledBlock]) -> str:
+    """A stable digest of the training corpus (features + timings).
+
+    Persisted in the tree's metadata so a deployed selector can always
+    be traced back to the measurements that produced it, and so a
+    retrain on identical data is recognisable as such.  The per-sample
+    lines are sorted before hashing, so the digest identifies the *set*
+    of measurements — harvest order (which varies with dispatch
+    interleaving) does not change it.
+    """
+    lines = []
+    for sample in samples:
+        timings = ";".join(
+            f"{label}={sample.timings[label]:.9f}"
+            for label in sorted(sample.timings)
+        )
+        lines.append(f"{sample.features.vector()!r}|{timings}")
+    digest = hashlib.sha256()
+    for line in sorted(lines):
+        digest.update(line.encode())
+    return digest.hexdigest()
+
+
+def train_from_rows(
+    rows,
+    max_depth: int = 6,
+    min_samples: int = 2,
+    prune_alpha: float | None = None,
+    min_combos: int = 2,
+) -> TunedResult:
+    """Fit and cost-complexity-prune a selector on harvested rows.
+
+    The regression-to-argmin labelling of the tentpole: rows are grouped
+    per block (:func:`label_rows`), the winning combo becomes the class,
+    and a CART tree is fit on the winners — then pruned with per-block
+    *regret seconds* as the cost so every surviving split demonstrably
+    buys analysis time.  ``prune_alpha`` is the seconds-per-leaf price
+    of tree complexity; ``None`` derives it as 0.2% of the corpus's
+    oracle (all-argmin) time, which keeps trees shallow enough that
+    ``selection_overhead`` stays far under the 1%-of-analysis budget.
+
+    Raises
+    ------
+    TrainingError
+        On an unusable row set (see :func:`label_rows`).
+    """
+    samples = label_rows(rows, min_combos=min_combos)
+    features = [sample.features for sample in samples]
+    labels = [sample.best for sample in samples]
+    tree = fit_tree(
+        features, labels, max_depth=max_depth, min_samples=min_samples
+    )
+    unpruned = num_leaves(tree)
+    oracle_seconds = sum(s.timings[s.best] for s in samples)
+    alpha = (
+        prune_alpha if prune_alpha is not None else 0.002 * oracle_seconds
+    )
+    costs = [
+        {label: s.timings[label] - s.timings[s.best] for label in s.timings}
+        for s in samples
+    ]
+    tree = prune_tree(tree, features, costs, alpha=alpha)
+    counts: dict[str, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return TunedResult(
+        tree=tree,
+        samples=samples,
+        win_counts=counts,
+        training_accuracy=accuracy(tree, features, labels),
+        fingerprint=corpus_fingerprint(samples),
+        unpruned_leaves=unpruned,
+    )
+
+
+def block_selection_overhead(
+    samples: list[LabelledBlock], tree: DecisionTree
+) -> float:
+    """Wall-clock cost of the tree's predictions over all samples."""
+    start = time.perf_counter()
+    for sample in samples:
+        tree.predict(sample.features)
+    return time.perf_counter() - start
 
 
 def selection_overhead(labelled: list[LabelledGraph], tree: DecisionTree) -> float:

@@ -215,6 +215,131 @@ def _best_split(
     return best
 
 
+def num_leaves(tree: DecisionTree) -> int:
+    """Return the number of leaves in the tree (1 for a bare leaf)."""
+    if isinstance(tree, Leaf):
+        return 1
+    return num_leaves(tree.if_true) + num_leaves(tree.if_false)
+
+
+def tree_labels(tree: DecisionTree) -> set[str]:
+    """Return the set of labels the tree can ever predict."""
+    if isinstance(tree, Leaf):
+        return {tree.label}
+    return tree_labels(tree.if_true) | tree_labels(tree.if_false)
+
+
+def prune_tree(
+    tree: DecisionTree,
+    samples: Sequence[BlockFeatures],
+    costs: "Sequence[dict[str, float]]",
+    alpha: float = 0.0,
+) -> DecisionTree:
+    """Cost-complexity pruning: collapse splits that don't pay their way.
+
+    ``costs[i]`` maps each candidate label to the cost of predicting it
+    for ``samples[i]``.  For classification this is the 0/1
+    misclassification indicator; the autotuner passes per-block *regret
+    seconds* (``timings[label] - min(timings)``), so pruning trades
+    selector complexity directly against lost analysis time.  A label a
+    cost mapping does not price defaults to the mapping's worst entry
+    (pessimistic, so pruning never hides an unpriced prediction).
+
+    The pruned tree minimises ``total cost + alpha * num_leaves`` over
+    all prunings of ``tree`` (bottom-up dynamic programming, exact for a
+    fixed ``alpha``): a subtree is replaced by its best single leaf
+    whenever the leaf's cost is within ``alpha`` per saved leaf of the
+    subtree's.  ``alpha=0`` removes only splits that win nothing at
+    all; larger values buy shallower trees — the knob the autotuner
+    uses to keep ``selection_overhead`` under its budget.
+
+    Samples that reach no leaf of a subtree (empty routing) leave the
+    subtree's structure untouched.
+
+    Raises
+    ------
+    TrainingError
+        On a length mismatch between ``samples`` and ``costs`` or a
+        negative ``alpha``.
+    """
+    if len(samples) != len(costs):
+        raise TrainingError(
+            f"{len(samples)} samples but {len(costs)} cost mappings"
+        )
+    if alpha < 0.0:
+        raise TrainingError("alpha must be non-negative")
+    pruned, _, _ = _prune(tree, list(samples), list(costs), alpha)
+    return pruned
+
+
+def _cost_of(cost: dict[str, float], label: str) -> float:
+    """Price one prediction; unpriced labels cost the mapping's worst."""
+    if label in cost:
+        return cost[label]
+    return max(cost.values()) if cost else 0.0
+
+
+def _best_leaf(
+    subtree: DecisionTree, costs: "list[dict[str, float]]"
+) -> tuple[str, float]:
+    """The cheapest single-leaf replacement among the subtree's labels."""
+    candidates = sorted(tree_labels(subtree))
+    best_label, best_cost = candidates[0], float("inf")
+    for label in candidates:
+        total = sum(_cost_of(cost, label) for cost in costs)
+        if total < best_cost:
+            best_label, best_cost = label, total
+    return best_label, best_cost
+
+
+def _prune(
+    tree: DecisionTree,
+    samples: "list[BlockFeatures]",
+    costs: "list[dict[str, float]]",
+    alpha: float,
+) -> tuple[DecisionTree, float, int]:
+    """Return (pruned subtree, its total cost, its leaf count)."""
+    if isinstance(tree, Leaf):
+        total = sum(_cost_of(cost, tree.label) for cost in costs)
+        return tree, total, 1
+    if not samples:
+        # No routed evidence: keep the structure as trained.
+        return tree, 0.0, num_leaves(tree)
+    true_idx = [
+        i for i, s in enumerate(samples)
+        if s.value(tree.feature) > tree.threshold
+    ]
+    false_idx = [
+        i for i, s in enumerate(samples)
+        if s.value(tree.feature) <= tree.threshold
+    ]
+    if_true, true_cost, true_leaves = _prune(
+        tree.if_true,
+        [samples[i] for i in true_idx],
+        [costs[i] for i in true_idx],
+        alpha,
+    )
+    if_false, false_cost, false_leaves = _prune(
+        tree.if_false,
+        [samples[i] for i in false_idx],
+        [costs[i] for i in false_idx],
+        alpha,
+    )
+    kept_cost = true_cost + false_cost
+    kept_leaves = true_leaves + false_leaves
+    leaf_label, leaf_cost = _best_leaf(tree, costs)
+    # Collapse when the leaf is no worse than the split once each leaf
+    # it saves is credited alpha (<= keeps the tie-break on the simpler
+    # tree, the standard weakest-link convention).
+    if leaf_cost <= kept_cost + alpha * (kept_leaves - 1):
+        return Leaf(leaf_label), leaf_cost, 1
+    return (
+        Split(tree.feature, tree.threshold, if_true, if_false),
+        kept_cost,
+        kept_leaves,
+    )
+
+
 def accuracy(
     tree: DecisionTree,
     samples: Sequence[BlockFeatures],

@@ -136,6 +136,8 @@ def _replayed_timing(block_id: int, report: BlockReport) -> BlockTiming:
         seconds=0.0,
         cliques=len(report.cliques),
         replayed=True,
+        combo=report.combo.name,
+        features=report.features.vector(),
     )
 
 
@@ -2016,6 +2018,8 @@ def _timing_of(block_id: int, report: BlockReport) -> BlockTiming:
         peak_rss_kb=int(report.extra.get("peak_rss_kb", 0.0)),
         worker_pid=int(report.extra.get("worker_pid", 0.0)),
         retried=bool(report.extra.get("retried", 0.0)),
+        combo=report.combo.name,
+        features=report.features.vector(),
     )
 
 

@@ -74,6 +74,15 @@ class BlockTiming:
     (crashed or completed) run and replayed during a resume.  The
     crash-resume tests assert that a resumed run re-analyses zero
     already-completed blocks by checking this flag.
+
+    ``combo`` is the display name of the (algorithm × backend)
+    combination that analysed the block and ``features`` its
+    five-feature vector in :data:`repro.decision.features.FEATURE_NAMES`
+    order — together they make every trace a training corpus for the
+    selector autotuner (:mod:`repro.decision.harvest`), no matter which
+    dispatch path (whole/split/batched/pipeline) produced the record.
+    Both are empty for records predating this field or synthesized
+    without a report.
     """
 
     block_id: int
@@ -84,6 +93,8 @@ class BlockTiming:
     worker_pid: int = 0
     retried: bool = False
     replayed: bool = False
+    combo: str = ""
+    features: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)

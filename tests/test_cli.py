@@ -190,6 +190,135 @@ class TestPlan:
         )
 
 
+class TestTune:
+    def test_tune_writes_a_loadable_versioned_tree(self, triples, tmp_path, capsys):
+        from repro.decision.persistence import load_tree_with_metadata
+
+        path, _graph = triples
+        out = tmp_path / "tuned.json"
+        code = main(
+            [
+                "tune",
+                "--input", str(path),
+                "--m", "25",
+                "--sample", "3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "harvested" in stdout
+        assert "wrote tuned tree" in stdout
+        tree, metadata = load_tree_with_metadata(out)
+        assert tree.predict is not None
+        assert metadata["trained_by"] == "repro tune"
+        assert metadata["m"] == 25
+        assert len(metadata["corpus_fingerprint"]) == 64
+        assert metadata["rows"] > 0
+        assert sum(metadata["win_counts"].values()) == metadata["blocks"]
+
+    def test_tuned_tree_deploys_through_auto(
+        self, triples, tmp_path, monkeypatch, capsys
+    ):
+        path, graph = triples
+        out = tmp_path / "tuned.json"
+        assert (
+            main(
+                [
+                    "tune",
+                    "--input", str(path),
+                    "--m", "25",
+                    "--sample", "2",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        monkeypatch.setenv("REPRO_TUNED_TREE", str(out))
+        cliques = tmp_path / "cliques.jsonl"
+        code = main(
+            [
+                "enumerate",
+                "--input", str(path),
+                "--m", "25",
+                "--tree", "auto",
+                "--output", str(cliques),
+            ]
+        )
+        assert code == 0
+        assert set(read_cliques(cliques)) == set(tomita(graph))
+
+    def test_tune_defaults_out_to_auto_path(self, triples, tmp_path, monkeypatch):
+        path, _graph = triples
+        target = tmp_path / "installed.json"
+        monkeypatch.setenv("REPRO_TUNED_TREE", str(target))
+        code = main(
+            ["tune", "--input", str(path), "--m", "25", "--sample", "2"]
+        )
+        assert code == 0
+        assert target.exists()
+
+    def test_invalid_ratio(self, triples, capsys):
+        path, _graph = triples
+        assert main(["tune", "--input", str(path), "--ratio", "7"]) == 1
+        assert "ratio" in capsys.readouterr().err
+
+    def test_spill_dir_without_segments_fails_cleanly(
+        self, triples, tmp_path, capsys
+    ):
+        path, _graph = triples
+        code = main(
+            [
+                "tune",
+                "--input", str(path),
+                "--m", "25",
+                "--sample", "2",
+                "--spill-dir", str(tmp_path / "empty"),
+                "--out", str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 1
+        assert "no spill segments" in capsys.readouterr().err
+
+
+class TestEnumerateTreeSpecs:
+    def test_named_tree_spec(self, triples, capsys):
+        path, _graph = triples
+        code = main(
+            ["enumerate", "--input", str(path), "--m", "25", "--tree", "extended"]
+        )
+        assert code == 0
+        assert "maximal cliques" in capsys.readouterr().out
+
+    def test_missing_tree_file_errors(self, triples, tmp_path, capsys):
+        path, _graph = triples
+        code = main(
+            [
+                "enumerate",
+                "--input", str(path),
+                "--m", "25",
+                "--tree", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 1
+        assert "cannot read tree file" in capsys.readouterr().err
+
+
+class TestPlanTree:
+    def test_plan_with_tree_prints_selected_combo(self, triples, capsys):
+        path, _graph = triples
+        code = main(["plan", "--input", str(path), "--tree", "paper"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "selected combo" in out
+        assert "selector picked" in out
+
+    def test_plan_without_tree_unchanged(self, triples, capsys):
+        path, _graph = triples
+        assert main(["plan", "--input", str(path)]) == 0
+        assert "selected combo" not in capsys.readouterr().out
+
+
 class TestParameterValidation:
     def test_bad_generator_parameters_print_error(self, tmp_path, capsys):
         out = tmp_path / "g.triples"

@@ -80,3 +80,47 @@ class TestValidation:
         graph = social_network(100, attachment=3, seed=4)
         plan = recommend_block_size(graph, ratio=1.0)
         assert plan.m >= graph.max_degree() * 0.9
+
+
+class TestTreeAwarePlanning:
+    """``tree=`` runs the selector on the network's own features."""
+
+    def test_no_tree_means_no_selected_combo(self):
+        plan = recommend_block_size(social_network(80, seed=1))
+        assert plan.selected_combo == ""
+        assert "selector" not in plan.rationale
+
+    def test_paper_tree_selects_and_rebinds_backend(self):
+        graph = social_network(80, seed=1)
+        plan = recommend_block_size(graph, backend="matrix", tree="paper")
+        assert plan.selected_combo.startswith("[")
+        assert "selector picked" in plan.rationale
+        # the memory bound follows the selected combo's backend, not
+        # the --backend argument
+        from repro.decision.paper_tree import paper_tree, select_combo
+        from repro.mce.memory import max_block_nodes_for_memory
+        from repro.core.planner import _whole_graph_features
+
+        combo = select_combo(
+            paper_tree(), _whole_graph_features(graph, degeneracy(graph))
+        )
+        assert plan.selected_combo == combo.name
+        spec = ClusterSpec()
+        assert plan.memory_upper_bound == max_block_nodes_for_memory(
+            max(1, int(spec.memory_bytes_per_machine * 0.01)), combo.backend
+        )
+
+    def test_csr_and_dict_plans_agree(self):
+        from repro.graph.csr import CSRGraph
+
+        graph = social_network(80, seed=1)
+        dict_plan = recommend_block_size(graph, tree="extended")
+        csr_plan = recommend_block_size(CSRGraph(graph), tree="extended")
+        assert csr_plan.selected_combo == dict_plan.selected_combo
+        assert csr_plan.m == dict_plan.m
+
+    def test_tree_object_accepted(self):
+        from repro.decision.paper_tree import paper_tree
+
+        plan = recommend_block_size(social_network(80, seed=1), tree=paper_tree())
+        assert plan.selected_combo

@@ -5,8 +5,10 @@ from __future__ import annotations
 import math
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
+
+import numpy as np
 
 from repro.core.blocks import build_blocks
 from repro.core.block_analysis import analyze_blocks
@@ -18,8 +20,10 @@ from repro.decision.features import (
     adaptive_split_threshold,
     estimate_analysis_cost,
     extract_features,
+    features_from_bitmap,
 )
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph, extract_block_bitmap
 from repro.graph.generators import complete_graph, cycle_graph, planted_straggler
 from repro.mce.instrumentation import BlockTiming, ExecutionTrace
 
@@ -210,3 +214,45 @@ class TestCostCalibration:
         others_estimated = [c for b, c in estimated.items() if b != costliest]
         assert measured[slowest] > 2.0 * max(others_measured)
         assert estimated[costliest] > 2.0 * max(others_estimated)
+
+
+class TestBitmapFeatureParity:
+    """``features_from_bitmap`` must agree exactly with ``BlockFeatures.of``.
+
+    The zero-copy worker path extracts features from the packed
+    adjacency bitmap it already materialized, never expanding a dict
+    graph; if the two extractions ever disagree, the decision tree
+    would pick different combos for the same block depending on which
+    dispatch path ran it.  Property-checked over random graphs
+    (isolated nodes included — the bitmap row is all zeros there).
+    """
+
+    @given(
+        n=st.integers(min_value=1, max_value=14),
+        edge_bits=st.integers(min_value=0),
+        data=st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_extractions_identical(self, n, edge_bits, data):
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        chosen = data.draw(st.lists(st.sampled_from(pairs), unique=True)) if pairs else []
+        graph = Graph()
+        for node in range(n):
+            graph.add_node(node)
+        for u, v in chosen:
+            graph.add_edge(u, v)
+        csr = CSRGraph(graph)
+        bitmap = extract_block_bitmap(
+            csr.indptr, csr.indices, np.arange(n, dtype=np.int64)
+        )
+        assert features_from_bitmap(bitmap) == BlockFeatures.of(graph)
+
+    def test_complete_graph_parity(self):
+        graph = complete_graph(9)
+        csr = CSRGraph(graph)
+        bitmap = extract_block_bitmap(
+            csr.indptr, csr.indices, np.arange(9, dtype=np.int64)
+        )
+        features = features_from_bitmap(bitmap)
+        assert features == BlockFeatures.of(graph)
+        assert features.vector() == (9.0, 36.0, 1.0, 8.0, 8.0)

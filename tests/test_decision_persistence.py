@@ -2,19 +2,30 @@
 
 from __future__ import annotations
 
-import pytest
+import json
 
-from repro.decision.features import BlockFeatures
-from repro.decision.paper_tree import paper_tree
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.decision.features import FEATURE_NAMES, BlockFeatures
+from repro.decision.paper_tree import extended_tree, paper_tree
 from repro.decision.persistence import (
+    TREE_SCHEMA_VERSION,
+    TUNED_TREE_ENV,
+    default_tree_path,
+    load_default_tree,
     load_tree,
+    load_tree_with_metadata,
+    resolve_tree,
     save_tree,
     tree_from_dict,
+    tree_metadata,
     tree_to_dict,
 )
 from repro.decision.training import build_corpus, label_corpus, train
 from repro.decision.tree import Leaf, Split
-from repro.errors import FormatError
+from repro.errors import FormatError, ReproError
 
 
 def features(nodes=100, degeneracy=5):
@@ -94,3 +105,120 @@ class TestMalformedPayloads:
     def test_non_dict(self):
         with pytest.raises(FormatError):
             tree_from_dict([1, 2, 3])  # type: ignore[arg-type]
+
+
+class TestVersionedEnvelope:
+    def test_payload_carries_version(self):
+        payload = tree_to_dict(paper_tree())
+        assert payload["version"] == TREE_SCHEMA_VERSION
+        assert payload["root"]["kind"] == "split"
+        assert "metadata" not in payload
+
+    def test_metadata_round_trip(self, tmp_path):
+        path = tmp_path / "tree.json"
+        metadata = {"corpus_fingerprint": "abc", "rows": 12}
+        save_tree(paper_tree(), path, metadata=metadata)
+        tree, restored = load_tree_with_metadata(path)
+        assert tree == paper_tree()
+        assert restored == metadata
+
+    def test_unknown_version_refused(self):
+        payload = tree_to_dict(paper_tree())
+        payload["version"] = 99
+        with pytest.raises(FormatError, match="version 99"):
+            tree_from_dict(payload)
+        # the satellite contract: refusal must read as a ValueError too
+        with pytest.raises(ValueError):
+            tree_from_dict(payload)
+
+    def test_envelope_without_root_refused(self):
+        with pytest.raises(FormatError, match="root"):
+            tree_from_dict({"version": TREE_SCHEMA_VERSION})
+
+    def test_legacy_bare_node_still_loads(self, tmp_path):
+        # payloads written before the envelope existed: a bare node dict
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"kind": "leaf", "label": "x"}))
+        assert load_tree(path) == Leaf("x")
+        assert tree_metadata({"kind": "leaf", "label": "x"}) == {}
+
+
+def _random_trees():
+    labels = st.sampled_from(["[Lists/Tomita]", "[BitSets/Eppstein]", "c"])
+    leaves = st.builds(Leaf, labels)
+    finite = st.floats(allow_nan=False, allow_infinity=False)
+    return st.recursive(
+        leaves,
+        lambda children: st.builds(
+            Split,
+            feature=st.sampled_from(FEATURE_NAMES),
+            threshold=finite,
+            if_true=children,
+            if_false=children,
+        ),
+        max_leaves=12,
+    )
+
+
+class TestHypothesisRoundTrip:
+    @given(tree=_random_trees())
+    def test_dict_round_trip_is_identity(self, tree):
+        assert tree_from_dict(tree_to_dict(tree)) == tree
+
+    @given(tree=_random_trees())
+    def test_json_text_round_trip_is_identity(self, tree):
+        text = json.dumps(tree_to_dict(tree, metadata={"k": "v"}))
+        payload = json.loads(text)
+        assert tree_from_dict(payload) == tree
+        assert tree_metadata(payload) == {"k": "v"}
+
+
+class TestDefaultTreePath:
+    def test_env_override(self, tmp_path, monkeypatch):
+        target = tmp_path / "elsewhere.json"
+        monkeypatch.setenv(TUNED_TREE_ENV, str(target))
+        assert default_tree_path() == target
+
+    def test_home_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(TUNED_TREE_ENV, raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path))
+        assert default_tree_path() == tmp_path / ".repro" / "tuned_tree.json"
+
+    def test_load_default_tree_none_when_missing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TUNED_TREE_ENV, str(tmp_path / "missing.json"))
+        assert load_default_tree() is None
+
+    def test_load_default_tree_reads_installed(self, tmp_path, monkeypatch):
+        target = tmp_path / "tuned.json"
+        save_tree(paper_tree(), target)
+        monkeypatch.setenv(TUNED_TREE_ENV, str(target))
+        assert load_default_tree() == paper_tree()
+
+
+class TestResolveTree:
+    def test_none_and_trees_pass_through(self):
+        assert resolve_tree(None) is None
+        tree = paper_tree()
+        assert resolve_tree(tree) is tree
+
+    def test_named_specs(self):
+        assert resolve_tree("paper") == paper_tree()
+        assert resolve_tree("extended") == extended_tree()
+
+    def test_auto_uses_installed_tree(self, tmp_path, monkeypatch):
+        target = tmp_path / "tuned.json"
+        monkeypatch.setenv(TUNED_TREE_ENV, str(target))
+        assert resolve_tree("auto") is None
+        save_tree(extended_tree(), target)
+        assert resolve_tree("auto") == extended_tree()
+
+    def test_path_spec(self, tmp_path):
+        path = tmp_path / "tree.json"
+        save_tree(paper_tree(), path)
+        assert resolve_tree(str(path)) == paper_tree()
+
+    def test_unreadable_path_is_a_format_error(self, tmp_path):
+        with pytest.raises(FormatError, match="cannot read"):
+            resolve_tree(str(tmp_path / "missing.json"))
+        with pytest.raises(ReproError):
+            resolve_tree(str(tmp_path / "missing.json"))

@@ -12,6 +12,9 @@ from repro.decision.tree import (
     fit_tree,
     gini,
     majority_label,
+    num_leaves,
+    prune_tree,
+    tree_labels,
 )
 from repro.errors import TrainingError
 
@@ -150,3 +153,71 @@ class TestAccuracy:
     def test_half(self):
         tree = Leaf("a")
         assert accuracy(tree, [features(), features()], ["a", "b"]) == 0.5
+
+
+class TestShape:
+    def test_num_leaves(self):
+        assert num_leaves(Leaf("a")) == 1
+        tree = Split("num_nodes", 10, Leaf("a"), Split("density", 0.5, Leaf("b"), Leaf("c")))
+        assert num_leaves(tree) == 3
+
+    def test_tree_labels(self):
+        tree = Split("num_nodes", 10, Leaf("a"), Split("density", 0.5, Leaf("b"), Leaf("a")))
+        assert tree_labels(tree) == {"a", "b"}
+
+
+class TestPrune:
+    """Cost-complexity pruning against hand-computable costs."""
+
+    def two_leaf(self):
+        # nodes > 10 -> "big", else "small"
+        return Split("num_nodes", 10, Leaf("big"), Leaf("small"))
+
+    def test_informative_split_survives_alpha_zero(self):
+        tree = self.two_leaf()
+        samples = [features(nodes=5), features(nodes=50)]
+        costs = [
+            {"small": 0.0, "big": 3.0},
+            {"small": 3.0, "big": 0.0},
+        ]
+        assert prune_tree(tree, samples, costs, alpha=0.0) == tree
+
+    def test_useless_split_collapses(self):
+        # both leaves predict labels the samples price identically
+        tree = Split("num_nodes", 10, Leaf("a"), Leaf("a"))
+        samples = [features(nodes=5), features(nodes=50)]
+        costs = [{"a": 1.0}, {"a": 1.0}]
+        assert prune_tree(tree, samples, costs, alpha=0.0) == Leaf("a")
+
+    def test_alpha_buys_a_shallower_tree(self):
+        tree = self.two_leaf()
+        samples = [features(nodes=5), features(nodes=50)]
+        # the split saves only 0.1s; collapsing to "small" costs 0.1s
+        costs = [
+            {"small": 0.0, "big": 5.0},
+            {"small": 0.1, "big": 0.0},
+        ]
+        assert prune_tree(tree, samples, costs, alpha=0.05) == tree
+        pruned = prune_tree(tree, samples, costs, alpha=0.5)
+        assert pruned == Leaf("small")
+
+    def test_unpriced_label_costs_the_worst(self):
+        # "big" is unpriced: it must inherit the mapping's worst price
+        # (9.0), losing to the explicitly cheap "small" on collapse.
+        tree = self.two_leaf()
+        samples = [features(nodes=5)]
+        costs = [{"small": 1.0, "other": 9.0}]
+        pruned = prune_tree(tree, samples, costs, alpha=100.0)
+        assert pruned == Leaf("small")
+
+    def test_unrouted_subtree_untouched(self):
+        tree = self.two_leaf()
+        assert prune_tree(tree, [], [], alpha=100.0) == tree
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TrainingError, match="cost mappings"):
+            prune_tree(Leaf("a"), [features()], [])
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(TrainingError, match="alpha"):
+            prune_tree(Leaf("a"), [], [], alpha=-1.0)
