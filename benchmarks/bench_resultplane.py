@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Result-plane benchmark — packed CliqueStore vs the frozenset plane.
+
+On clique-dense social networks the *output* path used to dominate: every
+maximal clique became a ``frozenset`` of Python labels (one object per
+clique, one boxed reference per member), the provenance a dict keyed on
+those frozensets, and the whole thing was deep-pickled through IPC and
+spill segments.  The packed result plane keeps cliques as CSR-style
+numpy buffers (uint64 offsets + uint32 vertex ids + int32 levels) from
+the kernel's emit to the final :class:`CliqueResult` façade.
+
+Methodology: one clique-dense corpus (a disjoint union of dense ER
+communities — ≥10⁵ maximal cliques at full scale), enumerated end to
+end by ``find_max_cliques`` twice with the *same* pinned kernel combo
+(``tomita``/``bitmatrix``, the batched packed-bitmap kernel), so the
+only variable between the arms is the result plane itself:
+
+* **packed** — the default plane (``CliqueStore`` buffers everywhere);
+* **frozenset** — the legacy plane, selected with
+  ``REPRO_RESULT_PLANE=frozenset`` at the emitter seam, running the
+  pre-packed code paths byte for byte.
+
+Each arm runs in a *fresh subprocess* so parent peak-RSS is measured
+cleanly: the child reports its best-of-N wall time, its peak-RSS growth
+during enumeration (``ru_maxrss`` after minus resident size before —
+the memory the clique plane itself costs), and a SHA-256 digest of the
+canonicalized clique set.  The digests must match exactly — the two
+planes are required to produce *byte-identical* clique sets before any
+number is reported.
+
+The full run exits nonzero when the speedup misses ``--target``
+(default 2.5×) or the RSS ratio misses ``--rss-target`` (default 5×);
+``--quick`` (the CI smoke gate) runs a smaller corpus and only fails on
+an outright regression (< 1.0×ratio) or a digest mismatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resultplane.py [--quick]
+        [--output BENCH_resultplane.json] [--repeats 3]
+        [--target 2.5] [--rss-target 5.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SEED = 41
+
+# (communities, nodes per community, edge probability, block size m)
+FULL_CORPUS = (16, 44, 0.86, 48)
+QUICK_CORPUS = (4, 40, 0.80, 40)
+
+
+def build_corpus(communities: int, nodes: int, p: float):
+    from repro.graph.generators import disjoint_union, erdos_renyi
+
+    return disjoint_union(
+        [
+            erdos_renyi(nodes, p, seed=SEED + i)
+            for i in range(communities)
+        ]
+    )
+
+
+def clique_digest(cliques) -> str:
+    """SHA-256 over the canonical clique set — byte-identical or bust."""
+    canonical = sorted(
+        tuple(sorted(map(repr, clique))) for clique in cliques
+    )
+    hasher = hashlib.sha256()
+    for clique in canonical:
+        for member in clique:
+            hasher.update(member.encode())
+            hasher.update(b"\x1f")
+        hasher.update(b"\x1e")
+    return hasher.hexdigest()
+
+
+def current_rss_kb() -> int:
+    with open("/proc/self/status") as status:
+        for line in status:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    return 0
+
+
+def run_arm(plane: str, corpus: tuple, repeats: int) -> dict:
+    """Executed in the child process: one plane, one corpus, N passes."""
+    os.environ["REPRO_RESULT_PLANE"] = plane
+    from repro.core.driver import find_max_cliques
+    from repro.mce.registry import Combo
+
+    communities, nodes, p, m = corpus
+    graph = build_corpus(communities, nodes, p)
+    combo = Combo("tomita", "bitmatrix")
+    best = float("inf")
+    result = None
+    rss_before = current_rss_kb()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = find_max_cliques(graph, m, combo=combo)
+        best = min(best, time.perf_counter() - start)
+    peak_after = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "plane": plane,
+        "seconds": best,
+        "num_cliques": result.num_cliques,
+        "max_clique_size": result.max_clique_size(),
+        "rss_growth_kb": max(1, peak_after - rss_before),
+        "digest": clique_digest(result.cliques),
+    }
+
+
+def run_arm_subprocess(plane: str, corpus: tuple, repeats: int) -> dict:
+    """Run one arm in a fresh interpreter for a clean RSS high-water mark."""
+    command = [
+        sys.executable,
+        os.path.abspath(__file__),
+        "--arm",
+        plane,
+        "--corpus",
+        json.dumps(list(corpus)),
+        "--repeats",
+        str(repeats),
+    ]
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.run(
+        command, capture_output=True, text=True, env=env, check=False
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{plane} arm failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke gate")
+    parser.add_argument("--output", default="BENCH_resultplane.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--target", type=float, default=2.5)
+    parser.add_argument("--rss-target", type=float, default=5.0)
+    parser.add_argument("--arm", help=argparse.SUPPRESS)
+    parser.add_argument("--corpus", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.arm:
+        # Child mode: print one JSON line and exit.
+        corpus = tuple(json.loads(args.corpus))
+        print(json.dumps(run_arm(args.arm, corpus, args.repeats)))
+        return 0
+
+    corpus = QUICK_CORPUS if args.quick else FULL_CORPUS
+    arms = {
+        plane: run_arm_subprocess(plane, corpus, args.repeats)
+        for plane in ("packed", "frozenset")
+    }
+    packed, legacy = arms["packed"], arms["frozenset"]
+
+    identical = packed["digest"] == legacy["digest"]
+    speedup = legacy["seconds"] / packed["seconds"]
+    rss_ratio = legacy["rss_growth_kb"] / packed["rss_growth_kb"]
+    throughput = packed["num_cliques"] / packed["seconds"]
+
+    report = {
+        "benchmark": "resultplane",
+        "mode": "quick" if args.quick else "full",
+        "corpus": {
+            "communities": corpus[0],
+            "nodes_per_community": corpus[1],
+            "edge_probability": corpus[2],
+            "block_size_m": corpus[3],
+            "num_cliques": packed["num_cliques"],
+        },
+        "arms": arms,
+        "clique_sets_identical": identical,
+        "speedup": speedup,
+        "parent_rss_ratio": rss_ratio,
+        "packed_cliques_per_second": throughput,
+        "targets": {"speedup": args.target, "rss_ratio": args.rss_target},
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"corpus: {packed['num_cliques']} maximal cliques")
+    print(
+        f"packed    {packed['seconds']:8.3f}s  "
+        f"rss-growth {packed['rss_growth_kb'] / 1024:7.1f} MiB"
+    )
+    print(
+        f"frozenset {legacy['seconds']:8.3f}s  "
+        f"rss-growth {legacy['rss_growth_kb'] / 1024:7.1f} MiB"
+    )
+    print(
+        f"speedup {speedup:.2f}x   parent-RSS ratio {rss_ratio:.2f}x   "
+        f"throughput {throughput:,.0f} cliques/s"
+    )
+    print(f"clique sets identical: {identical}")
+
+    if not identical:
+        print("FAIL: the two planes produced different clique sets")
+        return 1
+    if args.quick:
+        if speedup < 1.0:
+            print(f"FAIL: packed plane regressed ({speedup:.2f}x < 1.0x)")
+            return 1
+        return 0
+    if speedup < args.target:
+        print(f"FAIL: speedup {speedup:.2f}x below target {args.target}x")
+        return 1
+    if rss_ratio < args.rss_target:
+        print(
+            f"FAIL: parent-RSS ratio {rss_ratio:.2f}x below target "
+            f"{args.rss_target}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,13 @@ from repro.core.blocks import (
     decomposition_overlap,
     validate_blocks,
 )
+from repro.core.cliquestore import (
+    CliqueBuffer,
+    CliqueStore,
+    GlobalCliqueIndex,
+    packed_plane_enabled,
+    store_of,
+)
 from repro.core.driver import decompose_only, decompose_only_csr, find_max_cliques
 from repro.core.feasibility import cut, cut_csr, is_feasible, is_feasible_node
 from repro.core.filtering import filter_contained, merge_level
@@ -48,6 +55,11 @@ __all__ = [
     "cut_csr",
     "is_feasible",
     "is_feasible_node",
+    "CliqueBuffer",
+    "CliqueStore",
+    "GlobalCliqueIndex",
+    "packed_plane_enabled",
+    "store_of",
     "filter_contained",
     "merge_level",
     "BlockSizePlan",

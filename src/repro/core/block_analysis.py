@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.blocks import Block
+from repro.core.cliquestore import CliqueStore, make_emitter
 from repro.decision.features import (
     BlockFeatures,
     estimate_analysis_cost,
@@ -67,9 +68,18 @@ from repro.mce.registry import Combo, get_pivot_rule
 
 @dataclass
 class BlockReport:
-    """Outcome of analysing one block."""
+    """Outcome of analysing one block.
 
-    cliques: list[frozenset[Node]]
+    ``cliques`` is a packed :class:`~repro.core.cliquestore.CliqueStore`
+    on the default result plane (vertex ids into the store's own
+    member-label table, so pickling across IPC ships raw array buffers
+    plus one small label list) — or the legacy ``list[frozenset]`` when
+    the frozenset plane is selected or the report was hand-built.  Both
+    forms iterate as frozensets and support ``len``, which is the only
+    surface downstream consumers rely on.
+    """
+
+    cliques: "CliqueStore | list[frozenset[Node]]"
     combo: Combo
     features: BlockFeatures
     seconds: float
@@ -120,19 +130,18 @@ def analyze_block(
     candidates = backend.make_from_labels(list(block.kernel) + list(block.border))
     excluded = backend.make_from_labels(block.visited)
     kernel_order = _kernel_degeneracy_order(block)
-    cliques: list[frozenset[Node]] = []
+    member_labels = [backend.label(i) for i in range(block.graph.num_nodes)]
+    emitter = make_emitter(member_labels)
     anchors_skipped = 0
     for kernel_node in kernel_order:
         anchor = backend.index_of(kernel_node)
         if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
             anchors_skipped += 1
         else:
-            for clique in _enumerate_anchored(
-                backend, anchor, candidates, excluded, pivot_rule
-            ):
-                cliques.append(frozenset(backend.label(i) for i in clique))
+            _emit_anchored(emitter, backend, anchor, candidates, excluded, pivot_rule)
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
+    cliques = emitter.build()
     extra: dict[str, float] = {}
     if anchors_skipped:
         extra["anchors_skipped"] = float(anchors_skipped)
@@ -254,19 +263,28 @@ def _kernel_degeneracy_order(block: Block) -> list[Node]:
     return order
 
 
-def _enumerate_anchored(backend: Backend, anchor, candidates, excluded, pivot_rule):
-    """Dispatch one anchored run to the backend's best kernel.
+def _emit_anchored(
+    emitter, backend: Backend, anchor, candidates, excluded, pivot_rule
+) -> None:
+    """The single emission seam: one anchored sweep into one emitter.
 
-    The packed-bitmap backend gets the explicit-stack word-parallel
-    enumerator; every other backend runs the shared recursion.  Both
-    yield the same clique tuples for the same inputs.
+    Every analysis path (dict-``Graph``, CSR, splittable, subtask — and,
+    through :meth:`~repro.core.cliquestore.CliqueBuffer.extend_prefixed`,
+    the bucket demux) funnels its cliques through here, so the output
+    representation is decided in exactly one place.  The packed-bitmap
+    backend emits array-natively — the batched kernel's spine columns
+    land straight in the packed buffers, no per-clique tuple or
+    frozenset — while other backends' tuple streams are bulk-flattened
+    by the emitter.  Emission order matches the legacy frozenset loops
+    exactly.
     """
     if isinstance(backend, BitMatrixBackend):
-        return enumerate_anchored_packed(
-            backend, anchor, candidates, excluded, pivot_rule
+        enumerate_anchored_packed(
+            backend, anchor, candidates, excluded, pivot_rule, sink=emitter
         )
-    return enumerate_anchored_native(
-        backend, anchor, candidates, excluded, pivot_rule
+        return
+    emitter.extend(
+        enumerate_anchored_native(backend, anchor, candidates, excluded, pivot_rule)
     )
 
 
@@ -380,8 +398,8 @@ def analyze_block_csr(
     :func:`analyze_block`.
     """
     start = time.perf_counter()
-    bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
-        descriptor, indptr, indices, labels, tree, combo, scratch
+    bitmap, features, combo, backend, pivot_rule, num_members, member_labels = (
+        _materialize_csr(descriptor, indptr, indices, labels, tree, combo, scratch)
     )
     selection_seconds = _LAST_SELECTION_SECONDS
     num_kernel = len(descriptor.kernel_ids)
@@ -389,16 +407,13 @@ def analyze_block_csr(
     candidates = backend.make(range(num_candidates))
     excluded = backend.make(range(num_candidates, num_members))
     kernel_order = _kernel_order_of(bitmap, num_kernel)
-    cliques: list[frozenset[Node]] = []
+    emitter = make_emitter(member_labels)
     anchors_skipped = 0
     for anchor in kernel_order:
         if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
             anchors_skipped += 1
         else:
-            for clique in _enumerate_anchored(
-                backend, anchor, candidates, excluded, pivot_rule
-            ):
-                cliques.append(frozenset(backend.label(i) for i in clique))
+            _emit_anchored(emitter, backend, anchor, candidates, excluded, pivot_rule)
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
     extra: dict[str, float] = {}
@@ -407,7 +422,7 @@ def analyze_block_csr(
     if selection_seconds:
         extra["selection_seconds"] = selection_seconds
     return BlockReport(
-        cliques=cliques,
+        cliques=emitter.build(),
         combo=combo,
         features=features,
         seconds=time.perf_counter() - start,
@@ -434,11 +449,12 @@ def _materialize_csr(
 ):
     """Shared CSR→backend materialization for blocks and subtasks.
 
-    Returns ``(bitmap, features, combo, backend, pivot_rule, n)``.  The
-    member ordering (kernel, then border, then visited) is a pure
-    function of the descriptor's id arrays, so every fragment of a split
-    block sees the identical bitmap, features, and combo choice as an
-    unsplit analysis of the same block.
+    Returns ``(bitmap, features, combo, backend, pivot_rule, n,
+    member_labels)``.  The member ordering (kernel, then border, then
+    visited) is a pure function of the descriptor's id arrays, so every
+    fragment of a split block sees the identical bitmap, features, and
+    combo choice as an unsplit analysis of the same block —
+    ``member_labels`` doubles as the emitters' per-block decode table.
     """
     member_ids = np.concatenate(
         [descriptor.kernel_ids, descriptor.border_ids, descriptor.visited_ids]
@@ -454,7 +470,15 @@ def _materialize_csr(
     member_labels = [labels[i] for i in member_ids.tolist()]
     backend = backend_from_bitmap(combo.backend, member_labels, bitmap)
     pivot_rule = get_pivot_rule(combo.algorithm)
-    return bitmap, features, combo, backend, pivot_rule, len(member_ids)
+    return (
+        bitmap,
+        features,
+        combo,
+        backend,
+        pivot_rule,
+        len(member_ids),
+        member_labels,
+    )
 
 
 def _kernel_order_of(bitmap: np.ndarray, num_kernel: int) -> list[int]:
@@ -727,12 +751,9 @@ def analyze_bucket_csr(
     cursor = 0
     for b, descriptor in enumerate(descriptors):
         member_labels = [labels[i] for i in member_ids_of[b].tolist()]
-        cliques: list[frozenset[Node]] = []
+        emitter = make_emitter(member_labels)
         for j, anchor in enumerate(anchors_of[b].tolist()):
-            for extension in extensions[cursor + j]:
-                cliques.append(
-                    frozenset(member_labels[i] for i in (anchor, *extension))
-                )
+            emitter.extend_prefixed(anchor, extensions[cursor + j])
         cursor += len(anchors_of[b])
         extra = {
             "batched": 1.0,
@@ -742,7 +763,7 @@ def analyze_bucket_csr(
             extra["anchors_skipped"] = float(skipped_of[b])
         reports.append(
             BlockReport(
-                cliques=cliques,
+                cliques=emitter.build(),
                 combo=combos_of[b],
                 features=features_of[b],
                 seconds=per_block_seconds,
@@ -975,8 +996,8 @@ def analyze_block_csr_splittable(
     Blocks with fewer than two kernel anchors never split.
     """
     start_time = time.perf_counter()
-    bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
-        descriptor, indptr, indices, labels, tree, combo, scratch
+    bitmap, features, combo, backend, pivot_rule, num_members, member_labels = (
+        _materialize_csr(descriptor, indptr, indices, labels, tree, combo, scratch)
     )
     num_kernel = len(descriptor.kernel_ids)
     num_candidates = num_kernel + len(descriptor.border_ids)
@@ -985,7 +1006,7 @@ def analyze_block_csr_splittable(
     if probe and splittable:
         costs = anchor_cost_estimates(bitmap, kernel_order, num_candidates)
         partial = BlockReport(
-            cliques=[],
+            cliques=make_emitter(member_labels).build(),
             combo=combo,
             features=features,
             seconds=time.perf_counter() - start_time,
@@ -1000,16 +1021,13 @@ def analyze_block_csr_splittable(
         )
     candidates = backend.make(range(num_candidates))
     excluded = backend.make(range(num_candidates, num_members))
-    cliques: list[frozenset[Node]] = []
+    emitter = make_emitter(member_labels)
     anchors_skipped = 0
     for position, anchor in enumerate(kernel_order):
         if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
             anchors_skipped += 1
         else:
-            for clique in _enumerate_anchored(
-                backend, anchor, candidates, excluded, pivot_rule
-            ):
-                cliques.append(frozenset(backend.label(i) for i in clique))
+            _emit_anchored(emitter, backend, anchor, candidates, excluded, pivot_rule)
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
         done = position + 1
@@ -1022,7 +1040,7 @@ def analyze_block_csr_splittable(
         if overrun:
             costs = anchor_cost_estimates(bitmap, kernel_order, num_candidates)
             partial = BlockReport(
-                cliques=cliques,
+                cliques=emitter.build(),
                 combo=combo,
                 features=features,
                 seconds=time.perf_counter() - start_time,
@@ -1041,7 +1059,7 @@ def analyze_block_csr_splittable(
                 anchor_costs=costs,
             )
     return BlockReport(
-        cliques=cliques,
+        cliques=emitter.build(),
         combo=combo,
         features=features,
         seconds=time.perf_counter() - start_time,
@@ -1071,8 +1089,8 @@ def analyze_subtask_csr(
     (same test as the unsplit sweep, so fragments stay bit-compatible).
     """
     start_time = time.perf_counter()
-    bitmap, features, combo, backend, pivot_rule, num_members = _materialize_csr(
-        subtask, indptr, indices, labels, tree, combo, scratch
+    bitmap, features, combo, backend, pivot_rule, num_members, member_labels = (
+        _materialize_csr(subtask, indptr, indices, labels, tree, combo, scratch)
     )
     num_kernel = len(subtask.kernel_ids)
     num_candidates = num_kernel + len(subtask.border_ids)
@@ -1084,21 +1102,18 @@ def analyze_subtask_csr(
     excluded = backend.make(
         list(range(num_candidates, num_members)) + processed
     )
-    cliques: list[frozenset[Node]] = []
+    emitter = make_emitter(member_labels)
     anchors_skipped = 0
     for position in range(subtask.start, subtask.stop):
         anchor = int(subtask.kernel_order[position])
         if _anchor_below_floor(backend, anchor, candidates, min_clique_size):
             anchors_skipped += 1
         else:
-            for clique in _enumerate_anchored(
-                backend, anchor, candidates, excluded, pivot_rule
-            ):
-                cliques.append(frozenset(backend.label(i) for i in clique))
+            _emit_anchored(emitter, backend, anchor, candidates, excluded, pivot_rule)
         candidates = backend.remove(candidates, anchor)
         excluded = backend.add(excluded, anchor)
     return BlockReport(
-        cliques=cliques,
+        cliques=emitter.build(),
         combo=combo,
         features=features,
         seconds=time.perf_counter() - start_time,
@@ -1142,11 +1157,18 @@ def merge_fragment_reports(
             f"{total_positions} anchor positions"
         )
     first = ordered[0][2]
-    cliques: list[frozenset[Node]] = []
+    packed = all(isinstance(report.cliques, CliqueStore) for _, _, report in ordered)
+    if packed:
+        cliques: "CliqueStore | list[frozenset[Node]]" = CliqueStore.concat(
+            [report.cliques for _, _, report in ordered]
+        )
+    else:
+        cliques = [
+            clique for _, _, report in ordered for clique in report.cliques
+        ]
     seconds = 0.0
     extra: dict[str, float] = {}
     for _, _, report in ordered:
-        cliques.extend(report.cliques)
         seconds += report.seconds
         skipped = float(report.extra.get("anchors_skipped", 0.0))
         if skipped:

@@ -24,14 +24,21 @@ import time
 import warnings
 from collections import Counter
 
+import numpy as np
+
 from repro.core.block_analysis import (
-    analyze_blocks,
+    analyze_block,
     block_clique_bound,
     block_clique_bound_csr,
 )
 from repro.core.blocks import blocks_csr, build_blocks
+from repro.core.cliquestore import (
+    CliqueStore,
+    GlobalCliqueIndex,
+    packed_plane_enabled,
+)
 from repro.core.feasibility import cut, cut_csr
-from repro.core.filtering import filter_contained, filter_min_size
+from repro.core.filtering import contained_mask, filter_contained, filter_min_size
 from repro.core.result import CliqueResult, LevelStats
 from repro.decision.features import BlockFeatures
 from repro.decision.paper_tree import paper_tree, select_combo
@@ -264,7 +271,8 @@ def _barrier_enumerate(
     min_clique_size: int = 0,
 ) -> CliqueResult:
     """The original level-synchronous loop (every non-pipeline mode)."""
-    level_cliques: list[list[frozenset[Node]]] = []
+    level_cliques: "list[CliqueStore | list[frozenset[Node]]]" = []
+    clique_index = GlobalCliqueIndex()
     level_stats: list[LevelStats] = []
     level_reports: list[list] = []
     combo_counter: Counter[str] = Counter()
@@ -300,6 +308,12 @@ def _barrier_enumerate(
                 current, selection_tree, combo
             )
             cliques = filter_min_size(cliques, min_clique_size)
+            if packed_plane_enabled() and (
+                not level_cliques or _packed_levels(level_cliques)
+            ):
+                # Keep the whole run on one plane: pack the exact-core
+                # fallback into the run-wide id space too.
+                cliques = clique_index.add(cliques)
             combo_counter[used.name] += 1
             level_cliques.append(cliques)
             level_stats.append(
@@ -349,12 +363,15 @@ def _barrier_enumerate(
 
         analysis_start = time.perf_counter()
         if executor is None and run_log is None:
-            cliques, reports = analyze_blocks(
-                blocks,
-                tree=selection_tree,
-                combo=combo,
-                min_clique_size=min_clique_size,
-            )
+            reports = [
+                analyze_block(
+                    block,
+                    tree=selection_tree,
+                    combo=combo,
+                    min_clique_size=min_clique_size,
+                )
+                for block in blocks
+            ]
         else:
             if executor is None:
                 # A durable serial run routes through SerialExecutor,
@@ -372,7 +389,7 @@ def _barrier_enumerate(
                 run_log=run_log,
                 level=level,
             )
-            cliques = [clique for report in reports for clique in report.cliques]
+        cliques = _level_cliques_of(reports, clique_index)
         analysis_seconds = time.perf_counter() - analysis_start
         cliques = filter_min_size(cliques, min_clique_size)
         for report in reports:
@@ -400,7 +417,7 @@ def _barrier_enumerate(
         current = induced_subgraph(current, hubs)
         level += 1
 
-    merged, provenance = _merge_levels(level_cliques)
+    payload = _result_payload(level_cliques)
     # The executor's trace is reset on every map_blocks call, so the
     # per-level bound records are replayed into the *final* trace here —
     # after the loop — where they describe the whole run.
@@ -413,8 +430,7 @@ def _barrier_enumerate(
         run_log.finalize()
         run_info = _run_info(run_log)
     return CliqueResult(
-        cliques=merged,
-        provenance=provenance,
+        **payload,
         levels=level_stats,
         m=m,
         fallback_used=fallback_used,
@@ -722,16 +738,16 @@ def _pipeline_enumerate(
     finally:
         session.close()
 
-    level_cliques: list[list[frozenset[Node]]] = []
+    level_cliques: "list[CliqueStore | list[frozenset[Node]]]" = []
     level_stats: list[LevelStats] = []
     level_reports: list[list] = []
     combo_counter: Counter[str] = Counter()
+    clique_index = GlobalCliqueIndex()
     for level, nodes, edges, feasible, hubs, submitted, seconds in level_meta:
         by_id = grouped.get(level, {})
         reports = [by_id[i] for i in submitted]
         cliques = filter_min_size(
-            [clique for report in reports for clique in report.cliques],
-            min_clique_size,
+            _level_cliques_of(reports, clique_index), min_clique_size
         )
         for report in reports:
             combo_counter[report.combo.name] += 1
@@ -756,6 +772,10 @@ def _pipeline_enumerate(
         level, nodes, edges, dec_seconds, ana_seconds, cliques, used = fallback_level
         combo_counter[used.name] += 1
         cliques = filter_min_size(cliques, min_clique_size)
+        if packed_plane_enabled() and (
+            not level_cliques or _packed_levels(level_cliques)
+        ):
+            cliques = clique_index.add(cliques)
         level_cliques.append(cliques)
         level_stats.append(
             LevelStats(
@@ -772,14 +792,13 @@ def _pipeline_enumerate(
             )
         )
 
-    merged, provenance = _merge_levels(level_cliques)
+    payload = _result_payload(level_cliques)
     run_info = None
     if run_log is not None:
         run_log.finalize()
         run_info = _run_info(run_log)
     return CliqueResult(
-        cliques=merged,
-        provenance=provenance,
+        **payload,
         levels=level_stats,
         m=m,
         fallback_used=fallback_used,
@@ -874,6 +893,73 @@ def _exact_core(
     start = time.perf_counter()
     cliques = list(chosen.run(graph))
     return cliques, time.perf_counter() - start, chosen
+
+
+def _level_cliques_of(
+    reports: list, clique_index: GlobalCliqueIndex
+) -> "CliqueStore | list[frozenset[Node]]":
+    """Assemble one level's cliques from its block reports.
+
+    Packed reports (the default plane) are remapped into the run-wide
+    vertex-id space — one small Python loop over each block's member
+    labels plus one vectorized gather — and concatenated as raw buffers;
+    no clique is decoded.  Legacy frozenset reports (the
+    ``REPRO_RESULT_PLANE=frozenset`` baseline arm, or replays of
+    legacy-format spill segments) keep the list plane end to end.
+    """
+    if reports and all(
+        isinstance(report.cliques, CliqueStore) for report in reports
+    ):
+        merged = CliqueStore.concat(
+            [clique_index.add(report.cliques) for report in reports]
+        )
+        if merged.labels is None:
+            merged = merged.with_labels(clique_index.labels)
+        return merged
+    return [clique for report in reports for clique in report.cliques]
+
+
+def _packed_levels(level_cliques: list) -> bool:
+    """Whether every per-level payload is a packed :class:`CliqueStore`."""
+    return bool(level_cliques) and all(
+        isinstance(cliques, CliqueStore) for cliques in level_cliques
+    )
+
+
+def _result_payload(level_cliques: list) -> dict:
+    """Merged-clique kwargs for :class:`CliqueResult` — packed or legacy."""
+    if _packed_levels(level_cliques):
+        return {"store": _merge_levels_packed(level_cliques)}
+    merged, provenance = _merge_levels(level_cliques)
+    return {"cliques": merged, "provenance": provenance}
+
+
+def _merge_levels_packed(level_stores: "list[CliqueStore]") -> CliqueStore:
+    """Packed twin of :func:`_merge_levels`.
+
+    Same bottom-up Lemma-1 sweep, but containment runs in int space
+    (:func:`~repro.core.filtering.contained_mask`) and the provenance is
+    the merged store's per-clique ``levels`` array instead of a
+    ``dict[frozenset, int]``.  All stores share the driver's run-wide id
+    space, so survivors concatenate as raw buffers.
+    """
+    merged = CliqueStore.empty()
+    labels = next(
+        (store.labels for store in level_stores if store.labels is not None),
+        None,
+    )
+    for level in range(len(level_stores) - 1, -1, -1):
+        feasible_side = level_stores[level]
+        feasible_side.levels = np.full(
+            len(feasible_side), level, dtype=np.int32
+        )
+        surviving = merged.select(~contained_mask(merged, feasible_side))
+        merged = CliqueStore.concat([feasible_side, surviving])
+    if merged.labels is None and labels is not None:
+        merged = merged.with_labels(labels)
+    if merged.levels is None:
+        merged.levels = np.zeros(len(merged), dtype=np.int32)
+    return merged
 
 
 def _merge_levels(

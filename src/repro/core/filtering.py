@@ -18,6 +18,9 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.core.cliquestore import CliqueStore
 from repro.graph.adjacency import Node
 
 
@@ -70,9 +73,7 @@ def _is_contained(
     return True
 
 
-def filter_min_size(
-    cliques: Iterable[frozenset[Node]], min_clique_size: int
-) -> list[frozenset[Node]]:
+def filter_min_size(cliques, min_clique_size: int):
     """Return the cliques with at least ``min_clique_size`` members.
 
     The enumeration floor behind ``find_max_cliques(min_clique_size=f)``.
@@ -82,10 +83,92 @@ def filter_min_size(
     every reference that matters for deduplication survives the floor;
     and a clique lost from a bound-skipped block is itself < f, so any
     hub clique it contains is < f and is dropped here anyway.
+
+    Accepts either the legacy ``list[frozenset]`` (returns a list) or a
+    packed :class:`CliqueStore` (returns a store — one vectorized mask
+    on the offsets diff, no decode).
     """
+    if isinstance(cliques, CliqueStore):
+        if min_clique_size <= 1:
+            return cliques
+        return cliques.select(cliques.sizes >= min_clique_size)
     if min_clique_size <= 1:
         return list(cliques)
     return [clique for clique in cliques if len(clique) >= min_clique_size]
+
+
+def contained_mask(
+    candidates: CliqueStore, reference: CliqueStore
+) -> np.ndarray:
+    """Packed Lemma-1 test: which candidates lie inside a reference clique.
+
+    Both stores must share one vertex-id space (the driver's
+    :class:`~repro.core.cliquestore.GlobalCliqueIndex` guarantees this).
+    Returns a boolean array over the candidates, ``True`` where some
+    reference clique contains the candidate (equality counts).  The
+    posting lists are built only for vertex ids that actually occur in a
+    candidate (one ``np.isin`` prefilter), then each candidate
+    intersects its members' lists smallest-first — the same indexed
+    algorithm as :func:`filter_contained`, in pure int space.
+    """
+    num = candidates.num_cliques
+    contained = np.zeros(num, dtype=bool)
+    if num == 0:
+        return contained
+    if reference.num_cliques == 0:
+        # Only empty candidates are "contained" when nothing references.
+        return contained
+    cand_nodes = np.unique(candidates.vertices)
+    ref_nodes = reference.vertices
+    ref_ids = np.repeat(
+        np.arange(reference.num_cliques, dtype=np.int64), reference.sizes
+    )
+    relevant = np.isin(ref_nodes, cand_nodes)
+    ref_nodes = ref_nodes[relevant]
+    ref_ids = ref_ids[relevant]
+    order = np.argsort(ref_nodes, kind="stable")
+    ref_nodes = ref_nodes[order]
+    ref_ids = ref_ids[order]
+    uniques, starts = np.unique(ref_nodes, return_index=True)
+    bounds = np.append(starts, len(ref_nodes))
+    postings: dict[int, set[int]] = {
+        int(node): set(ref_ids[bounds[i] : bounds[i + 1]].tolist())
+        for i, node in enumerate(uniques.tolist())
+    }
+    offsets = candidates.offsets.tolist()
+    flat = candidates.vertices.tolist()
+    for i in range(num):
+        members = flat[offsets[i] : offsets[i + 1]]
+        if not members:
+            contained[i] = True
+            continue
+        posting_lists: list[set[int]] = []
+        for node in members:
+            posting = postings.get(node)
+            if not posting:
+                break
+            posting_lists.append(posting)
+        else:
+            posting_lists.sort(key=len)
+            common = set(posting_lists[0])
+            for posting in posting_lists[1:]:
+                common &= posting
+                if not common:
+                    break
+            contained[i] = bool(common)
+    return contained
+
+
+def merge_level_packed(
+    feasible: CliqueStore, hub: CliqueStore
+) -> CliqueStore:
+    """Packed twin of :func:`merge_level`: ``Cf ∪ filter(Ch, Cf)``.
+
+    Feasible cliques first, surviving hub cliques after, both in their
+    original emission order — the order the legacy list merge produced.
+    """
+    surviving = hub.select(~contained_mask(hub, feasible))
+    return CliqueStore.concat([feasible, surviving])
 
 
 def merge_level(

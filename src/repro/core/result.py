@@ -6,13 +6,23 @@ bars of Figures 9–11), while cliques found at deeper levels consist of
 level-0 hub nodes only (the gray bars).  :class:`CliqueResult` keeps that
 tag per clique, plus per-level statistics for the decomposition-time and
 convergence experiments (Figure 7, Theorem 1).
+
+Since the packed result plane (``docs/resultplane.md``) the canonical
+payload is a :class:`~repro.core.cliquestore.CliqueStore` — CSR-style
+numpy buffers with a per-clique ``levels`` array as the provenance.  The
+legacy surface (``result.cliques`` as a real ``list[frozenset]``,
+``result.provenance`` as a ``dict[frozenset, int]``) is decoded lazily
+and cached, so code that never touches clique bodies (CLI summaries,
+monitoring digests) pays only vectorized reads of the offsets array.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from statistics import mean
+from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.cliquestore import CliqueStore, store_of
 from repro.graph.adjacency import Node
 
 
@@ -32,47 +42,132 @@ class LevelStats:
     fallback_used: bool = False
 
 
-@dataclass
 class CliqueResult:
-    """Complete output of :func:`repro.core.driver.find_max_cliques`."""
+    """Complete output of :func:`repro.core.driver.find_max_cliques`.
 
-    cliques: list[frozenset[Node]]
-    provenance: dict[frozenset[Node], int]
-    levels: list[LevelStats]
-    m: int
-    fallback_used: bool = False
-    block_combos: dict[str, int] = field(default_factory=dict)
-    # One list of BlockReport per recursion level, populated when the
-    # driver is called with collect_reports=True (used by the distributed
-    # simulator, which replays the measured per-block costs).
-    block_reports: list = field(default_factory=list)
-    # Durability digest of a spill-to-disk run (spill_dir=...): spill
-    # directory, blocks recorded vs replayed, flush cost, segment names.
-    # None for in-memory runs.
-    run_info: dict | None = None
-    # Bound-driven pruning digest (min_clique_size > 0 runs): the floor,
-    # blocks priced/skipped, and anchors skipped inside analysed blocks.
-    # None when the run enumerated without a floor.
-    pruning: dict | None = None
+    A lazy façade over a packed :class:`CliqueStore`.  Construct it
+    either the packed way (``store=`` carrying a per-clique ``levels``
+    provenance array) or the legacy way (``cliques=`` list plus
+    ``provenance=`` dict); each representation materializes the other on
+    first access and caches it.  Aggregates (:attr:`num_cliques`,
+    :meth:`max_clique_size`, :meth:`average_clique_size`,
+    :meth:`size_histogram`, :meth:`largest`) read the offsets/levels
+    arrays directly — no frozenset is decoded until clique *bodies* are
+    asked for.
+    """
+
+    def __init__(
+        self,
+        cliques: "list[frozenset[Node]] | None" = None,
+        provenance: "dict[frozenset[Node], int] | None" = None,
+        levels: "list[LevelStats] | None" = None,
+        m: int = 0,
+        fallback_used: bool = False,
+        block_combos: "dict[str, int] | None" = None,
+        block_reports: "list | None" = None,
+        run_info: "dict | None" = None,
+        pruning: "dict | None" = None,
+        store: "CliqueStore | None" = None,
+    ) -> None:
+        if store is None and cliques is None:
+            raise ValueError("CliqueResult needs cliques= or store=")
+        self._store = store
+        self._cliques = list(cliques) if cliques is not None else None
+        self._provenance = dict(provenance) if provenance is not None else None
+        self.levels = list(levels) if levels is not None else []
+        self.m = m
+        self.fallback_used = fallback_used
+        self.block_combos = dict(block_combos) if block_combos else {}
+        # One list of BlockReport per recursion level, populated when the
+        # driver is called with collect_reports=True (used by the
+        # distributed simulator, which replays measured per-block costs).
+        self.block_reports = block_reports if block_reports is not None else []
+        # Durability digest of a spill-to-disk run (spill_dir=...); None
+        # for in-memory runs.
+        self.run_info = run_info
+        # Bound-driven pruning digest (min_clique_size > 0 runs); None
+        # when the run enumerated without a floor.
+        self.pruning = pruning
+
+    # ------------------------------------------------------------------
+    # The packed plane and its lazy legacy decode
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> CliqueStore:
+        """The packed clique buffers (built on demand from legacy lists).
+
+        The per-clique provenance rides along as ``store.levels``.  This
+        is the zero-copy surface: segment spills, the future query
+        service, and the benchmarks read it directly.
+        """
+        if self._store is None:
+            packed = store_of(self._cliques)
+            if self._provenance is not None:
+                packed.levels = np.fromiter(
+                    (self._provenance.get(c, 0) for c in self._cliques),
+                    dtype=np.int32,
+                    count=len(self._cliques),
+                )
+            self._store = packed
+        return self._store
+
+    @property
+    def cliques(self) -> "list[frozenset[Node]]":
+        """Every clique as a frozenset, decoded on first access (cached).
+
+        A real list — downstream code slices, concatenates and sorts it.
+        """
+        if self._cliques is None:
+            self._cliques = self.store.to_list()
+        return self._cliques
+
+    @property
+    def clique_levels(self) -> np.ndarray:
+        """Per-clique provenance levels as an ``int32`` array."""
+        store = self.store
+        if store.levels is not None:
+            return store.levels
+        return np.zeros(store.num_cliques, dtype=np.int32)
+
+    @property
+    def provenance(self) -> "dict[frozenset[Node], int]":
+        """Legacy provenance mapping, built lazily from the levels array."""
+        if self._provenance is None:
+            self._provenance = dict(
+                zip(self.cliques, self.clique_levels.tolist())
+            )
+        return self._provenance
 
     # ------------------------------------------------------------------
     # Provenance splits (Figures 9–11)
     # ------------------------------------------------------------------
-    def feasible_cliques(self) -> list[frozenset[Node]]:
+    def feasible_cliques(self) -> "list[frozenset[Node]]":
         """Cliques found at level 0 — they contain a feasible node."""
-        return [c for c in self.cliques if self.provenance[c] == 0]
+        return self._by_level(hub=False)
 
-    def hub_cliques(self) -> list[frozenset[Node]]:
+    def hub_cliques(self) -> "list[frozenset[Node]]":
         """Cliques found at level ≥ 1 — composed exclusively of hubs."""
-        return [c for c in self.cliques if self.provenance[c] >= 1]
+        return self._by_level(hub=True)
+
+    def _by_level(self, hub: bool) -> "list[frozenset[Node]]":
+        levels = self.clique_levels
+        mask = levels >= 1 if hub else levels == 0
+        if mask.all():
+            return list(self.cliques)
+        if not mask.any():
+            return []
+        cliques = self.cliques
+        return [cliques[i] for i in np.flatnonzero(mask).tolist()]
 
     # ------------------------------------------------------------------
-    # Aggregates
+    # Aggregates — vectorized reads of the packed arrays
     # ------------------------------------------------------------------
     @property
     def num_cliques(self) -> int:
         """Total number of maximal cliques found."""
-        return len(self.cliques)
+        if self._store is not None:
+            return self._store.num_cliques
+        return len(self._cliques)
 
     @property
     def recursion_depth(self) -> int:
@@ -81,45 +176,60 @@ class CliqueResult:
 
     def max_clique_size(self) -> int:
         """Size of the largest clique, or 0 when there are none."""
-        return max((len(c) for c in self.cliques), default=0)
+        return self.store.max_size()
 
     def average_clique_size(self) -> float:
         """Mean clique size, or 0.0 when there are none."""
-        if not self.cliques:
-            return 0.0
-        return mean(len(c) for c in self.cliques)
+        return self.store.mean_size()
+
+    def size_histogram(self) -> "dict[int, int]":
+        """``{size: count}`` over all cliques — one bincount."""
+        return self.store.size_histogram()
 
     def average_size_by_provenance(self) -> tuple[float, float]:
         """Return ``(avg feasible size, avg hub-only size)`` (0.0 if none)."""
-        feasible = self.feasible_cliques()
-        hubs = self.hub_cliques()
+        sizes = self.store.sizes
+        hub = self.clique_levels >= 1
+        feasible_sizes = sizes[~hub]
+        hub_sizes = sizes[hub]
         return (
-            mean(len(c) for c in feasible) if feasible else 0.0,
-            mean(len(c) for c in hubs) if hubs else 0.0,
+            float(feasible_sizes.mean()) if len(feasible_sizes) else 0.0,
+            float(hub_sizes.mean()) if len(hub_sizes) else 0.0,
         )
 
-    def largest(self, k: int) -> list[frozenset[Node]]:
+    def largest(self, k: int) -> "list[frozenset[Node]]":
         """Return the ``k`` largest cliques (ties broken deterministically).
 
         This is the paper's "200 largest maximal cliques" selection for
-        Figure 11.
+        Figure 11.  An argpartition over the offsets diff narrows the
+        field to the cliques that can reach the top ``k`` (plus boundary
+        ties); only those are decoded and tie-broken.
         """
+        candidates = self._largest_candidates(k)
+        return [clique for clique, _ in candidates[:k]]
+
+    def _largest_candidates(self, k: int) -> "list[tuple[frozenset[Node], int]]":
+        """Top-``k``-with-ties as ``(clique, level)``, deterministically ordered."""
         if k < 0:
             raise ValueError("k must be non-negative")
-        ordered = sorted(
-            self.cliques, key=lambda c: (-len(c), sorted(map(str, c)))
-        )
-        return ordered[:k]
+        store = self.store
+        indices = store.top_k(k)
+        levels = self.clique_levels
+        decoded = [
+            (store.decode(int(i)), int(levels[int(i)])) for i in indices
+        ]
+        decoded.sort(key=lambda pair: (-len(pair[0]), sorted(map(str, pair[0]))))
+        return decoded
 
     def hub_share_of_largest(self, k: int) -> float:
         """Fraction of the ``k`` largest cliques that are hub-only.
 
         Returns 0.0 when the graph has no cliques at all.
         """
-        top = self.largest(k)
+        top = self._largest_candidates(k)[:k]
         if not top:
             return 0.0
-        hub_count = sum(1 for c in top if self.provenance[c] >= 1)
+        hub_count = sum(1 for _, level in top if level >= 1)
         return hub_count / len(top)
 
     def total_decomposition_seconds(self) -> float:
@@ -136,15 +246,17 @@ class CliqueResult:
         Contains the counts, sizes, timings and per-level breakdown a
         monitoring pipeline would record; clique bodies are excluded
         (persist those with :func:`repro.graph.io.write_cliques`).
+        Computed entirely from the packed arrays — no clique is decoded.
         """
         feasible_avg, hub_avg = self.average_size_by_provenance()
+        hub_mask = self.clique_levels >= 1
         return {
             "m": self.m,
             "num_cliques": self.num_cliques,
             "max_clique_size": self.max_clique_size(),
             "average_clique_size": self.average_clique_size(),
-            "feasible_cliques": len(self.feasible_cliques()),
-            "hub_only_cliques": len(self.hub_cliques()),
+            "feasible_cliques": int(np.count_nonzero(~hub_mask)),
+            "hub_only_cliques": int(np.count_nonzero(hub_mask)),
             "feasible_avg_size": feasible_avg,
             "hub_avg_size": hub_avg,
             "recursion_depth": self.recursion_depth,

@@ -278,15 +278,19 @@ class BitMatrixBackend(Backend):
 register_backend(BitMatrixBackend)
 
 
-def _materialize_rows(
+def _materialize_columns(
     spines: list[list], spine: int, idx: np.ndarray, leaves: np.ndarray
-):
-    """Rebuild clique tuples for one emit record by walking the spines.
+) -> "list[np.ndarray]":
+    """Gather one emit record's member columns by walking the spines.
 
-    One ancestor column is gathered per spine level, then the columns
-    are zipped into root-first tuples.  Called eagerly — while the whole
-    chain from ``spine`` to the root is still retained — so spine
-    entries can be released as soon as no live batch references them.
+    ``columns[d][j]`` is member ``d`` (root-first) of emitted clique
+    ``j`` — one ancestor column gathered per spine level.  Called
+    eagerly — while the whole chain from ``spine`` to the root is still
+    retained — so spine entries can be released as soon as no live
+    batch references them.  The packed result plane consumes the
+    columns directly (:meth:`repro.core.cliquestore.CliqueBuffer.append_columns`);
+    :func:`_materialize_rows` zips them into tuples for callers that
+    still want per-clique sequences.
     """
     columns = [leaves]
     while spine >= 0:
@@ -295,6 +299,14 @@ def _materialize_rows(
         idx = entry[1][idx]
         spine = entry[2]
     columns.reverse()
+    return columns
+
+
+def _materialize_rows(
+    spines: list[list], spine: int, idx: np.ndarray, leaves: np.ndarray
+):
+    """Rebuild clique tuples for one emit record by walking the spines."""
+    columns = _materialize_columns(spines, spine, idx, leaves)
     return zip(*[column.tolist() for column in columns])
 
 
@@ -328,6 +340,7 @@ def expand_batched(
     pivot_kind: str,
     batch_cap: int = 8192,
     stats: dict | None = None,
+    sink=None,
 ) -> list[tuple[int, ...]]:
     """Level-synchronous Bron–Kerbosch over batches of packed states.
 
@@ -360,6 +373,13 @@ def expand_batched(
     ``P ∪ X``), ``"degree"`` (max degree over ``P``), ``"x"`` (max
     ``|N(u) ∩ P|`` over ``X``, Tomita fallback when ``X`` is empty) or
     ``"none"`` (no pivot: expand every candidate).
+
+    With ``sink`` (a :class:`repro.core.cliquestore.CliqueBuffer`-shaped
+    emitter) cliques land *array-natively*: each emit record's spine
+    columns go straight into the sink's growing packed buffers via
+    ``append_columns`` — no tuples, no zip, no per-clique object — and
+    the returned list stays empty.  Emission order is identical either
+    way.
     """
     matrix = backend._matrix  # noqa: SLF001 - kernel-internal fast path
     degrees = backend._degrees  # noqa: SLF001
@@ -368,7 +388,10 @@ def expand_batched(
     out: list[tuple[int, ...]] = []
     if not candidates.any():
         if not excluded.any():
-            out.append(prefix)
+            if sink is not None:
+                sink.append(prefix)
+            else:
+                out.append(prefix)
         return out
     # A batch is (P, X, spine, offset): two (S, words) uint64 matrices
     # plus provenance — state ``j`` of the batch is row ``offset + j``
@@ -447,11 +470,19 @@ def expand_batched(
         has_x = child_x.any(axis=1)
         emit = np.flatnonzero(~has_p & ~has_x)
         if len(emit):
-            emitted = _materialize_rows(spines, spine, offset + rep[emit], v[emit])
-            if prefix:
-                out.extend(prefix + row for row in emitted)
+            if sink is not None:
+                columns = _materialize_columns(
+                    spines, spine, offset + rep[emit], v[emit]
+                )
+                sink.append_columns(prefix, columns)
             else:
-                out.extend(emitted)
+                emitted = _materialize_rows(
+                    spines, spine, offset + rep[emit], v[emit]
+                )
+                if prefix:
+                    out.extend(prefix + row for row in emitted)
+                else:
+                    out.extend(emitted)
         live = np.flatnonzero(has_p)
         if len(live):
             chunks = (len(live) + batch_cap - 1) // batch_cap
@@ -778,7 +809,8 @@ def enumerate_anchored_packed(
     candidates: np.ndarray,
     excluded: np.ndarray,
     pivot_rule,
-) -> Iterator[tuple[int, ...]]:
+    sink=None,
+) -> "Iterator[tuple[int, ...]] | None":
     """Anchored ``MCE(k, P, X)`` on the packed kernels.
 
     The packed replacement for
@@ -787,16 +819,32 @@ def enumerate_anchored_packed(
     clique.  Recognized pivot rules run on the batched kernel
     (:func:`expand_batched`); anything else falls back to the
     explicit-stack kernel.
+
+    With ``sink`` the sweep emits straight into the packed clique
+    buffers (array-native on the batched kernel, a bulk ``extend`` of
+    the stack kernel's tuples) and returns ``None`` instead of an
+    iterator.
     """
     restricted_p = backend.intersect_neighbors(candidates, anchor)
     restricted_x = backend.intersect_neighbors(excluded, anchor)
     kind = _PIVOT_KINDS.get(pivot_rule)
+    if sink is not None:
+        if kind is not None:
+            expand_batched(
+                backend, (anchor,), restricted_p, restricted_x, kind, sink=sink
+            )
+        else:
+            sink.extend(
+                expand_stack(
+                    backend, [anchor], restricted_p, restricted_x, pivot_rule
+                )
+            )
+        return None
     if kind is not None:
-        yield from expand_batched(
-            backend, (anchor,), restricted_p, restricted_x, kind
+        return iter(
+            expand_batched(backend, (anchor,), restricted_p, restricted_x, kind)
         )
-        return
-    yield from expand_stack(
+    return expand_stack(
         backend, [anchor], restricted_p, restricted_x, pivot_rule
     )
 

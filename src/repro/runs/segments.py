@@ -23,9 +23,22 @@ Two readers with different trust models:
   questionable record could return wrong cliques.
 
 The payload is opaque bytes at this layer; :func:`encode_block_record`
-/ :func:`decode_block_record` define the one payload shape the run log
-uses — a pickled ``(level, block_id, BlockReport)`` triple, so a
-replayed block is byte-for-byte the report the original run produced.
+/ :func:`decode_block_record` define the payload shapes the run log
+uses.  Since the packed result plane there are two:
+
+* **packed block records** (written for reports whose ``cliques`` is a
+  :class:`~repro.core.cliquestore.CliqueStore`): a ``RPCK`` magic, a
+  ``u16`` codec version, a fixed-size header, then the raw
+  offsets/vertices/levels buffers followed by the (small) pickled label
+  table and report metadata.  Decoding slices the arrays straight out
+  of the payload with ``np.frombuffer`` — a resume replay never
+  re-materializes a frozenset.  Unknown codec versions are refused with
+  :class:`~repro.errors.CorruptSegmentError` (same refusal discipline
+  as the tuned-tree envelope's ``FormatError``).
+* **legacy pickled records** — a pickled ``(level, block_id,
+  BlockReport)`` triple.  Still written for frozenset-plane reports and
+  still readable, so spill directories from earlier versions resume
+  unchanged.
 
 For the fault-injection tests the writer honours the same
 ``REPRO_FAULT_INJECT`` environment hook the executors use (see
@@ -48,11 +61,22 @@ import zlib
 from pathlib import Path
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.block_analysis import BlockReport
+from repro.core.cliquestore import CliqueStore
 from repro.errors import CorruptSegmentError
 
 SEGMENT_MAGIC = b"RPRSEG01"
 _HEADER = struct.Struct("<II")
+
+# Packed block-record codec (the zero-copy result plane on disk).
+PACKED_RECORD_MAGIC = b"RPCK"
+PACKED_RECORD_VERSION = 1
+_PACKED_VERSION_STRUCT = struct.Struct("<H")
+# level, block_id, num_cliques, num_vertices, has_levels,
+# labels_bytes, meta_bytes
+_PACKED_HEADER = struct.Struct("<qqQQBQQ")
 
 # Shared with repro.distributed.executor (kept in sync by an import
 # there); defined here so the runs package never imports the executor.
@@ -124,22 +148,152 @@ def decode_record(data: bytes, offset: int, path: str | None = None) -> tuple[by
 
 
 def encode_block_record(level: int, block_id: int, report: BlockReport) -> bytes:
-    """Serialize one finished block's report as a record payload."""
+    """Serialize one finished block's report as a record payload.
+
+    Packed-plane reports take the ``RPCK`` codec — raw array buffers,
+    no per-clique pickling; legacy frozenset reports keep the pickled
+    triple so old and new spill directories interoperate both ways.
+    """
+    if isinstance(report.cliques, CliqueStore):
+        return _encode_packed_record(level, block_id, report)
     return pickle.dumps(
         (int(level), int(block_id), report), protocol=pickle.HIGHEST_PROTOCOL
     )
 
 
+def _encode_packed_record(
+    level: int, block_id: int, report: BlockReport
+) -> bytes:
+    """The ``RPCK`` v1 wire form of a packed block record."""
+    store = report.cliques
+    offsets = np.ascontiguousarray(store.offsets, dtype=np.uint64)
+    vertices = np.ascontiguousarray(store.vertices, dtype=np.uint32)
+    has_levels = store.levels is not None
+    levels_bytes = (
+        np.ascontiguousarray(store.levels, dtype=np.int32).tobytes()
+        if has_levels
+        else b""
+    )
+    labels_bytes = pickle.dumps(
+        list(store.labels) if store.labels is not None else None,
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    meta_bytes = pickle.dumps(
+        {
+            "combo": report.combo,
+            "features": report.features,
+            "seconds": report.seconds,
+            "kernel_nodes": report.kernel_nodes,
+            "extra": report.extra,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    header = _PACKED_HEADER.pack(
+        int(level),
+        int(block_id),
+        store.num_cliques,
+        len(vertices),
+        1 if has_levels else 0,
+        len(labels_bytes),
+        len(meta_bytes),
+    )
+    return b"".join(
+        (
+            PACKED_RECORD_MAGIC,
+            _PACKED_VERSION_STRUCT.pack(PACKED_RECORD_VERSION),
+            header,
+            offsets.tobytes(),
+            vertices.tobytes(),
+            levels_bytes,
+            labels_bytes,
+            meta_bytes,
+        )
+    )
+
+
+def _decode_packed_record(payload: bytes) -> tuple[int, int, BlockReport]:
+    """Inverse of :func:`_encode_packed_record`; rigorously validated.
+
+    Every length is checked against the buffer before slicing and the
+    payload must be consumed exactly, so a foreign blob that happens to
+    start with the magic is refused rather than misread.  Unknown codec
+    versions are refused up front — forward compatibility by refusal,
+    the same discipline as the tuned-tree envelope.
+    """
+    cursor = len(PACKED_RECORD_MAGIC)
+    if len(payload) < cursor + _PACKED_VERSION_STRUCT.size + _PACKED_HEADER.size:
+        raise CorruptSegmentError("packed block record truncated")
+    (version,) = _PACKED_VERSION_STRUCT.unpack_from(payload, cursor)
+    if version != PACKED_RECORD_VERSION:
+        raise CorruptSegmentError(
+            f"unknown packed block record version {version} "
+            f"(this build reads version {PACKED_RECORD_VERSION})"
+        )
+    cursor += _PACKED_VERSION_STRUCT.size
+    (
+        level,
+        block_id,
+        num_cliques,
+        num_vertices,
+        has_levels,
+        labels_len,
+        meta_len,
+    ) = _PACKED_HEADER.unpack_from(payload, cursor)
+    cursor += _PACKED_HEADER.size
+    offsets_len = (num_cliques + 1) * 8
+    vertices_len = num_vertices * 4
+    levels_len = num_cliques * 4 if has_levels else 0
+    expected = cursor + offsets_len + vertices_len + levels_len + labels_len + meta_len
+    if has_levels not in (0, 1) or expected != len(payload):
+        raise CorruptSegmentError(
+            f"packed block record length mismatch "
+            f"(expects {expected} bytes, payload has {len(payload)})"
+        )
+    offsets = np.frombuffer(payload, dtype=np.uint64, count=num_cliques + 1, offset=cursor)
+    cursor += offsets_len
+    vertices = np.frombuffer(payload, dtype=np.uint32, count=num_vertices, offset=cursor)
+    cursor += vertices_len
+    levels = None
+    if has_levels:
+        levels = np.frombuffer(payload, dtype=np.int32, count=num_cliques, offset=cursor)
+        cursor += levels_len
+    try:
+        labels = pickle.loads(payload[cursor : cursor + labels_len])
+        meta = pickle.loads(payload[cursor + labels_len :])
+    except Exception as exc:
+        raise CorruptSegmentError(
+            f"packed block record tail is not decodable: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise CorruptSegmentError("packed block record meta is not a dict")
+    try:
+        store = CliqueStore(offsets, vertices, levels, labels)
+        report = BlockReport(cliques=store, **meta)
+    except (TypeError, ValueError) as exc:
+        raise CorruptSegmentError(
+            f"packed block record is inconsistent: {exc}"
+        ) from exc
+    return int(level), int(block_id), report
+
+
 def decode_block_record(payload: bytes) -> tuple[int, int, BlockReport]:
-    """Inverse of :func:`encode_block_record`.
+    """Inverse of :func:`encode_block_record` (both codecs).
+
+    Dispatches on the ``RPCK`` magic; anything else is tried as a
+    legacy pickled triple, which keeps pre-packed spill directories
+    replayable.
 
     Raises
     ------
     CorruptSegmentError
-        When the payload does not unpickle into the expected triple.
+        When the payload is neither a valid packed record (including
+        the unknown-version refusal) nor the expected pickled triple.
         The CRC makes this unreachable for disk errors; it guards
         against a foreign file that happens to carry a valid CRC.
     """
+    if payload[: len(PACKED_RECORD_MAGIC)] == PACKED_RECORD_MAGIC:
+        return _decode_packed_record(payload)
     try:
         level, block_id, report = pickle.loads(payload)
     except Exception as exc:
